@@ -1,0 +1,88 @@
+// Fig. 15: internal vs. external strategy for inserting a new lineitem into
+// Vlinear, swept over database size.
+//
+// The internal strategy (Section 6.2.1) maps the XML view to a flat
+// relational view and must retrieve *all* attributes of all four upstream
+// relations to build a complete relational-view tuple; the external
+// strategy only fetches the key it needs (L_ORDERKEY). The paper's shape:
+// internal sits consistently above external and the gap grows with DB size.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "fixtures/tpch_views.h"
+#include "relational/tpch.h"
+#include "ufilter/checker.h"
+
+namespace {
+
+using ufilter::check::CheckOptions;
+using ufilter::check::CheckOutcome;
+using ufilter::check::DataCheckStrategy;
+using ufilter::check::UFilter;
+
+struct Instance {
+  std::unique_ptr<ufilter::relational::Database> db;
+  std::unique_ptr<UFilter> uf;
+};
+
+Instance& InstanceFor(int scale_tenths) {
+  static std::map<int, Instance> instances;
+  Instance& inst = instances[scale_tenths];
+  if (inst.db == nullptr) {
+    ufilter::relational::tpch::TpchOptions options;
+    options.scale = static_cast<double>(scale_tenths) / 10.0;
+    auto db = ufilter::relational::tpch::MakeDatabase(options);
+    if (db.ok()) inst.db = std::move(*db);
+    auto uf =
+        UFilter::Create(inst.db.get(), ufilter::fixtures::VLinearQuery());
+    if (uf.ok()) inst.uf = std::move(*uf);
+  }
+  return inst;
+}
+
+void RunInsert(benchmark::State& state, DataCheckStrategy strategy) {
+  Instance& inst = InstanceFor(static_cast<int>(state.range(0)));
+  if (inst.uf == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::string update = ufilter::fixtures::InsertLineitemUpdate(3, 99);
+  CheckOptions options;
+  options.apply = false;  // keep the key free for the next iteration
+  options.strategy = strategy;
+  for (auto _ : state) {
+    auto report = inst.uf->Check(update, options);
+    if (report.outcome != CheckOutcome::kExecuted) {
+      state.SkipWithError(report.Describe().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["db_rows"] = static_cast<double>(inst.db->TotalRows());
+}
+
+void BM_Internal(benchmark::State& state) {
+  RunInsert(state, DataCheckStrategy::kInternal);
+}
+void BM_External(benchmark::State& state) {
+  RunInsert(state, DataCheckStrategy::kHybrid);
+}
+
+BENCHMARK(BM_Internal)->DenseRange(2, 10, 2);
+BENCHMARK(BM_External)->DenseRange(2, 10, 2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Fig. 15: internal vs. external for a lineitem insert over "
+      "Vlinear ===\n"
+      "Arg = scale/10 (row counts in the db_rows counter). Expected shape:\n"
+      "internal above external at every size.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

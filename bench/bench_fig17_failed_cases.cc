@@ -1,0 +1,198 @@
+// Fig. 17: hybrid vs. outside over Vlinear in the *failed* cases.
+//
+//   Fail1: nothing qualifies at all (the deleted customer does not exist):
+//          hybrid still runs every per-relation delete query against the
+//          base tables ("zero tuples deleted" warnings); outside detects
+//          the empty context probe immediately and issues nothing.
+//   Fail2: the customer and its orders exist (and are deleted) but there
+//          are no qualifying lineitems: hybrid runs the useless lineitem
+//          statement anyway; outside probes it first and skips it.
+//
+// The paper's shape: outside below hybrid in both failed cases, with the
+// Fail1 gap larger (everything is skipped, not just one statement).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "fixtures/tpch_views.h"
+#include "relational/query.h"
+#include "relational/tpch.h"
+
+namespace {
+
+using ufilter::CompareOp;
+using ufilter::Value;
+using ufilter::relational::ColRef;
+using ufilter::relational::Database;
+using ufilter::relational::QueryEvaluator;
+using ufilter::relational::SelectQuery;
+
+struct Instance {
+  std::unique_ptr<Database> db;
+  int64_t fail2_custkey = 0;  ///< customer whose orders have no lineitems
+};
+
+Instance& InstanceFor(int scale_tenths) {
+  static std::map<int, std::unique_ptr<Instance>> instances;
+  auto& slot = instances[scale_tenths];
+  if (slot == nullptr) {
+    slot = std::make_unique<Instance>();
+    ufilter::relational::tpch::TpchOptions options;
+    options.scale = static_cast<double>(scale_tenths) / 10.0;
+    auto db = ufilter::relational::tpch::MakeDatabase(options);
+    if (db.ok()) slot->db = std::move(*db);
+    // Fail2 setup: strip the lineitems of customer 1's orders.
+    slot->fail2_custkey = 1;
+    auto orders = (*slot->db->GetTable("orders"))
+                      ->Find({{"o_custkey", CompareOp::kEq, Value::Int(1)}},
+                             nullptr);
+    for (auto order_id : orders) {
+      const auto* row = (*slot->db->GetTable("orders"))->GetRow(order_id);
+      (void)slot->db->DeleteWhere(
+          "lineitem", {{"l_orderkey", CompareOp::kEq, (*row)[0]}});
+    }
+    slot->db->Checkpoint();
+  }
+  return *slot;
+}
+
+/// The per-relation delete statements of the translated update: delete the
+/// customer element = delete from lineitem, orders, customer (bottom-up,
+/// like the decomposed external translation).
+struct Statements {
+  SelectQuery lineitem, orders, customer;
+};
+
+Statements MakeStatements(int64_t custkey) {
+  Statements s;
+  s.customer.tables = {{"customer", "c"}};
+  s.customer.selects = {ColRef{"c", "c_custkey"}};
+  s.customer.filters = {{ColRef{"c", "c_custkey"}, CompareOp::kEq,
+                         Value::Int(custkey)}};
+  s.orders.tables = {{"customer", "c"}, {"orders", "o"}};
+  s.orders.selects = {ColRef{"o", "o_orderkey"}};
+  s.orders.joins = {{ColRef{"o", "o_custkey"}, CompareOp::kEq,
+                     ColRef{"c", "c_custkey"}}};
+  s.orders.filters = s.customer.filters;
+  s.lineitem.tables = {{"customer", "c"}, {"orders", "o"}, {"lineitem", "l"}};
+  s.lineitem.selects = {ColRef{"l", "l_orderkey"},
+                        ColRef{"l", "l_linenumber"}};
+  s.lineitem.joins = {{ColRef{"o", "o_custkey"}, CompareOp::kEq,
+                       ColRef{"c", "c_custkey"}},
+                      {ColRef{"l", "l_orderkey"}, CompareOp::kEq,
+                       ColRef{"o", "o_orderkey"}}};
+  s.lineitem.filters = s.customer.filters;
+  return s;
+}
+
+/// Executes "DELETE FROM <table> WHERE key IN (<probe>)" the hybrid way:
+/// run the probe against the indexed base tables, then delete by key.
+int64_t ProbeAndDelete(Database* db, const SelectQuery& probe,
+                       const std::string& table) {
+  QueryEvaluator evaluator(db);
+  auto rows = evaluator.Execute(probe);
+  if (!rows.ok()) return 0;
+  int64_t deleted = 0;
+  // Delete via the returned row ids of the *last* FROM entry.
+  size_t pos = probe.tables.size() - 1;
+  for (const auto& ids : rows->row_ids) {
+    auto outcome = db->DeleteRow(table, ids[pos]);
+    if (outcome.ok()) deleted += outcome->deleted_rows;
+  }
+  return deleted;
+}
+
+void RunHybrid(benchmark::State& state, bool fail1) {
+  Instance& inst = InstanceFor(static_cast<int>(state.range(0)));
+  Database* db = inst.db.get();
+  int64_t custkey = fail1 ? 99999999 : inst.fail2_custkey;
+  Statements stmts = MakeStatements(custkey);
+  for (auto _ : state) {
+    size_t savepoint = db->Begin();
+    // Hybrid: every statement is sent to the engine; empty ones come back
+    // as "zero tuples deleted" warnings after doing their probe work.
+    int64_t n = 0;
+    n += ProbeAndDelete(db, stmts.lineitem, "lineitem");
+    n += ProbeAndDelete(db, stmts.orders, "orders");
+    n += ProbeAndDelete(db, stmts.customer, "customer");
+    benchmark::DoNotOptimize(n);
+    db->Rollback(savepoint);
+  }
+  state.counters["db_rows"] = static_cast<double>(db->TotalRows());
+}
+
+void RunOutside(benchmark::State& state, bool fail1) {
+  Instance& inst = InstanceFor(static_cast<int>(state.range(0)));
+  Database* db = inst.db.get();
+  int64_t custkey = fail1 ? 99999999 : inst.fail2_custkey;
+  Statements stmts = MakeStatements(custkey);
+  QueryEvaluator evaluator(db);
+  for (auto _ : state) {
+    size_t savepoint = db->Begin();
+    // Outside: probe first, materialize intermediate results and reuse them
+    // (the paper's TAB_book / PQ4 pattern). An empty *context* probe
+    // (Fail1) aborts the whole update without issuing anything.
+    auto context = evaluator.Execute(stmts.customer);
+    if (context.ok() && !context->empty()) {
+      int64_t n = 0;
+      // Materialize the qualified order keys once; both the lineitem probe
+      // and the orders delete reuse them.
+      (void)evaluator.MaterializeInto(stmts.orders, "TAB_orders");
+      auto* tab = *db->GetTable("TAB_orders");
+      // PQ4-style probe: lineitems whose l_orderkey is IN TAB_orders.
+      SelectQuery pq4;
+      pq4.tables = {{"TAB_orders", "t"}, {"lineitem", "l"}};
+      pq4.selects = {ColRef{"l", "l_orderkey"}};
+      pq4.joins = {{ColRef{"l", "l_orderkey"}, CompareOp::kEq,
+                    ColRef{"t", "o_orderkey"}}};
+      auto lineitems = evaluator.Execute(pq4);
+      if (lineitems.ok() && !lineitems->empty()) {
+        // Delete the probed lineitems (never reached in Fail2).
+        for (const auto& row : lineitems->rows) {
+          auto outcome = db->DeleteWhere(
+              "lineitem", {{"l_orderkey", CompareOp::kEq, row[0]}});
+          if (outcome.ok()) n += outcome->deleted_rows;
+        }
+      }
+      // Orders delete driven by the materialized keys (no re-join).
+      for (auto id : tab->AllRowIds()) {
+        const auto* row = tab->GetRow(id);
+        auto outcome = db->DeleteWhere(
+            "orders", {{"o_orderkey", CompareOp::kEq, (*row)[0]}});
+        if (outcome.ok()) n += outcome->deleted_rows;
+      }
+      // Customer delete by the literal key.
+      auto outcome = db->DeleteWhere(
+          "customer", {{"c_custkey", CompareOp::kEq, Value::Int(custkey)}});
+      if (outcome.ok()) n += outcome->deleted_rows;
+      (void)db->DropTempTable("TAB_orders");
+      benchmark::DoNotOptimize(n);
+    }
+    db->Rollback(savepoint);
+  }
+  state.counters["db_rows"] = static_cast<double>(db->TotalRows());
+}
+
+void BM_HybridFail1(benchmark::State& state) { RunHybrid(state, true); }
+void BM_OutsideFail1(benchmark::State& state) { RunOutside(state, true); }
+void BM_HybridFail2(benchmark::State& state) { RunHybrid(state, false); }
+void BM_OutsideFail2(benchmark::State& state) { RunOutside(state, false); }
+
+BENCHMARK(BM_HybridFail1)->DenseRange(2, 10, 2);
+BENCHMARK(BM_OutsideFail1)->DenseRange(2, 10, 2);
+BENCHMARK(BM_HybridFail2)->DenseRange(2, 10, 2);
+BENCHMARK(BM_OutsideFail2)->DenseRange(2, 10, 2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Fig. 17: hybrid vs. outside over Vlinear, failed cases ===\n"
+      "Arg = scale/10. Expected shape: outside below hybrid for both Fail1\n"
+      "(nothing qualifies) and Fail2 (no lineitems qualify).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Batch update checker: a small command-line front end over the library.
+//
+//   batch_checker [updates.xq]
+//
+// Compiles the BookView over the sample database and checks every update
+// statement from the given file (or a built-in demo batch when no file is
+// given). Statements are separated by lines containing only "---". For each
+// statement the verdict, the rejection reason or the translated SQL is
+// printed — the loop an application embedding U-Filter would run.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "fixtures/bookdb.h"
+#include "ufilter/checker.h"
+
+namespace {
+
+std::vector<std::string> DemoBatch() {
+  using ufilter::fixtures::PaperUpdate;
+  return {PaperUpdate(8), PaperUpdate(13), PaperUpdate(2), PaperUpdate(5),
+          PaperUpdate(9)};
+}
+
+std::vector<std::string> ReadBatch(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s; using the demo batch\n", path);
+    return DemoBatch();
+  }
+  std::vector<std::string> out;
+  std::string line, current;
+  while (std::getline(in, line)) {
+    if (ufilter::Trim(line) == "---") {
+      if (!ufilter::Trim(current).empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += line + "\n";
+    }
+  }
+  if (!ufilter::Trim(current).empty()) out.push_back(current);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ufilter;
+
+  auto db = fixtures::MakeBookDatabase();
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  auto uf = check::UFilter::Create(db->get(), fixtures::BookViewQuery());
+  if (!uf.ok()) {
+    std::fprintf(stderr, "%s\n", uf.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> batch =
+      argc > 1 ? ReadBatch(argv[1]) : DemoBatch();
+  std::printf("checking %zu update statement(s) against BookView\n\n",
+              batch.size());
+
+  int accepted = 0, rejected = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    check::CheckReport report = (*uf)->Check(batch[i]);
+    std::printf("[%zu] %s\n", i + 1, report.Describe().c_str());
+    std::printf("     (step1 %.6fs, step2 %.6fs, step3 %.6fs)\n\n",
+                report.step1_seconds, report.step2_seconds,
+                report.step3_seconds);
+    if (report.outcome == check::CheckOutcome::kExecuted) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  std::printf("summary: %d executed, %d filtered out by U-Filter\n", accepted,
+              rejected);
+  return 0;
+}

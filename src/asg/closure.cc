@@ -1,0 +1,99 @@
+#include "asg/closure.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ufilter::asg {
+
+void Closure::Normalize() {
+  std::sort(leaves.begin(), leaves.end());
+  leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+  for (Starred& s : starred) s.group.Normalize();
+  std::sort(starred.begin(), starred.end(),
+            [](const Starred& a, const Starred& b) {
+              return a.group.Serialize() + a.condition <
+                     b.group.Serialize() + b.condition;
+            });
+}
+
+std::string Closure::Serialize() const {
+  std::string out = "{";
+  bool first = true;
+  for (const std::string& l : leaves) {
+    if (!first) out += ",";
+    out += l;
+    first = false;
+  }
+  for (const Starred& s : starred) {
+    if (!first) out += ",";
+    out += "(" + s.group.Serialize() + ")*";
+    if (!s.condition.empty()) out += "[" + s.condition + "]";
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+bool Closure::Equals(const Closure& other) const {
+  return Serialize() == other.Serialize();
+}
+
+bool Closure::ContainedIn(const Closure& other) const {
+  if (Equals(other)) return true;
+  // Appears as a nested starred group?
+  for (const Starred& s : other.starred) {
+    if (ContainedIn(s.group)) return true;
+  }
+  // All members appear at other's top level?
+  if (!leaves.empty() || !starred.empty()) {
+    std::set<std::string> other_leaves(other.leaves.begin(),
+                                       other.leaves.end());
+    for (const std::string& l : leaves) {
+      if (other_leaves.count(l) == 0) return false;
+    }
+    for (const Starred& s : starred) {
+      bool found = false;
+      for (const Starred& os : other.starred) {
+        if (s.group.Equals(os.group) && s.condition == os.condition) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+void Closure::UnionWith(const Closure& other) {
+  for (const std::string& l : other.leaves) leaves.push_back(l);
+  for (const Starred& s : other.starred) {
+    bool dup = false;
+    for (const Starred& mine : starred) {
+      if (mine.group.Equals(s.group) && mine.condition == s.condition) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) starred.push_back(s);
+  }
+  Normalize();
+}
+
+void CollectClosureLeaves(const Closure& c, std::vector<std::string>* out) {
+  for (const std::string& l : c.leaves) out->push_back(l);
+  for (const Closure::Starred& s : c.starred) {
+    CollectClosureLeaves(s.group, out);
+  }
+}
+
+std::string NormalizeCondition(const std::string& lhs, const std::string& op,
+                               const std::string& rhs) {
+  if (op == "=") {
+    return lhs < rhs ? lhs + "=" + rhs : rhs + "=" + lhs;
+  }
+  return lhs + op + rhs;
+}
+
+}  // namespace ufilter::asg

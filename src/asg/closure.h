@@ -1,0 +1,64 @@
+// Closures (Section 5.1.2): the nested leaf-name structure describing what
+// an update on a node affects. `1`/`?` cardinalities are inlined, `+`/`*`
+// become starred subgroups annotated with their join condition. Closures are
+// kept canonical (sorted) so ≡ is structural equality and ⊆ is "appears in".
+#ifndef UFILTER_ASG_CLOSURE_H_
+#define UFILTER_ASG_CLOSURE_H_
+
+#include <string>
+#include <vector>
+
+namespace ufilter::asg {
+
+/// \brief A canonical closure: inline leaf names plus starred subgroups.
+///
+/// Example (Fig. 8): closure(vC1) =
+///   {book.bookid, book.title, book.price, publisher.pubid,
+///    publisher.pubname, (review.reviewid, review.comment)*cond}.
+struct ClosureStarred;
+
+struct Closure {
+  std::vector<std::string> leaves;  ///< sorted R.a names (inline, card 1/?)
+  using Starred = ClosureStarred;
+  std::vector<ClosureStarred> starred;  ///< sorted by serialization
+
+  /// Restores canonical form after mutation.
+  void Normalize();
+
+  /// Canonical serialization, e.g. "{a.x,b.y,(c.z)*[a.x=c.w]}".
+  std::string Serialize() const;
+
+  /// Structural equality (requires both normalized).
+  bool Equals(const Closure& other) const;
+
+  /// `this ⊆ other`: this closure equals `other` or appears as a nested
+  /// starred group of `other` (any depth), or this closure's members all
+  /// appear at `other`'s top level.
+  bool ContainedIn(const Closure& other) const;
+
+  /// ⊔ : merges `other`'s top level into this one, deduplicating leaves and
+  /// structurally equal subgroups.
+  void UnionWith(const Closure& other);
+
+  bool empty() const { return leaves.empty() && starred.empty(); }
+};
+
+/// A starred subgroup of a closure: `(group)*[condition]`.
+struct ClosureStarred {
+  Closure group;
+  std::string condition;  ///< normalized join condition label ("" if none)
+};
+
+/// Appends every leaf name occurring anywhere in `c` (any depth) to `out`
+/// (the paper's getNodes()).
+void CollectClosureLeaves(const Closure& c, std::vector<std::string>* out);
+
+/// Normalizes a join-condition label: "R.a = S.b" with sides sorted so the
+/// same join written either way compares equal. Non-equality conditions keep
+/// their operator between the sorted sides.
+std::string NormalizeCondition(const std::string& lhs, const std::string& op,
+                               const std::string& rhs);
+
+}  // namespace ufilter::asg
+
+#endif  // UFILTER_ASG_CLOSURE_H_

@@ -1,0 +1,91 @@
+#include "asg/dot.h"
+
+#include "common/strings.h"
+
+namespace ufilter::asg {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ViewAsgToDot(const ViewAsg& gv) {
+  std::string out = "digraph ViewASG {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  for (const ViewNode& n : gv.nodes()) {
+    std::string shape = "box";
+    std::string label = n.tag;
+    switch (n.kind) {
+      case NodeKind::kRoot:
+        shape = "doubleoctagon";
+        break;
+      case NodeKind::kComplex:
+        shape = "box";
+        label += "\\n(" + n.mark.ToString() + ")";
+        label += "\\nUCB={" + Join(n.uc_binding, ",") + "}";
+        label += "\\nUPB={" + Join(n.up_binding, ",") + "}";
+        break;
+      case NodeKind::kTag:
+        shape = "ellipse";
+        break;
+      case NodeKind::kLeaf:
+        shape = "plaintext";
+        label = n.relation + "." + n.attr;
+        if (n.not_null) label += "\\nNOT NULL";
+        for (const auto& chk : n.checks) {
+          label += "\\nCHECK " + chk.ToString("value");
+        }
+        break;
+    }
+    out += "  n" + std::to_string(n.id) + " [shape=" + shape + ", label=\"" +
+           Escape(label) + "\"];\n";
+  }
+  for (const ViewNode& n : gv.nodes()) {
+    if (n.parent < 0) continue;
+    std::string elabel = CardinalityName(n.card);
+    std::vector<std::string> conds;
+    for (const auto& c : n.edge_conditions) {
+      if (c.is_correlation) conds.push_back(c.ToString());
+    }
+    if (!conds.empty()) elabel += "\\n" + Join(conds, " AND ");
+    out += "  n" + std::to_string(n.parent) + " -> n" +
+           std::to_string(n.id) + " [label=\"" + Escape(elabel) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string BaseAsgToDot(const BaseAsg& gd) {
+  std::string out = "digraph BaseASG {\n  rankdir=TB;\n  node [shape=record, fontsize=10];\n";
+  for (const std::string& rel : gd.relations()) {
+    std::string label = rel + "|" + Join(gd.RelationLeaves(rel), "\\n");
+    out += "  " + rel + " [label=\"{" + Escape(label) + "}\"];\n";
+  }
+  for (const std::string& rel : gd.relations()) {
+    Closure c = gd.RelationClosure(rel);
+    (void)c;
+    for (const std::string& child : gd.NestedRelations(rel)) {
+      // Draw only direct edges: child directly nested under rel.
+      bool direct = true;
+      for (const std::string& mid : gd.NestedRelations(rel)) {
+        if (mid == child) continue;
+        auto nested = gd.NestedRelations(mid);
+        for (const std::string& n : nested) {
+          if (n == child) direct = false;
+        }
+      }
+      if (direct) out += "  " + rel + " -> " + child + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ufilter::asg

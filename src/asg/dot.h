@@ -1,0 +1,22 @@
+// Graphviz DOT export of the annotated schema graphs, for documentation and
+// debugging (renders the Fig. 8 / Fig. 9 pictures).
+#ifndef UFILTER_ASG_DOT_H_
+#define UFILTER_ASG_DOT_H_
+
+#include <string>
+
+#include "asg/view_asg.h"
+
+namespace ufilter::asg {
+
+/// DOT rendering of the view ASG: node shape by kind, STAR marks and
+/// UCBinding/UPBinding in the labels, edge labels = cardinality + condition.
+std::string ViewAsgToDot(const ViewAsg& gv);
+
+/// DOT rendering of the base ASG: one node per relation with its leaves,
+/// FK edges labeled with their join condition.
+std::string BaseAsgToDot(const BaseAsg& gd);
+
+}  // namespace ufilter::asg
+
+#endif  // UFILTER_ASG_DOT_H_

@@ -1,0 +1,497 @@
+#include "asg/view_asg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace ufilter::asg {
+
+using view::AnalyzedView;
+using view::AvNode;
+using view::ResolvedCondition;
+using view::Scope;
+
+const char* NodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::kRoot:
+      return "root";
+    case NodeKind::kComplex:
+      return "internal";
+    case NodeKind::kTag:
+      return "tag";
+    case NodeKind::kLeaf:
+      return "leaf";
+  }
+  return "?";
+}
+
+const char* CardinalityName(Cardinality c) {
+  switch (c) {
+    case Cardinality::kOne:
+      return "1";
+    case Cardinality::kOpt:
+      return "?";
+    case Cardinality::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+std::string StarMark::ToString() const {
+  std::string out = clean ? "clean" : "dirty";
+  out += " | ";
+  out += safe_delete ? "safe-delete" : "unsafe-delete";
+  out += ", ";
+  out += safe_insert ? "safe-insert" : "unsafe-insert";
+  return out;
+}
+
+namespace {
+
+/// Normalized label of the conjunction of edge conditions.
+std::string ConditionLabel(const std::vector<ResolvedCondition>& conds) {
+  std::vector<std::string> labels;
+  for (const ResolvedCondition& c : conds) {
+    if (!c.is_correlation) continue;
+    labels.push_back(NormalizeCondition(c.lhs.ToString(),
+                                        CompareOpSymbol(c.op),
+                                        c.rhs.ToString()));
+  }
+  std::sort(labels.begin(), labels.end());
+  return Join(labels, " AND ");
+}
+
+class ViewAsgBuilder {
+ public:
+  explicit ViewAsgBuilder(const AnalyzedView& view) : view_(view) {}
+
+  Result<std::unique_ptr<ViewAsg>> Run(std::unique_ptr<ViewAsg> asg) {
+    asg_ = asg.get();
+    // Root node.
+    ViewNode root;
+    root.id = 0;
+    root.kind = NodeKind::kRoot;
+    root.tag = view_.root().tag;
+    root.av = &view_.root();
+    root.uc_binding = {};
+    asg_->mutable_nodes().push_back(std::move(root));
+    RegisterAv(&view_.root(), 0);
+    UFILTER_RETURN_NOT_OK(BuildChildren(view_.root(), 0));
+    ComputeUpBindings(0);
+    return asg;
+  }
+
+ private:
+  void RegisterAv(const AvNode* av, int id) { asg_->RegisterAv(av, id); }
+
+  Status BuildChildren(const AvNode& av, int parent_id) {
+    for (const auto& child : av.children) {
+      if (child->kind == AvNode::Kind::kGroup) {
+        for (const auto& grand : child->children) {
+          UFILTER_RETURN_NOT_OK(
+              BuildElement(*grand, parent_id, Cardinality::kStar,
+                           child->scope->conditions));
+        }
+      } else {
+        UFILTER_RETURN_NOT_OK(
+            BuildElement(*child, parent_id, Cardinality::kOne, {}));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status BuildElement(const AvNode& av, int parent_id, Cardinality card,
+                      const std::vector<ResolvedCondition>& edge_conds) {
+    if (av.kind == AvNode::Kind::kSimple) {
+      return BuildSimple(av, parent_id, card, edge_conds);
+    }
+    if (av.kind != AvNode::Kind::kComplex) {
+      return Status::Internal("unexpected analyzed node kind under element");
+    }
+    int id = NewNode();
+    ViewNode& node = asg_->mutable_node(id);
+    node.kind = NodeKind::kComplex;
+    node.tag = av.tag;
+    node.av = &av;
+    node.uc_binding = av.scope->AllRelations();
+    AttachChild(parent_id, id, card, edge_conds);
+    RegisterAv(&av, id);
+    return BuildChildren(av, id);
+  }
+
+  Status BuildSimple(const AvNode& av, int parent_id, Cardinality card,
+                     const std::vector<ResolvedCondition>& edge_conds) {
+    UFILTER_ASSIGN_OR_RETURN(const relational::TableSchema* table,
+                             view_.schema().FindTable(av.relation));
+    UFILTER_ASSIGN_OR_RETURN(const relational::Column* column,
+                             table->FindColumn(av.attr));
+
+    // Tag node vS.
+    int tag_id = NewNode();
+    {
+      ViewNode& tag = asg_->mutable_node(tag_id);
+      tag.kind = NodeKind::kTag;
+      tag.tag = av.tag;
+      tag.av = &av;
+      tag.relation = av.relation;
+      tag.attr = av.attr;
+      tag.variable = av.variable;
+      tag.uc_binding = av.scope->AllRelations();
+      Cardinality tag_card = card;
+      if (tag_card == Cardinality::kOne && !column->not_null) {
+        tag_card = Cardinality::kOpt;  // NULL renders as absent element
+      }
+      AttachChild(parent_id, tag_id, tag_card, edge_conds);
+      RegisterAv(&av, tag_id);
+    }
+
+    // Leaf node vL with the local-constraint annotations.
+    int leaf_id = NewNode();
+    ViewNode& leaf = asg_->mutable_node(leaf_id);
+    leaf.kind = NodeKind::kLeaf;
+    leaf.tag = "text()";
+    leaf.relation = av.relation;
+    leaf.attr = av.attr;
+    leaf.variable = av.variable;
+    leaf.type = column->type;
+    leaf.not_null = column->not_null;
+    leaf.checks = column->checks;
+    // Merge the view query's non-correlation predicates on this projection's
+    // variable+attribute (walking the scope chain).
+    for (const Scope* s = av.scope; s != nullptr; s = s->parent) {
+      for (const ResolvedCondition& cond : s->conditions) {
+        if (cond.is_correlation) continue;
+        if (cond.lhs.variable == av.variable && cond.lhs.attr == av.attr) {
+          leaf.checks.push_back({cond.op, cond.literal});
+        }
+      }
+    }
+    AttachChild(tag_id, leaf_id, Cardinality::kOne, {});
+    return Status::OK();
+  }
+
+  int NewNode() {
+    int id = static_cast<int>(asg_->mutable_nodes().size());
+    ViewNode node;
+    node.id = id;
+    asg_->mutable_nodes().push_back(std::move(node));
+    return id;
+  }
+
+  void AttachChild(int parent_id, int child_id, Cardinality card,
+                   const std::vector<ResolvedCondition>& conds) {
+    ViewNode& child = asg_->mutable_node(child_id);
+    child.parent = parent_id;
+    child.card = card;
+    child.edge_conditions = conds;
+    asg_->mutable_node(parent_id).children.push_back(child_id);
+  }
+
+  /// Post-order. UPBinding holds the relations used in *constructing* the
+  /// node (its own projection sources and its descendants'), which is NOT
+  /// a superset of UCBinding: in Fig. 8 UPBinding(vC3) = {review} although
+  /// UCBinding(vC3) = {book, publisher, review}.
+  void ComputeUpBindings(int id) {
+    ViewNode& node = asg_->mutable_node(id);
+    std::set<std::string> up;
+    if (!node.relation.empty()) up.insert(node.relation);
+    for (int child : node.children) {
+      ComputeUpBindings(child);
+      const ViewNode& c = asg_->node(child);
+      up.insert(c.up_binding.begin(), c.up_binding.end());
+      // Tag/leaf nodes contribute their source relation.
+      if (!c.relation.empty()) up.insert(c.relation);
+    }
+    node.up_binding.assign(up.begin(), up.end());
+  }
+
+  const AnalyzedView& view_;
+  ViewAsg* asg_ = nullptr;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ViewAsg>> ViewAsg::Build(const AnalyzedView& view) {
+  auto asg = std::unique_ptr<ViewAsg>(new ViewAsg());
+  asg->view_ = &view;
+  ViewAsgBuilder builder(view);
+  return builder.Run(std::move(asg));
+}
+
+const ViewNode* ViewAsg::NodeForAv(const view::AvNode* av) const {
+  auto it = av_to_node_.find(av);
+  return it == av_to_node_.end() ? nullptr : &nodes_[static_cast<size_t>(it->second)];
+}
+
+std::vector<std::string> ViewAsg::CurrentRelations(int id) const {
+  const ViewNode& node = nodes_[static_cast<size_t>(id)];
+  // Find the parent *element* (tag nodes hang off elements directly, so the
+  // immediate parent works for kComplex/kTag; leaf's parent is its tag).
+  std::set<std::string> parent_ucb;
+  if (node.parent >= 0) {
+    const ViewNode& parent = nodes_[static_cast<size_t>(node.parent)];
+    parent_ucb.insert(parent.uc_binding.begin(), parent.uc_binding.end());
+  }
+  std::vector<std::string> out;
+  for (const std::string& r : node.uc_binding) {
+    if (parent_ucb.count(r) == 0) out.push_back(r);
+  }
+  return out;
+}
+
+bool ViewAsg::IsDescendant(int id, int maybe_descendant) const {
+  for (int n = maybe_descendant; n >= 0;
+       n = nodes_[static_cast<size_t>(n)].parent) {
+    if (n == id) return true;
+  }
+  return false;
+}
+
+bool ViewAsg::ParentIsSingleInstance(int id) const {
+  int n = nodes_[static_cast<size_t>(id)].parent;
+  while (n >= 0) {
+    const ViewNode& node = nodes_[static_cast<size_t>(n)];
+    if (node.card == Cardinality::kStar) return false;
+    n = node.parent;
+  }
+  return true;
+}
+
+Closure ViewAsg::NodeClosure(int id) const {
+  const ViewNode& node = nodes_[static_cast<size_t>(id)];
+  Closure out;
+  if (node.kind == NodeKind::kLeaf) {
+    out.leaves.push_back(node.relation + "." + node.attr);
+    return out;
+  }
+  if (node.kind == NodeKind::kTag) {
+    out.leaves.push_back(node.relation + "." + node.attr);
+    return out;
+  }
+  for (int child_id : node.children) {
+    const ViewNode& child = nodes_[static_cast<size_t>(child_id)];
+    Closure cc = NodeClosure(child_id);
+    if (child.card == Cardinality::kStar) {
+      out.starred.push_back({cc, ConditionLabel(child.edge_conditions)});
+    } else {
+      out.UnionWith(cc);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+std::vector<int> ViewAsg::SubtreeLeaves(int id) const {
+  std::vector<int> out;
+  std::vector<int> stack = {id};
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    const ViewNode& node = nodes_[static_cast<size_t>(n)];
+    if (node.kind == NodeKind::kLeaf) out.push_back(n);
+    for (int c : node.children) stack.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string ViewAsg::ToString() const {
+  std::string out = "View ASG:\n";
+  for (const ViewNode& n : nodes_) {
+    out += "  [" + std::to_string(n.id) + "] " + NodeKindName(n.kind) + " <" +
+           n.tag + ">";
+    if (n.parent >= 0) {
+      out += " parent=" + std::to_string(n.parent);
+      out += " card=" + std::string(CardinalityName(n.card));
+    }
+    if (!n.relation.empty()) out += " src=" + n.relation + "." + n.attr;
+    if (n.kind == NodeKind::kLeaf) {
+      out += n.not_null ? " NOT NULL" : "";
+      for (const auto& c : n.checks) out += " CHECK(" + c.ToString("value") + ")";
+    }
+    if (n.kind == NodeKind::kComplex || n.kind == NodeKind::kRoot) {
+      out += " UCB={" + Join(n.uc_binding, ",") + "}";
+      out += " UPB={" + Join(n.up_binding, ",") + "}";
+      out += " mark=(" + n.mark.ToString() + ")";
+    }
+    if (!n.edge_conditions.empty()) {
+      out += " cond=" + ConditionLabel(n.edge_conditions);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- BaseAsg ---
+
+BaseAsg BaseAsg::Build(const view::AnalyzedView& view) {
+  BaseAsg out;
+  out.schema_ = &view.schema();
+  // Collect the view-referenced leaves per relation, plus the attributes the
+  // view joins on (used below for SET NULL propagation: a nulled FK column
+  // that feeds a view join removes the row from the joined view even though
+  // the row survives).
+  std::map<std::string, std::set<std::string>> leaves;
+  std::set<std::string> join_attrs;
+  std::vector<const AvNode*> stack = {&view.root()};
+  while (!stack.empty()) {
+    const AvNode* n = stack.back();
+    stack.pop_back();
+    if (n->kind == AvNode::Kind::kSimple) {
+      leaves[n->relation].insert(n->relation + "." + n->attr);
+    }
+    if (n->kind == AvNode::Kind::kGroup && n->scope != nullptr) {
+      for (const view::ResolvedCondition& cond : n->scope->conditions) {
+        if (!cond.is_correlation) continue;
+        join_attrs.insert(cond.lhs.relation + "." + cond.lhs.attr);
+        join_attrs.insert(cond.rhs.relation + "." + cond.rhs.attr);
+      }
+    }
+    for (const auto& c : n->children) stack.push_back(c.get());
+  }
+  for (const auto& [rel, attrs] : leaves) {
+    out.relations_.push_back(rel);
+    out.rels_[rel].leaves.assign(attrs.begin(), attrs.end());
+  }
+  // FK edges among included relations: edge (referenced -> referencing).
+  for (const std::string& rel : out.relations_) {
+    auto table = view.schema().FindTable(rel);
+    if (!table.ok()) continue;
+    for (const relational::ForeignKey& fk : (*table)->foreign_keys()) {
+      if (out.rels_.count(fk.ref_table) == 0) continue;
+      std::vector<std::string> conds;
+      for (size_t i = 0; i < fk.columns.size(); ++i) {
+        conds.push_back(NormalizeCondition(rel + "." + fk.columns[i], "=",
+                                           fk.ref_table + "." +
+                                               fk.ref_columns[i]));
+      }
+      std::sort(conds.begin(), conds.end());
+      bool propagates = false;
+      switch (fk.on_delete) {
+        case relational::DeletePolicy::kCascade:
+          propagates = true;
+          break;
+        case relational::DeletePolicy::kSetNull: {
+          // Propagates if SET NULL is impossible (NOT NULL FK column) or the
+          // nulled column feeds a view join (view impact survives the row).
+          for (const std::string& c : fk.columns) {
+            auto col = (*table)->FindColumn(c);
+            if (col.ok() && (*col)->not_null) propagates = true;
+            if (join_attrs.count(rel + "." + c) > 0) propagates = true;
+          }
+          break;
+        }
+        case relational::DeletePolicy::kRestrict:
+          propagates = false;
+          break;
+      }
+      out.rels_[fk.ref_table].children.push_back(
+          {rel, Join(conds, " AND "), propagates});
+    }
+  }
+  return out;
+}
+
+bool BaseAsg::HasRelation(const std::string& name) const {
+  return rels_.count(name) > 0;
+}
+
+const std::vector<std::string>& BaseAsg::RelationLeaves(
+    const std::string& relation) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = rels_.find(relation);
+  return it == rels_.end() ? kEmpty : it->second.leaves;
+}
+
+Closure BaseAsg::ClosureOf(const std::string& relation,
+                           std::vector<std::string>* visiting) const {
+  Closure out;
+  auto it = rels_.find(relation);
+  if (it == rels_.end()) return out;
+  if (std::find(visiting->begin(), visiting->end(), relation) !=
+      visiting->end()) {
+    return out;  // FK cycle guard
+  }
+  visiting->push_back(relation);
+  out.leaves = it->second.leaves;
+  for (const Rel::Child& child : it->second.children) {
+    if (!child.propagates) continue;
+    Closure cc = ClosureOf(child.relation, visiting);
+    out.starred.push_back({cc, child.condition});
+  }
+  visiting->pop_back();
+  out.Normalize();
+  return out;
+}
+
+Closure BaseAsg::RelationClosure(const std::string& relation) const {
+  std::vector<std::string> visiting;
+  return ClosureOf(relation, &visiting);
+}
+
+std::vector<std::string> BaseAsg::NestedRelations(
+    const std::string& relation) const {
+  std::set<std::string> seen;
+  std::vector<std::string> frontier = {relation};
+  std::vector<std::string> out;
+  while (!frontier.empty()) {
+    std::string r = frontier.back();
+    frontier.pop_back();
+    auto it = rels_.find(r);
+    if (it == rels_.end()) continue;
+    for (const Rel::Child& child : it->second.children) {
+      if (!child.propagates) continue;
+      if (seen.insert(child.relation).second) {
+        out.push_back(child.relation);
+        frontier.push_back(child.relation);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Closure BaseAsg::MappingClosure(
+    const std::vector<std::string>& leaf_names) const {
+  // Relations owning the given leaves.
+  std::set<std::string> rel_set;
+  for (const std::string& leaf : leaf_names) {
+    size_t dot = leaf.find('.');
+    if (dot != std::string::npos) rel_set.insert(leaf.substr(0, dot));
+  }
+  // ⊔ dedup: drop R when R is nested inside the closure of another R'.
+  std::set<std::string> keep = rel_set;
+  for (const std::string& r : rel_set) {
+    for (const std::string& other : rel_set) {
+      if (other == r) continue;
+      std::vector<std::string> nested = NestedRelations(other);
+      if (std::find(nested.begin(), nested.end(), r) != nested.end()) {
+        keep.erase(r);
+        break;
+      }
+    }
+  }
+  Closure out;
+  for (const std::string& r : keep) {
+    out.UnionWith(RelationClosure(r));
+  }
+  out.Normalize();
+  return out;
+}
+
+std::string BaseAsg::ToString() const {
+  std::string out = "Base ASG:\n";
+  for (const std::string& rel : relations_) {
+    const Rel& r = rels_.at(rel);
+    out += "  " + rel + " leaves={" + Join(r.leaves, ",") + "}";
+    for (const Rel::Child& c : r.children) {
+      out += " ->" + c.relation + "[" + c.condition + "]" +
+             (c.propagates ? "" : " (no-propagate)");
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ufilter::asg

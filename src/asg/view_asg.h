@@ -1,0 +1,183 @@
+// Annotated Schema Graphs (Section 3): the view ASG models the view's
+// hierarchical structure with node/edge annotations (name, type, property,
+// check; UCBinding/UPBinding; cardinality + join condition); the base ASG is
+// the DAG of relations referenced by the view, connected by foreign keys.
+// Both carry everything the schema-level checking steps (1 and 2) need.
+#ifndef UFILTER_ASG_VIEW_ASG_H_
+#define UFILTER_ASG_VIEW_ASG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asg/closure.h"
+#include "common/result.h"
+#include "relational/schema.h"
+#include "view/analyzed_view.h"
+
+namespace ufilter::asg {
+
+/// Node kinds of the view ASG (Section 3.2): root vR, internal vC, tag vS,
+/// leaf vL.
+enum class NodeKind { kRoot, kComplex, kTag, kLeaf };
+
+const char* NodeKindName(NodeKind k);
+
+/// Edge cardinality annotation. `+` collapses into `*` (closure convention).
+enum class Cardinality { kOne, kOpt, kStar };
+
+const char* CardinalityName(Cardinality c);
+
+/// STAR marks (Section 5.1): update context (safe/unsafe per op) and update
+/// point (clean/dirty).
+struct StarMark {
+  bool safe_delete = true;
+  bool safe_insert = true;
+  bool clean = true;
+  std::string unsafe_delete_reason;
+  std::string unsafe_insert_reason;
+
+  std::string ToString() const;
+};
+
+/// \brief One node of the view ASG with its annotations.
+struct ViewNode {
+  int id = -1;
+  NodeKind kind = NodeKind::kComplex;
+  std::string tag;  ///< name annotation (element/attribute tag)
+
+  // Leaf annotation (kLeaf): relational provenance + local constraints.
+  std::string relation;
+  std::string attr;
+  std::string variable;  ///< view-query variable the projection came from
+  ValueType type = ValueType::kString;
+  bool not_null = false;
+  std::vector<relational::CheckPredicate> checks;  ///< DB CHECKs + query preds
+
+  // Global-structure annotations.
+  std::vector<std::string> uc_binding;  ///< sorted UCBinding relation names
+  std::vector<std::string> up_binding;  ///< sorted UPBinding relation names
+
+  int parent = -1;
+  std::vector<int> children;
+  /// Incoming edge annotations.
+  Cardinality card = Cardinality::kOne;
+  std::vector<view::ResolvedCondition> edge_conditions;
+
+  /// Link back to the analyzed-view node this ASG node models (null for
+  /// synthesized leaf nodes).
+  const view::AvNode* av = nullptr;
+
+  StarMark mark;
+
+  bool is_internal() const { return kind == NodeKind::kComplex; }
+};
+
+/// \brief The view ASG GV.
+class ViewAsg {
+ public:
+  /// Builds GV from an analyzed view. Leaf checks merge the relational CHECK
+  /// constraints with the view query's non-correlation predicates on the
+  /// same attribute (e.g. Fig. 8's {0.00 < value < 50.00} on book.price).
+  static Result<std::unique_ptr<ViewAsg>> Build(
+      const view::AnalyzedView& view);
+
+  const std::vector<ViewNode>& nodes() const { return nodes_; }
+  std::vector<ViewNode>& mutable_nodes() { return nodes_; }
+  const ViewNode& root() const { return nodes_[0]; }
+  const ViewNode& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  ViewNode& mutable_node(int id) { return nodes_[static_cast<size_t>(id)]; }
+
+  /// ASG node for an analyzed-view element, or null.
+  const ViewNode* NodeForAv(const view::AvNode* av) const;
+
+  /// Current Relations CR(v) = UCBinding(v) - UCBinding(parent element).
+  std::vector<std::string> CurrentRelations(int id) const;
+
+  /// True if `maybe_descendant` lies in the subtree rooted at `id`
+  /// (inclusive).
+  bool IsDescendant(int id, int maybe_descendant) const;
+
+  /// True when no `*` edge occurs on the path root -> node's parent, i.e.
+  /// the node's parent has exactly one instance per view.
+  bool ParentIsSingleInstance(int id) const;
+
+  /// Closure v+ of the node (Section 5.1.2).
+  Closure NodeClosure(int id) const;
+
+  /// All leaf nodes (ids) of the subtree rooted at `id`.
+  std::vector<int> SubtreeLeaves(int id) const;
+
+  /// Human-readable annotation tables (Fig. 8 style).
+  std::string ToString() const;
+
+  const view::AnalyzedView& analyzed_view() const { return *view_; }
+
+  /// Builder hook: records the analyzed-view provenance of a node.
+  void RegisterAv(const view::AvNode* av, int id) { av_to_node_[av] = id; }
+
+ private:
+  ViewAsg() = default;
+
+  std::vector<ViewNode> nodes_;
+  std::map<const view::AvNode*, int> av_to_node_;
+  const view::AnalyzedView* view_ = nullptr;
+};
+
+/// \brief The base ASG GD (Fig. 9): relations referenced by view leaves,
+/// linked by the foreign keys among them.
+class BaseAsg {
+ public:
+  /// Builds GD from the analyzed view and the relational schema. Closure
+  /// propagation across FK edges honors each FK's delete policy (Section
+  /// 5.1.2: "the policy used affects only the closure definitions of the
+  /// base ASG").
+  static BaseAsg Build(const view::AnalyzedView& view);
+
+  /// Relations included in GD.
+  const std::vector<std::string>& relations() const { return relations_; }
+  bool HasRelation(const std::string& name) const;
+
+  /// View-referenced leaf attrs ("R.a") of one relation, sorted.
+  const std::vector<std::string>& RelationLeaves(
+      const std::string& relation) const;
+
+  /// Closure n+ of a relation node (policy-aware FK descent).
+  Closure RelationClosure(const std::string& relation) const;
+
+  /// All relations reachable inside RelationClosure(relation) (excluding
+  /// `relation` itself).
+  std::vector<std::string> NestedRelations(const std::string& relation) const;
+
+  /// Mapping closure N+ of a set of base leaf names with the ⊔ dedup
+  /// (Section 5.1.2).
+  Closure MappingClosure(const std::vector<std::string>& leaf_names) const;
+
+  /// Fig. 9-style dump.
+  std::string ToString() const;
+
+ private:
+  struct Rel {
+    std::vector<std::string> leaves;  ///< "R.a", sorted
+    /// FK children (referencing relations) with normalized join condition
+    /// and whether deletion propagates there under the FK's policy.
+    struct Child {
+      std::string relation;
+      std::string condition;
+      bool propagates = true;
+    };
+    std::vector<Child> children;
+  };
+
+  Closure ClosureOf(const std::string& relation,
+                    std::vector<std::string>* visiting) const;
+
+  std::vector<std::string> relations_;
+  std::map<std::string, Rel> rels_;
+  const relational::DatabaseSchema* schema_ = nullptr;
+};
+
+}  // namespace ufilter::asg
+
+#endif  // UFILTER_ASG_VIEW_ASG_H_

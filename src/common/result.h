@@ -1,0 +1,80 @@
+// Result<T>: value-or-Status, the companion of status.h.
+#ifndef UFILTER_COMMON_RESULT_H_
+#define UFILTER_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ufilter {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Mirrors arrow::Result. Constructing from an OK status is a programming
+/// error (asserted in debug builds, degraded to Internal status otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `alt` when in error state.
+  T ValueOr(T alt) const {
+    return ok() ? *value_ : std::move(alt);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define UFILTER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define UFILTER_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define UFILTER_ASSIGN_OR_RETURN_NAME(a, b) UFILTER_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define UFILTER_ASSIGN_OR_RETURN(lhs, expr) \
+  UFILTER_ASSIGN_OR_RETURN_IMPL(            \
+      UFILTER_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace ufilter
+
+#endif  // UFILTER_COMMON_RESULT_H_

@@ -1,0 +1,136 @@
+// Status: lightweight error propagation for the U-Filter library.
+//
+// Follows the RocksDB/Arrow idiom: functions that can fail return a Status (or
+// Result<T>, see result.h) instead of throwing. A Status is cheap to copy in
+// the OK case and carries a code plus a human-readable message otherwise.
+#ifndef UFILTER_COMMON_STATUS_H_
+#define UFILTER_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace ufilter {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input (bad XML, unparsable query, ...).
+  kParseError,
+  /// A name (table, column, variable, element tag) could not be resolved.
+  kNotFound,
+  /// An operation would violate a relational constraint (PK, UNIQUE, NOT
+  /// NULL, CHECK, FK).
+  kConstraintViolation,
+  /// The view update is invalid w.r.t. the view schema (U-Filter step 1).
+  kInvalidUpdate,
+  /// The view update is valid but no correct translation exists (step 2).
+  kUntranslatable,
+  /// The view update conflicts with the current base data (step 3).
+  kDataConflict,
+  /// The caller used the API incorrectly.
+  kInvalidArgument,
+  /// An unsupported feature of the query language was encountered.
+  kNotSupported,
+  /// Internal invariant violation; indicates a library bug.
+  kInternal,
+};
+
+/// Returns a short stable name for a status code ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result status of a fallible operation.
+///
+/// Instances are immutable. The OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status InvalidUpdate(std::string msg) {
+    return Status(StatusCode::kInvalidUpdate, std::move(msg));
+  }
+  static Status Untranslatable(std::string msg) {
+    return Status(StatusCode::kUntranslatable, std::move(msg));
+  }
+  static Status DataConflict(std::string msg) {
+    return Status(StatusCode::kDataConflict, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsConstraintViolation() const {
+    return code() == StatusCode::kConstraintViolation;
+  }
+  bool IsInvalidUpdate() const { return code() == StatusCode::kInvalidUpdate; }
+  bool IsUntranslatable() const {
+    return code() == StatusCode::kUntranslatable;
+  }
+  bool IsDataConflict() const { return code() == StatusCode::kDataConflict; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Message supplied when the status was created. Empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message.
+  /// No-op for OK.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define UFILTER_RETURN_NOT_OK(expr)              \
+  do {                                           \
+    ::ufilter::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace ufilter
+
+#endif  // UFILTER_COMMON_STATUS_H_

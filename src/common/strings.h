@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#ifndef UFILTER_COMMON_STRINGS_H_
+#define UFILTER_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace ufilter {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` at every occurrence of `sep` (no empty-token suppression).
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// ASCII lowercase copy.
+std::string ToLower(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace ufilter
+
+#endif  // UFILTER_COMMON_STRINGS_H_

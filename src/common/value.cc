@@ -1,0 +1,200 @@
+#include "common/value.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace ufilter {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  if (is_null()) return ValueType::kNull;
+  if (is_int()) return ValueType::kInt;
+  if (is_double()) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+double Value::AsNumber() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  return AsDouble();
+}
+
+std::string Value::ToText() const {
+  if (is_null()) return "";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    char buf[64];
+    double d = AsDouble();
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%.2f", d);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%g", d);
+    }
+    return buf;
+  }
+  return AsString();
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (is_null()) return "NULL";
+  if (is_string()) {
+    std::string out = "'";
+    for (char c : AsString()) {
+      if (c == '\'') {
+        out += "''";
+      } else {
+        out += c;
+      }
+    }
+    out += "'";
+    return out;
+  }
+  return ToText();
+}
+
+Result<Value> Value::FromText(const std::string& text, ValueType type) {
+  if (text.empty() && type != ValueType::kString) return Value::Null();
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kString:
+      return Value::String(text);
+    case ValueType::kInt: {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::ParseError("'" + text + "' is not an integer");
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size() || text.empty()) {
+        return Status::ParseError("'" + text + "' is not a number");
+      }
+      return Value::Double(v);
+    }
+  }
+  return Status::Internal("unreachable value type");
+}
+
+namespace {
+
+// Total order rank: NULL(0) < numeric(1) < string(2).
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_string()) return 2;
+  return 1;
+}
+
+}  // namespace
+
+bool Value::operator==(const Value& other) const {
+  int ra = TypeRank(*this), rb = TypeRank(other);
+  if (ra != rb) return false;
+  switch (ra) {
+    case 0:
+      return true;
+    case 1:
+      return AsNumber() == other.AsNumber();
+    default:
+      return AsString() == other.AsString();
+  }
+}
+
+bool Value::operator<(const Value& other) const {
+  int ra = TypeRank(*this), rb = TypeRank(other);
+  if (ra != rb) return ra < rb;
+  switch (ra) {
+    case 0:
+      return false;
+    case 1:
+      return AsNumber() < other.AsNumber();
+    default:
+      return AsString() < other.AsString();
+  }
+}
+
+size_t Value::Hash() const {
+  switch (TypeRank(*this)) {
+    case 0:
+      return 0x9e3779b97f4a7c15ULL;
+    case 1:
+      return std::hash<double>()(AsNumber());
+    default:
+      return std::hash<std::string>()(AsString());
+  }
+}
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNe:
+      return CompareOp::kNe;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+  }
+  return op;
+}
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return !(lhs == rhs);
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs < rhs || lhs == rhs;
+    case CompareOp::kGt:
+      return rhs < lhs;
+    case CompareOp::kGe:
+      return rhs < lhs || lhs == rhs;
+  }
+  return false;
+}
+
+}  // namespace ufilter

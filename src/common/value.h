@@ -1,0 +1,94 @@
+// Typed values flowing between the relational engine, the XML layer and the
+// checker. A Value is null, an integer, a double, or a string; DATE columns
+// store their year as an integer (all the paper's predicates on dates compare
+// years, e.g. $book/year > 1990).
+#ifndef UFILTER_COMMON_VALUE_H_
+#define UFILTER_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace ufilter {
+
+/// Column/leaf domains understood by the engine and the view ASG.
+enum class ValueType {
+  kNull,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// \brief A dynamically typed SQL value.
+///
+/// Comparison follows SQL semantics except that NULL compares equal to NULL
+/// (the engine needs a total order for keys); predicate evaluation treats any
+/// comparison against NULL as false, as SQL does.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : rep_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  ValueType type() const;
+
+  /// Requires the matching type.
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: ints widen to double. Requires is_int() or is_double().
+  double AsNumber() const;
+
+  /// Renders the value as it would appear as XML text ("" for NULL).
+  std::string ToText() const;
+
+  /// Renders the value as a SQL literal (quoted strings, NULL keyword).
+  std::string ToSqlLiteral() const;
+
+  /// Parses `text` into a value of domain `type`. Empty text maps to NULL.
+  static Result<Value> FromText(const std::string& text, ValueType type);
+
+  /// Total order used by indexes: NULL < numbers < strings; numbers compare
+  /// numerically across int/double.
+  bool operator==(const Value& other) const;
+  bool operator<(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Hash consistent with operator==.
+  size_t Hash() const;
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+/// Comparison operators usable in predicates (theta in the paper).
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpSymbol(CompareOp op);
+
+/// Flips the operator for swapped operands (a < b  <=>  b > a).
+CompareOp FlipCompareOp(CompareOp op);
+
+/// SQL predicate semantics: false if either side is NULL (except that
+/// NULL = NULL and NULL != x follow the engine's total order is NOT applied
+/// here; three-valued logic collapses unknown to false).
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+}  // namespace ufilter
+
+#endif  // UFILTER_COMMON_VALUE_H_

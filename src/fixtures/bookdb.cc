@@ -1,0 +1,265 @@
+#include "fixtures/bookdb.h"
+
+#include <array>
+
+namespace ufilter::fixtures {
+
+using relational::Database;
+using relational::DatabaseSchema;
+using relational::DeletePolicy;
+using relational::TableSchema;
+
+DatabaseSchema MakeBookSchema(DeletePolicy policy) {
+  DatabaseSchema schema;
+
+  TableSchema publisher("publisher");
+  publisher.AddColumn("pubid", ValueType::kString, true)
+      .AddColumn("pubname", ValueType::kString, true)
+      .SetPrimaryKey({"pubid"})
+      .SetUnique("pubname");
+  (void)schema.AddTable(std::move(publisher));
+
+  TableSchema book("book");
+  book.AddColumn("bookid", ValueType::kString, true)
+      .AddColumn("title", ValueType::kString, true)
+      .AddColumn("pubid", ValueType::kString)
+      .AddColumn("price", ValueType::kDouble)
+      .AddColumn("year", ValueType::kInt)
+      .SetPrimaryKey({"bookid"})
+      .AddForeignKey({{"pubid"}, "publisher", {"pubid"}, policy});
+  book.AddCheck("price", CompareOp::kGt, Value::Double(0.0));
+  (void)schema.AddTable(std::move(book));
+
+  TableSchema review("review");
+  review.AddColumn("bookid", ValueType::kString, true)
+      .AddColumn("reviewid", ValueType::kString, true)
+      .AddColumn("comment", ValueType::kString)
+      .AddColumn("reviewer", ValueType::kString)
+      .SetPrimaryKey({"bookid", "reviewid"})
+      .AddForeignKey({{"bookid"}, "book", {"bookid"}, policy});
+  (void)schema.AddTable(std::move(review));
+
+  return schema;
+}
+
+Result<std::unique_ptr<Database>> MakeBookDatabase(DeletePolicy policy) {
+  UFILTER_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                           Database::Create(MakeBookSchema(policy)));
+  auto S = [](const char* s) { return Value::String(s); };
+  UFILTER_RETURN_NOT_OK(
+      db->Insert("publisher", {S("A01"), S("McGraw-Hill Inc.")}).status());
+  UFILTER_RETURN_NOT_OK(
+      db->Insert("publisher", {S("B01"), S("Prentice-Hall Inc.")}).status());
+  UFILTER_RETURN_NOT_OK(
+      db->Insert("publisher", {S("A02"), S("Simon & Schuster Inc.")})
+          .status());
+  UFILTER_RETURN_NOT_OK(
+      db->Insert("book", {S("98001"), S("TCP/IP Illustrated"), S("A01"),
+                          Value::Double(37.00), Value::Int(1997)})
+          .status());
+  UFILTER_RETURN_NOT_OK(
+      db->Insert("book", {S("98002"), S("Programming in Unix"), S("A02"),
+                          Value::Double(45.00), Value::Int(1985)})
+          .status());
+  UFILTER_RETURN_NOT_OK(
+      db->Insert("book", {S("98003"), S("Data on the Web"), S("A01"),
+                          Value::Double(48.00), Value::Int(2004)})
+          .status());
+  UFILTER_RETURN_NOT_OK(
+      db->Insert("review", {S("98001"), S("001"),
+                            S("A good book on network."), S("William")})
+          .status());
+  UFILTER_RETURN_NOT_OK(
+      db->Insert("review", {S("98001"), S("002"),
+                            S("Useful for advanced user."), S("John")})
+          .status());
+  db->Checkpoint();
+  return db;
+}
+
+const std::string& BookViewQuery() {
+  static const std::string kQuery = R"(
+<BookView>
+FOR $book IN document("default.xml")/book/row,
+    $publisher IN document("default.xml")/publisher/row
+WHERE ($book/pubid = $publisher/pubid)
+  AND ($book/price < 50.00) AND ($book/year > 1990)
+RETURN {
+  <book>
+    $book/bookid, $book/title, $book/price,
+    <publisher>
+      $publisher/pubid, $publisher/pubname
+    </publisher>,
+    FOR $review IN document("default.xml")/review/row
+    WHERE ($book/bookid = $review/bookid)
+    RETURN {
+      <review>
+        $review/reviewid, $review/comment
+      </review>
+    }
+  </book>
+},
+FOR $publisher IN document("default.xml")/publisher/row
+RETURN {
+  <publisher>
+    $publisher/pubid, $publisher/pubname
+  </publisher>
+}
+</BookView>
+)";
+  return kQuery;
+}
+
+const std::string& BookViewNoRepublishQuery() {
+  static const std::string kQuery = R"(
+<BookView>
+FOR $book IN document("default.xml")/book/row,
+    $publisher IN document("default.xml")/publisher/row
+WHERE ($book/pubid = $publisher/pubid)
+  AND ($book/price < 50.00) AND ($book/year > 1990)
+RETURN {
+  <book>
+    $book/bookid, $book/title, $book/price,
+    <publisher>
+      $publisher/pubid, $publisher/pubname
+    </publisher>,
+    FOR $review IN document("default.xml")/review/row
+    WHERE ($book/bookid = $review/bookid)
+    RETURN {
+      <review>
+        $review/reviewid, $review/comment
+      </review>
+    }
+  </book>
+}
+</BookView>
+)";
+  return kQuery;
+}
+
+const std::string& PaperUpdate(int number) {
+  static const std::array<std::string, 14> kUpdates = {
+      // index 0 unused
+      "",
+      // u1: insert a book with an empty title and price 0.00 -> invalid
+      // (NOT NULL title, CHECK price > 0).
+      R"(FOR $root IN document("BookView.xml")
+UPDATE $root {
+  INSERT
+  <book>
+    <bookid>"98004"</bookid>
+    <title></title>
+    <price>0.00</price>
+    <publisher>
+      <pubid>A01</pubid>
+      <pubname>McGraw-Hill Inc.</pubname>
+    </publisher>
+  </book>
+})",
+      // u2: delete the publisher of book 98001 -> untranslatable
+      // (foreign-key conflict with the view structure).
+      R"(FOR $root IN document("BookView.xml"),
+    $book IN $root/book
+WHERE $book/bookid/text() = "98001"
+UPDATE $root {
+  DELETE $book/publisher
+})",
+      // u3: insert a review into a book that is not in the view -> data
+      // conflict.
+      R"(FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "DB2 Universal Database"
+UPDATE $book {
+  INSERT
+  <review>
+    <reviewid>001</reviewid>
+    <comment>Easy read and useful.</comment>
+  </review>
+})",
+      // u4: insert a book whose key already exists.
+      R"(FOR $root IN document("BookView.xml")
+UPDATE $root {
+  INSERT
+  <book>
+    <bookid>"98001"</bookid>
+    <title>"Operating Systems"</title>
+    <price>20.00</price>
+    <publisher>
+      <pubid>A01</pubid>
+      <pubname>McGraw-Hill Inc.</pubname>
+    </publisher>
+  </book>
+})",
+      // u5: delete the reviews of books costing more than $50 -> invalid
+      // (the view only contains books under $50).
+      R"(FOR $book IN document("BookView.xml")/book
+WHERE $book/price/text() > 50.00
+UPDATE $book {
+  DELETE $book/review
+})",
+      // u6: delete the bookid text -> invalid (NOT NULL / key).
+      R"(FOR $book IN document("BookView.xml")/book
+UPDATE $book {
+  DELETE $book/bookid/text()
+})",
+      // u7: insert a book without its publisher -> invalid (each book has
+      // exactly one publisher).
+      R"(FOR $root IN document("BookView.xml")
+UPDATE $root {
+  INSERT
+  <book>
+    <bookid>"98004"</bookid>
+    <title>"Operating Systems"</title>
+    <price>20.00</price>
+  </book>
+})",
+      // u8: delete the reviews of books under $40 -> unconditionally
+      // translatable.
+      R"(FOR $book IN document("BookView.xml")/book
+WHERE $book/price < 40.00
+UPDATE $book {
+  DELETE $book/review
+})",
+      // u9: delete the books over $40 -> conditionally translatable
+      // (translation minimization).
+      R"(FOR $root IN document("BookView.xml"),
+    $book = $root/book
+WHERE $book/price > 40.00
+UPDATE $root {
+  DELETE $book
+})",
+      // u10: delete the publishers of books over $40 -> untranslatable.
+      R"(FOR $book IN document("BookView.xml")/book
+WHERE $book/price > 40.00
+UPDATE $book {
+  DELETE $book/publisher
+})",
+      // u11: delete the reviews of a book that is not in the view -> data
+      // conflict (context probe empty).
+      R"(FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Programming in Unix"
+UPDATE $book {
+  DELETE $book/review
+})",
+      // u12: delete the reviews of a book that has none -> zero tuples
+      // deleted (warning, not an error).
+      R"(FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Data on the Web"
+UPDATE $book {
+  DELETE $book/review
+})",
+      // u13: insert a review into "Data on the Web" -> translatable; the
+      // probe result supplies the bookid for the translated INSERT.
+      R"(FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Data on the Web"
+UPDATE $book {
+  INSERT
+  <review>
+    <reviewid>001</reviewid>
+    <comment>Easy read and useful.</comment>
+  </review>
+})",
+  };
+  return kUpdates.at(static_cast<size_t>(number));
+}
+
+}  // namespace ufilter::fixtures

@@ -1,0 +1,36 @@
+// The paper's running example (Figs. 1-4, 10): the book/publisher/review
+// database, the BookView view query, and updates u1..u13. Shared by tests,
+// examples and benchmarks.
+#ifndef UFILTER_FIXTURES_BOOKDB_H_
+#define UFILTER_FIXTURES_BOOKDB_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace ufilter::fixtures {
+
+/// Schema of Fig. 1 (publisher, book, review) with the FK delete policy.
+relational::DatabaseSchema MakeBookSchema(
+    relational::DeletePolicy policy = relational::DeletePolicy::kCascade);
+
+/// Database of Fig. 1 with its sample tuples.
+Result<std::unique_ptr<relational::Database>> MakeBookDatabase(
+    relational::DeletePolicy policy = relational::DeletePolicy::kCascade);
+
+/// The BookView view query of Fig. 3(a).
+const std::string& BookViewQuery();
+
+/// BookView without the republished-publisher branch (the second top-level
+/// FLWR). Used to demonstrate step-3 update-point conflicts: with the full
+/// BookView a book insert is already rejected at step 2.
+const std::string& BookViewNoRepublishQuery();
+
+/// Update statements u1..u13 of Figs. 4 and 10 (1-based index).
+const std::string& PaperUpdate(int number);
+
+}  // namespace ufilter::fixtures
+
+#endif  // UFILTER_FIXTURES_BOOKDB_H_

@@ -1,0 +1,136 @@
+#include "fixtures/psd.h"
+
+namespace ufilter::fixtures {
+
+using relational::Database;
+using relational::DatabaseSchema;
+using relational::DeletePolicy;
+using relational::TableSchema;
+
+DatabaseSchema MakePsdSchema(DeletePolicy policy) {
+  DatabaseSchema schema;
+
+  TableSchema protein("protein");
+  protein.AddColumn("pid", ValueType::kString, true)
+      .AddColumn("name", ValueType::kString, true)
+      .AddColumn("organism", ValueType::kString)
+      .SetPrimaryKey({"pid"});
+  (void)schema.AddTable(std::move(protein));
+
+  TableSchema reference("reference");
+  reference.AddColumn("refid", ValueType::kString, true)
+      .AddColumn("pid", ValueType::kString)
+      .AddColumn("citation", ValueType::kString)
+      .SetPrimaryKey({"refid"})
+      .AddForeignKey({{"pid"}, "protein", {"pid"}, policy});
+  (void)schema.AddTable(std::move(reference));
+
+  TableSchema keyword("keyword");
+  keyword.AddColumn("kid", ValueType::kString, true)
+      .AddColumn("word", ValueType::kString, true)
+      .SetPrimaryKey({"kid"});
+  (void)schema.AddTable(std::move(keyword));
+
+  TableSchema annotation("annotation");
+  annotation.AddColumn("aid", ValueType::kString, true)
+      .AddColumn("pid", ValueType::kString)
+      .AddColumn("kid", ValueType::kString)
+      .AddColumn("note", ValueType::kString)
+      .SetPrimaryKey({"aid"})
+      .AddForeignKey({{"pid"}, "protein", {"pid"}, policy})
+      .AddForeignKey({{"kid"}, "keyword", {"kid"}, policy});
+  (void)schema.AddTable(std::move(annotation));
+
+  return schema;
+}
+
+Result<std::unique_ptr<Database>> MakePsdDatabase(DeletePolicy policy) {
+  UFILTER_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                           Database::Create(MakePsdSchema(policy)));
+  auto S = [](const char* s) { return Value::String(s); };
+  for (const auto& [pid, name, org] :
+       std::vector<std::tuple<const char*, const char*, const char*>>{
+           {"P001", "Hemoglobin alpha", "Homo sapiens"},
+           {"P002", "Myoglobin", "Physeter catodon"},
+           {"P003", "Lysozyme C", "Gallus gallus"}}) {
+    UFILTER_RETURN_NOT_OK(db->Insert("protein", {S(pid), S(name), S(org)})
+                              .status());
+  }
+  for (const auto& [refid, pid, cite] :
+       std::vector<std::tuple<const char*, const char*, const char*>>{
+           {"R001", "P001", "J. Mol. Biol. 1970"},
+           {"R002", "P001", "Nature 1960"},
+           {"R003", "P002", "Science 1958"}}) {
+    UFILTER_RETURN_NOT_OK(
+        db->Insert("reference", {S(refid), S(pid), S(cite)}).status());
+  }
+  for (const auto& [kid, word] :
+       std::vector<std::tuple<const char*, const char*>>{
+           {"K01", "oxygen transport"},
+           {"K02", "heme"},
+           {"K03", "hydrolase"}}) {
+    UFILTER_RETURN_NOT_OK(db->Insert("keyword", {S(kid), S(word)}).status());
+  }
+  for (const auto& [aid, pid, kid, note] :
+       std::vector<std::tuple<const char*, const char*, const char*,
+                              const char*>>{
+           {"A1", "P001", "K01", "primary function"},
+           {"A2", "P001", "K02", "binds heme"},
+           {"A3", "P002", "K01", "muscle oxygen store"},
+           {"A4", "P002", "K02", "binds heme"},
+           {"A5", "P003", "K03", "glycoside hydrolase"}}) {
+    UFILTER_RETURN_NOT_OK(
+        db->Insert("annotation", {S(aid), S(pid), S(kid), S(note)}).status());
+  }
+  db->Checkpoint();
+  return db;
+}
+
+const std::string& PsdKeywordViewQuery() {
+  // Keywords at the top, proteins nested underneath via the annotation
+  // association — nesting runs against the FK direction (annotation
+  // references both), so this view is not well-nested in the sense of
+  // Braganholo et al.
+  static const std::string kQuery = R"(
+<KeywordView>
+FOR $keyword IN document("default.xml")/keyword/row
+RETURN {
+  <keyword>
+    $keyword/kid, $keyword/word,
+    FOR $annotation IN document("default.xml")/annotation/row,
+        $protein IN document("default.xml")/protein/row
+    WHERE ($annotation/kid = $keyword/kid)
+      AND ($annotation/pid = $protein/pid)
+    RETURN {
+      <protein>
+        $protein/pid, $protein/name,
+        <annotation> $annotation/aid, $annotation/note </annotation>
+      </protein>
+    }
+  </keyword>
+}
+</KeywordView>
+)";
+  return kQuery;
+}
+
+const std::string& PsdProteinViewQuery() {
+  static const std::string kQuery = R"(
+<ProteinView>
+FOR $protein IN document("default.xml")/protein/row
+RETURN {
+  <protein>
+    $protein/pid, $protein/name, $protein/organism,
+    FOR $reference IN document("default.xml")/reference/row
+    WHERE ($reference/pid = $protein/pid)
+    RETURN {
+      <reference> $reference/refid, $reference/citation </reference>
+    }
+  </protein>
+}
+</ProteinView>
+)";
+  return kQuery;
+}
+
+}  // namespace ufilter::fixtures

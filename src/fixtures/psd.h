@@ -1,0 +1,37 @@
+// Synthetic Protein Sequence Database (Section 7.3). Mirrors the properties
+// the paper observed in the PIR PSD domain: views are NOT well-nested (the
+// nesting does not follow key/foreign-key constraints) and the SET NULL
+// delete policy is standard. The real PSD is proprietary-ish curated data;
+// this synthetic schema exercises the same checker code paths.
+#ifndef UFILTER_FIXTURES_PSD_H_
+#define UFILTER_FIXTURES_PSD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace ufilter::fixtures {
+
+/// protein(pid, name, organism), reference(refid, pid, citation),
+/// keyword(kid, word), annotation(pid, kid, note) — FKs with SET NULL where
+/// nullable, as in the paper's PSD discussion.
+relational::DatabaseSchema MakePsdSchema(
+    relational::DeletePolicy policy = relational::DeletePolicy::kSetNull);
+
+Result<std::unique_ptr<relational::Database>> MakePsdDatabase(
+    relational::DeletePolicy policy = relational::DeletePolicy::kSetNull);
+
+/// A non-well-nested view: proteins nested under keywords through the
+/// annotation association table — the nesting runs *against* the FK
+/// direction, so the well-nesting assumption of [7,8] fails while U-Filter
+/// still classifies updates.
+const std::string& PsdKeywordViewQuery();
+
+/// A protein-centric view with references nested inside proteins.
+const std::string& PsdProteinViewQuery();
+
+}  // namespace ufilter::fixtures
+
+#endif  // UFILTER_FIXTURES_PSD_H_

@@ -1,0 +1,92 @@
+#include "fixtures/synthetic.h"
+
+#include <string>
+
+namespace ufilter::fixtures {
+
+using relational::Database;
+using relational::DatabaseSchema;
+using relational::DeletePolicy;
+using relational::TableSchema;
+
+namespace {
+
+std::string T(int i) { return "t" + std::to_string(i); }
+std::string K(int i) { return "k" + std::to_string(i); }
+std::string V(int i) { return "v" + std::to_string(i); }
+std::string P(int i) { return "p" + std::to_string(i); }
+
+}  // namespace
+
+DatabaseSchema MakeChainSchema(int depth, DeletePolicy policy) {
+  DatabaseSchema schema;
+  for (int i = 0; i < depth; ++i) {
+    TableSchema table(T(i));
+    table.AddColumn(K(i), ValueType::kInt, true)
+        .AddColumn(V(i), ValueType::kString)
+        .SetPrimaryKey({K(i)});
+    if (i > 0) {
+      table.AddColumn(P(i), ValueType::kInt);
+      table.AddForeignKey({{P(i)}, T(i - 1), {K(i - 1)}, policy});
+    }
+    (void)schema.AddTable(std::move(table));
+  }
+  return schema;
+}
+
+Result<std::unique_ptr<Database>> MakeChainDatabase(int depth,
+                                                    int rows_per_level,
+                                                    DeletePolicy policy) {
+  UFILTER_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                           Database::Create(MakeChainSchema(depth, policy)));
+  for (int i = 0; i < depth; ++i) {
+    for (int r = 0; r < rows_per_level; ++r) {
+      relational::Row row;
+      row.push_back(Value::Int(r));
+      row.push_back(Value::String("level" + std::to_string(i) + "_row" +
+                                  std::to_string(r)));
+      if (i > 0) row.push_back(Value::Int(r % rows_per_level));
+      UFILTER_RETURN_NOT_OK(db->Insert(T(i), std::move(row)).status());
+    }
+  }
+  db->Checkpoint();
+  return db;
+}
+
+std::string ChainViewQuery(int depth) {
+  // Innermost-out construction of nested FLWRs.
+  std::string inner;
+  for (int i = depth - 1; i >= 0; --i) {
+    std::string flwr = "FOR $x" + std::to_string(i) +
+                       " IN document(\"default.xml\")/" + T(i) + "/row\n";
+    if (i > 0) {
+      flwr += "WHERE ($x" + std::to_string(i) + "/" + P(i) + " = $x" +
+              std::to_string(i - 1) + "/" + K(i - 1) + ")\n";
+    }
+    flwr += "RETURN {\n<e" + std::to_string(i) + "> $x" + std::to_string(i) +
+            "/" + K(i) + ", $x" + std::to_string(i) + "/" + V(i);
+    if (!inner.empty()) flwr += ",\n" + inner;
+    flwr += "\n</e" + std::to_string(i) + ">\n}";
+    inner = flwr;
+  }
+  return "<Chain>\n" + inner + "\n</Chain>";
+}
+
+std::string ChainDeleteUpdate(int level, int64_t key) {
+  std::string stmt = "FOR $root IN document(\"V.xml\")";
+  std::string parent = "root";
+  for (int i = 0; i <= level; ++i) {
+    stmt += ",\n    $e" + std::to_string(i) + " IN $" + parent + "/e" +
+            std::to_string(i);
+    parent = "e" + std::to_string(i);
+  }
+  stmt += "\nWHERE $e" + std::to_string(level) + "/k" +
+          std::to_string(level) + "/text() = " + std::to_string(key);
+  std::string anchor =
+      level == 0 ? "root" : "e" + std::to_string(level - 1);
+  stmt += "\nUPDATE $" + anchor + " {\n  DELETE $e" + std::to_string(level) +
+          "\n}";
+  return stmt;
+}
+
+}  // namespace ufilter::fixtures

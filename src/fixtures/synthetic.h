@@ -1,0 +1,37 @@
+// Synthetic scalable schemas/views for ablation studies: a chain of N
+// relations t0 <- t1 <- ... <- t(N-1) (FK pointing left) published as an
+// N-level FK-following nested view. Used to exercise the Section 7.1
+// complexity claim: STAR marking is polynomial in the *view query* size and
+// independent of the database size.
+#ifndef UFILTER_FIXTURES_SYNTHETIC_H_
+#define UFILTER_FIXTURES_SYNTHETIC_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace ufilter::fixtures {
+
+/// t<i>(k<i> PK, v<i>, p<i> FK -> t<i-1>.k<i-1>).
+relational::DatabaseSchema MakeChainSchema(
+    int depth,
+    relational::DeletePolicy policy = relational::DeletePolicy::kCascade);
+
+/// Populates each level with `rows_per_level` rows; row r of level i
+/// references row r % rows of level i-1.
+Result<std::unique_ptr<relational::Database>> MakeChainDatabase(
+    int depth, int rows_per_level,
+    relational::DeletePolicy policy = relational::DeletePolicy::kCascade);
+
+/// <Chain> with N nested FLWRs following the FKs; every internal node is
+/// (clean | safe-delete, safe-insert).
+std::string ChainViewQuery(int depth);
+
+/// Delete of the element at `level` (0-based) with key `key`.
+std::string ChainDeleteUpdate(int level, int64_t key);
+
+}  // namespace ufilter::fixtures
+
+#endif  // UFILTER_FIXTURES_SYNTHETIC_H_

@@ -1,0 +1,167 @@
+#include "fixtures/tpch_views.h"
+
+#include <map>
+
+namespace ufilter::fixtures {
+
+namespace {
+
+/// The FK-following linear chain body shared by Vsuccess/Vlinear/Vfail.
+const char* kChainBody = R"(
+FOR $region IN document("default.xml")/region/row
+RETURN {
+ <region>
+  $region/r_regionkey, $region/r_name,
+  FOR $nation IN document("default.xml")/nation/row
+  WHERE ($nation/n_regionkey = $region/r_regionkey)
+  RETURN {
+   <nation>
+    $nation/n_nationkey, $nation/n_name,
+    FOR $customer IN document("default.xml")/customer/row
+    WHERE ($customer/c_nationkey = $nation/n_nationkey)
+    RETURN {
+     <customer>
+      $customer/c_custkey, $customer/c_name,
+      FOR $order IN document("default.xml")/orders/row
+      WHERE ($order/o_custkey = $customer/c_custkey)
+      RETURN {
+       <order>
+        $order/o_orderkey, $order/o_totalprice,
+        FOR $lineitem IN document("default.xml")/lineitem/row
+        WHERE ($lineitem/l_orderkey = $order/o_orderkey)
+        RETURN {
+         <lineitem>
+          $lineitem/l_linenumber, $lineitem/l_quantity, $lineitem/l_shipmode
+         </lineitem>
+        }
+       </order>
+      }
+     </customer>
+    }
+   </nation>
+  }
+ </region>
+}
+)";
+
+/// Attributes projected by the republished branch per relation.
+const std::map<std::string, std::pair<std::string, std::string>>&
+RepublishAttrs() {
+  static const std::map<std::string, std::pair<std::string, std::string>>
+      kAttrs = {
+          {"region", {"r_regionkey", "r_name"}},
+          {"nation", {"n_nationkey", "n_name"}},
+          {"customer", {"c_custkey", "c_name"}},
+          {"orders", {"o_orderkey", "o_totalprice"}},
+          {"lineitem", {"l_linenumber", "l_quantity"}},
+      };
+  return kAttrs;
+}
+
+}  // namespace
+
+const std::string& VSuccessQuery() {
+  static const std::string kQuery =
+      "<Vsuccess>" + std::string(kChainBody) + "</Vsuccess>";
+  return kQuery;
+}
+
+const std::string& VLinearQuery() {
+  static const std::string kQuery =
+      "<Vlinear>" + std::string(kChainBody) + "</Vlinear>";
+  return kQuery;
+}
+
+std::string VFailQuery(const std::string& relation) {
+  auto it = RepublishAttrs().find(relation);
+  const auto& attrs = it != RepublishAttrs().end()
+                          ? it->second
+                          : RepublishAttrs().at("region");
+  std::string republish = ",\nFOR $dup IN document(\"default.xml\")/" +
+                          relation + "/row\nRETURN {\n <duplist>\n  $dup/" +
+                          attrs.first + ", $dup/" + attrs.second +
+                          "\n </duplist>\n}\n";
+  return "<Vfail>" + std::string(kChainBody) + republish + "</Vfail>";
+}
+
+const std::string& VBushQuery() {
+  static const std::string kQuery = R"(
+<Vbush>
+FOR $region IN document("default.xml")/region/row,
+    $nation IN document("default.xml")/nation/row
+WHERE ($nation/n_regionkey = $region/r_regionkey)
+RETURN {
+ <nation>
+  $region/r_regionkey, $region/r_name,
+  $nation/n_nationkey, $nation/n_name,
+  FOR $customer IN document("default.xml")/customer/row,
+      $order IN document("default.xml")/orders/row
+  WHERE ($customer/c_nationkey = $nation/n_nationkey)
+    AND ($order/o_custkey = $customer/c_custkey)
+  RETURN {
+   <order>
+    $customer/c_custkey, $customer/c_name,
+    $order/o_orderkey, $order/o_totalprice,
+    FOR $lineitem IN document("default.xml")/lineitem/row
+    WHERE ($lineitem/l_orderkey = $order/o_orderkey)
+    RETURN {
+     <lineitem>
+      $lineitem/l_linenumber, $lineitem/l_quantity, $lineitem/l_shipmode
+     </lineitem>
+    }
+   </order>
+  }
+ </nation>
+}
+</Vbush>
+)";
+  return kQuery;
+}
+
+std::string DeleteElementUpdate(const std::string& relation_tag,
+                                int64_t key_value) {
+  struct Level {
+    const char* tag;
+    const char* key;
+  };
+  static const Level kLevels[] = {
+      {"region", "r_regionkey"},   {"nation", "n_nationkey"},
+      {"customer", "c_custkey"},   {"order", "o_orderkey"},
+      {"lineitem", "l_linenumber"},
+  };
+  // FOR bindings down to the victim's parent; the victim is bound last.
+  std::string stmt = "FOR $root IN document(\"V.xml\")";
+  std::string parent = "root";
+  std::string victim_tag;
+  std::string key_col;
+  for (const Level& level : kLevels) {
+    stmt += ",\n    $" + std::string(level.tag) + " IN $" + parent + "/" +
+            level.tag;
+    victim_tag = level.tag;
+    key_col = level.key;
+    if (relation_tag == level.tag) break;
+    parent = level.tag;
+  }
+  // Lineitem elements carry no l_orderkey leaf: key on the line number and
+  // pin the enclosing order so exactly one element matches.
+  stmt += "\nWHERE $" + victim_tag + "/" + key_col +
+          "/text() = " + std::to_string(key_value);
+  if (relation_tag == "lineitem") {
+    stmt += " AND $order/o_orderkey/text() = 0";
+  }
+  stmt += "\nUPDATE $" + parent + " {\n  DELETE $" + victim_tag + "\n}";
+  return stmt;
+}
+
+std::string InsertLineitemUpdate(int64_t order_key, int64_t line_number) {
+  return "FOR $order IN "
+         "document(\"V.xml\")/region/nation/customer/order\n"
+         "WHERE $order/o_orderkey/text() = " +
+         std::to_string(order_key) +
+         "\nUPDATE $order {\n  INSERT\n  <lineitem>\n    <l_linenumber>" +
+         std::to_string(line_number) +
+         "</l_linenumber>\n    <l_quantity>5</l_quantity>\n    "
+         "<l_shipmode>AIR</l_shipmode>\n  </lineitem>\n}";
+  }
+
+}  // namespace ufilter::fixtures

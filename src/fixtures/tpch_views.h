@@ -1,0 +1,38 @@
+// View queries over the TPC-H-like schema used by the paper's evaluation
+// (Section 7.2): Vsuccess (FK-following nesting, all updates unconditional),
+// Vfail (REGION republished under the root, region deletes untranslatable),
+// Vlinear (the same linear chain, used by Figs. 15/17) and Vbush (relations
+// grouped "evenly", used by Fig. 16).
+#ifndef UFILTER_FIXTURES_TPCH_VIEWS_H_
+#define UFILTER_FIXTURES_TPCH_VIEWS_H_
+
+#include <string>
+
+namespace ufilter::fixtures {
+
+/// REGION > NATION > CUSTOMER > ORDER > LINEITEM, nested along the FKs.
+const std::string& VSuccessQuery();
+
+/// Vsuccess plus `relation` ("region", "nation", "customer", "orders",
+/// "lineitem") published a second time under the root — deleting that
+/// relation's chain element becomes untranslatable (Fig. 14's setup).
+std::string VFailQuery(const std::string& relation);
+
+/// Alias of the linear chain nesting (the paper's Vlinear).
+const std::string& VLinearQuery();
+
+/// "Even" grouping: (region+nation) > (customer+orders) > lineitem.
+const std::string& VBushQuery();
+
+/// The delete statement over the element publishing `relation_tag`
+/// ("region", "nation", "customer", "order", "lineitem") with the given key.
+std::string DeleteElementUpdate(const std::string& relation_tag,
+                                int64_t key_value);
+
+/// Insert of a new lineitem element into the deepest order element matching
+/// `order_key` (Fig. 15's workload).
+std::string InsertLineitemUpdate(int64_t order_key, int64_t line_number);
+
+}  // namespace ufilter::fixtures
+
+#endif  // UFILTER_FIXTURES_TPCH_VIEWS_H_

@@ -1,0 +1,573 @@
+#include "relational/database.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ufilter::relational {
+
+namespace {
+
+size_t HashValues(const Row& row, const std::vector<int>& cols) {
+  size_t h = 0x345678;
+  for (int c : cols) {
+    h = h * 1000003 ^ row[static_cast<size_t>(c)].Hash();
+  }
+  return h;
+}
+
+bool ValuesEqual(const Row& a, const Row& b, const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (!(a[static_cast<size_t>(c)] == b[static_cast<size_t>(c)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AnyNull(const Row& row, const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (row[static_cast<size_t>(c)].is_null()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Table ---
+
+Table::Table(const TableSchema* schema) : schema_(schema) {
+  // Unique index over the primary key.
+  if (!schema_->primary_key().empty()) {
+    Index idx;
+    idx.unique = true;
+    for (const std::string& c : schema_->primary_key()) {
+      idx.column_idx.push_back(schema_->ColumnIndex(c));
+    }
+    indexes_.push_back(std::move(idx));
+  }
+  // Unique index per UNIQUE column.
+  for (size_t i = 0; i < schema_->columns().size(); ++i) {
+    if (schema_->columns()[i].unique) {
+      Index idx;
+      idx.unique = true;
+      idx.column_idx.push_back(static_cast<int>(i));
+      indexes_.push_back(std::move(idx));
+    }
+  }
+  // Non-unique index per foreign key column set.
+  for (const ForeignKey& fk : schema_->foreign_keys()) {
+    Index idx;
+    idx.unique = false;
+    for (const std::string& c : fk.columns) {
+      idx.column_idx.push_back(schema_->ColumnIndex(c));
+    }
+    // Skip if it duplicates the PK index column set.
+    bool dup = false;
+    for (const Index& existing : indexes_) {
+      if (existing.column_idx == idx.column_idx) dup = true;
+    }
+    if (!dup) indexes_.push_back(std::move(idx));
+  }
+}
+
+const Row* Table::GetRow(RowId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= rows_.size()) return nullptr;
+  const auto& slot = rows_[static_cast<size_t>(id)];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+std::vector<RowId> Table::AllRowIds() const {
+  std::vector<RowId> out;
+  out.reserve(live_count_);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].has_value()) out.push_back(static_cast<RowId>(i));
+  }
+  return out;
+}
+
+const Table::Index* Table::FindIndexFor(const std::string& column) const {
+  int target = schema_->ColumnIndex(column);
+  if (target < 0) return nullptr;
+  for (const Index& idx : indexes_) {
+    if (idx.column_idx.size() == 1 && idx.column_idx[0] == target) {
+      return &idx;
+    }
+  }
+  return nullptr;
+}
+
+bool Table::HasIndexOn(const std::string& column) const {
+  return FindIndexFor(column) != nullptr;
+}
+
+std::vector<RowId> Table::Find(const std::vector<ColumnPredicate>& preds,
+                               EngineStats* stats) const {
+  // Try to drive with a single-column index on an equality predicate.
+  const Index* driver = nullptr;
+  const ColumnPredicate* driver_pred = nullptr;
+  for (const ColumnPredicate& p : preds) {
+    if (p.op != CompareOp::kEq) continue;
+    if (const Index* idx = FindIndexFor(p.column)) {
+      driver = idx;
+      driver_pred = &p;
+      break;
+    }
+  }
+
+  std::vector<RowId> candidates;
+  if (driver != nullptr) {
+    if (stats != nullptr) stats->index_lookups++;
+    Row probe(schema_->columns().size());
+    probe[static_cast<size_t>(driver->column_idx[0])] = driver_pred->literal;
+    size_t h = HashValues(probe, driver->column_idx);
+    auto range = driver->map.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      const Row* row = GetRow(it->second);
+      if (row != nullptr && ValuesEqual(*row, probe, driver->column_idx)) {
+        candidates.push_back(it->second);
+      }
+    }
+  } else {
+    candidates = AllRowIds();
+    if (stats != nullptr) stats->rows_scanned += candidates.size();
+  }
+
+  std::vector<RowId> out;
+  for (RowId id : candidates) {
+    const Row* row = GetRow(id);
+    if (row == nullptr) continue;
+    bool match = true;
+    for (const ColumnPredicate& p : preds) {
+      int c = schema_->ColumnIndex(p.column);
+      if (c < 0 ||
+          !EvalCompare((*row)[static_cast<size_t>(c)], p.op, p.literal)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RowId Table::AppendRow(Row row) {
+  rows_.emplace_back(std::move(row));
+  RowId id = static_cast<RowId>(rows_.size() - 1);
+  IndexInsert(id, *rows_.back());
+  ++live_count_;
+  return id;
+}
+
+void Table::EraseRow(RowId id) {
+  auto& slot = rows_[static_cast<size_t>(id)];
+  if (!slot.has_value()) return;
+  IndexErase(id, *slot);
+  slot.reset();
+  --live_count_;
+}
+
+void Table::RestoreRow(RowId id, Row row) {
+  auto& slot = rows_[static_cast<size_t>(id)];
+  slot = std::move(row);
+  IndexInsert(id, *slot);
+  ++live_count_;
+}
+
+void Table::OverwriteRow(RowId id, Row row) {
+  auto& slot = rows_[static_cast<size_t>(id)];
+  if (slot.has_value()) IndexErase(id, *slot);
+  slot = std::move(row);
+  IndexInsert(id, *slot);
+}
+
+size_t Table::IndexKeyHash(const Index& index, const Row& row) const {
+  return HashValues(row, index.column_idx);
+}
+
+void Table::IndexInsert(RowId id, const Row& row) {
+  for (Index& idx : indexes_) {
+    idx.map.emplace(IndexKeyHash(idx, row), id);
+  }
+}
+
+void Table::IndexErase(RowId id, const Row& row) {
+  for (Index& idx : indexes_) {
+    auto range = idx.map.equal_range(IndexKeyHash(idx, row));
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == id) {
+        idx.map.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+RowId Table::FindUniqueConflict(const Row& row, RowId self) const {
+  for (const Index& idx : indexes_) {
+    if (!idx.unique) continue;
+    if (AnyNull(row, idx.column_idx)) continue;  // NULL never conflicts
+    auto range = idx.map.equal_range(HashValues(row, idx.column_idx));
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == self) continue;
+      const Row* other = GetRow(it->second);
+      if (other != nullptr && ValuesEqual(*other, row, idx.column_idx)) {
+        return it->second;
+      }
+    }
+  }
+  return -1;
+}
+
+// ------------------------------------------------------------- Database ---
+
+Database::Database(DatabaseSchema schema) : schema_(std::move(schema)) {
+  tables_.reserve(schema_.tables().size());
+  for (size_t i = 0; i < schema_.tables().size(); ++i) {
+    tables_.emplace_back(&schema_.tables()[i]);
+    table_index_[schema_.tables()[i].name()] = i;
+  }
+}
+
+Result<std::unique_ptr<Database>> Database::Create(DatabaseSchema schema) {
+  UFILTER_RETURN_NOT_OK(schema.Validate());
+  return std::unique_ptr<Database>(new Database(std::move(schema)));
+}
+
+Table* Database::TableByName(const std::string& name) {
+  auto it = table_index_.find(name);
+  if (it != table_index_.end()) return &tables_[it->second];
+  auto tt = temp_tables_.find(name);
+  if (tt != temp_tables_.end()) return tt->second.get();
+  return nullptr;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  Table* t = TableByName(name);
+  if (t == nullptr) return Status::NotFound("no table '" + name + "'");
+  return t;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  const Table* t = const_cast<Database*>(this)->TableByName(name);
+  if (t == nullptr) return Status::NotFound("no table '" + name + "'");
+  return t;
+}
+
+Status Database::CheckRowConstraints(const TableSchema& schema,
+                                     const Row& row) const {
+  if (row.size() != schema.columns().size()) {
+    return Status::InvalidArgument(
+        "row arity mismatch for table '" + schema.name() + "': got " +
+        std::to_string(row.size()) + ", want " +
+        std::to_string(schema.columns().size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = schema.columns()[i];
+    const Value& v = row[i];
+    if (col.not_null && v.is_null()) {
+      return Status::ConstraintViolation("column '" + schema.name() + "." +
+                                         col.name + "' is NOT NULL");
+    }
+    if (!v.is_null()) {
+      // Domain check: strings into numeric columns are rejected; ints widen
+      // into double columns.
+      bool domain_ok = true;
+      switch (col.type) {
+        case ValueType::kInt:
+          domain_ok = v.is_int();
+          break;
+        case ValueType::kDouble:
+          domain_ok = v.is_int() || v.is_double();
+          break;
+        case ValueType::kString:
+          domain_ok = v.is_string();
+          break;
+        case ValueType::kNull:
+          domain_ok = false;
+          break;
+      }
+      if (!domain_ok) {
+        return Status::ConstraintViolation(
+            "value " + v.ToSqlLiteral() + " out of domain " +
+            ValueTypeName(col.type) + " for '" + schema.name() + "." +
+            col.name + "'");
+      }
+    }
+    for (const CheckPredicate& chk : col.checks) {
+      if (!chk.Admits(v)) {
+        return Status::ConstraintViolation(
+            "CHECK (" + chk.ToString(schema.name() + "." + col.name) +
+            ") violated by " + v.ToSqlLiteral());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::CheckForeignKeysExist(const TableSchema& schema,
+                                       const Row& row) {
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    std::vector<ColumnPredicate> preds;
+    bool any_null = false;
+    for (size_t i = 0; i < fk.columns.size(); ++i) {
+      int c = schema.ColumnIndex(fk.columns[i]);
+      const Value& v = row[static_cast<size_t>(c)];
+      if (v.is_null()) {
+        any_null = true;
+        break;
+      }
+      preds.push_back({fk.ref_columns[i], CompareOp::kEq, v});
+    }
+    if (any_null) continue;  // NULL FKs reference nothing
+    UFILTER_ASSIGN_OR_RETURN(Table * ref, GetTable(fk.ref_table));
+    if (ref->Find(preds, &stats_).empty()) {
+      std::vector<std::string> vals;
+      for (const auto& p : preds) vals.push_back(p.literal.ToSqlLiteral());
+      return Status::ConstraintViolation(
+          "FK violation: " + schema.name() + " -> " + fk.ref_table + " (" +
+          Join(vals, ", ") + ") has no referenced row");
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Database::Insert(const std::string& table, Row row) {
+  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  UFILTER_RETURN_NOT_OK(CheckRowConstraints(t->schema(), row));
+  if (!IsTempTable(table)) {
+    UFILTER_RETURN_NOT_OK(CheckForeignKeysExist(t->schema(), row));
+  }
+  RowId conflict = t->FindUniqueConflict(row, -1);
+  if (conflict >= 0) {
+    return Status::ConstraintViolation("unique key violation on table '" +
+                                       table + "'");
+  }
+  RowId id = t->AppendRow(std::move(row));
+  undo_log_.push_back({UndoKind::kInsert, table, id, {}});
+  stats_.rows_inserted++;
+  stats_.undo_records++;
+  return id;
+}
+
+Result<RowId> Database::InsertValues(
+    const std::string& table, const std::map<std::string, Value>& values) {
+  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  Row row(t->schema().columns().size());
+  for (const auto& [name, value] : values) {
+    int c = t->schema().ColumnIndex(name);
+    if (c < 0) {
+      return Status::NotFound("no column '" + name + "' in '" + table + "'");
+    }
+    row[static_cast<size_t>(c)] = value;
+  }
+  return Insert(table, std::move(row));
+}
+
+Status Database::DeleteRowInternal(Table* table, RowId id,
+                                   DeleteOutcome* outcome) {
+  const Row* row_ptr = table->GetRow(id);
+  if (row_ptr == nullptr) return Status::OK();
+  Row row = *row_ptr;  // copy before erasing
+  const std::string& table_name = table->schema().name();
+
+  // Handle referencing tables first (policy-driven).
+  for (const TableSchema& other : schema_.tables()) {
+    for (const ForeignKey& fk : other.foreign_keys()) {
+      if (fk.ref_table != table_name) continue;
+      std::vector<ColumnPredicate> preds;
+      bool any_null = false;
+      for (size_t i = 0; i < fk.columns.size(); ++i) {
+        int rc = table->schema().ColumnIndex(fk.ref_columns[i]);
+        const Value& v = row[static_cast<size_t>(rc)];
+        if (v.is_null()) any_null = true;
+        preds.push_back({fk.columns[i], CompareOp::kEq, v});
+      }
+      if (any_null) continue;
+      UFILTER_ASSIGN_OR_RETURN(Table * ref_table, GetTable(other.name()));
+      std::vector<RowId> referencing = ref_table->Find(preds, &stats_);
+      if (referencing.empty()) continue;
+      switch (fk.on_delete) {
+        case DeletePolicy::kRestrict:
+          return Status::ConstraintViolation(
+              "delete from '" + table_name + "' restricted: referenced by '" +
+              other.name() + "'");
+        case DeletePolicy::kCascade:
+          for (RowId rid : referencing) {
+            UFILTER_RETURN_NOT_OK(DeleteRowInternal(ref_table, rid, outcome));
+          }
+          break;
+        case DeletePolicy::kSetNull: {
+          for (RowId rid : referencing) {
+            const Row* old = ref_table->GetRow(rid);
+            if (old == nullptr) continue;
+            Row updated = *old;
+            bool possible = true;
+            for (const std::string& c : fk.columns) {
+              int ci = other.ColumnIndex(c);
+              if (other.columns()[static_cast<size_t>(ci)].not_null) {
+                possible = false;
+              }
+              updated[static_cast<size_t>(ci)] = Value::Null();
+            }
+            if (!possible) {
+              // SET NULL impossible on NOT NULL FK; fall back to cascade to
+              // preserve integrity.
+              UFILTER_RETURN_NOT_OK(
+                  DeleteRowInternal(ref_table, rid, outcome));
+              continue;
+            }
+            undo_log_.push_back(
+                {UndoKind::kUpdate, other.name(), rid, *old});
+            stats_.undo_records++;
+            ref_table->OverwriteRow(rid, std::move(updated));
+            stats_.rows_updated++;
+            outcome->nulled_rows++;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // The row may have been cascade-deleted through a cycle; re-check.
+  if (table->GetRow(id) == nullptr) return Status::OK();
+  undo_log_.push_back({UndoKind::kDelete, table_name, id, row});
+  stats_.undo_records++;
+  table->EraseRow(id);
+  stats_.rows_deleted++;
+  outcome->deleted_rows++;
+  outcome->affected.push_back({table_name, id});
+  return Status::OK();
+}
+
+Result<DeleteOutcome> Database::DeleteWhere(
+    const std::string& table, const std::vector<ColumnPredicate>& preds) {
+  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  DeleteOutcome outcome;
+  size_t mark = Begin();
+  for (RowId id : t->Find(preds, &stats_)) {
+    Status st = DeleteRowInternal(t, id, &outcome);
+    if (!st.ok()) {
+      Rollback(mark);
+      return st;
+    }
+  }
+  Commit(mark);
+  return outcome;
+}
+
+Result<DeleteOutcome> Database::DeleteRow(const std::string& table, RowId id) {
+  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  DeleteOutcome outcome;
+  size_t mark = Begin();
+  Status st = DeleteRowInternal(t, id, &outcome);
+  if (!st.ok()) {
+    Rollback(mark);
+    return st;
+  }
+  Commit(mark);
+  return outcome;
+}
+
+Result<int64_t> Database::UpdateWhere(
+    const std::string& table, const std::map<std::string, Value>& assignments,
+    const std::vector<ColumnPredicate>& preds) {
+  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  const TableSchema& schema = t->schema();
+  for (const auto& [name, value] : assignments) {
+    (void)value;
+    if (!schema.HasColumn(name)) {
+      return Status::NotFound("no column '" + name + "' in '" + table + "'");
+    }
+  }
+  int64_t updated = 0;
+  size_t mark = Begin();
+  for (RowId id : t->Find(preds, &stats_)) {
+    const Row* old = t->GetRow(id);
+    if (old == nullptr) continue;
+    Row next = *old;
+    for (const auto& [name, value] : assignments) {
+      next[static_cast<size_t>(schema.ColumnIndex(name))] = value;
+    }
+    Status st = CheckRowConstraints(schema, next);
+    if (st.ok() && !IsTempTable(table)) {
+      st = CheckForeignKeysExist(schema, next);
+    }
+    if (st.ok()) {
+      RowId conflict = t->FindUniqueConflict(next, id);
+      if (conflict >= 0) {
+        st = Status::ConstraintViolation("unique key violation on table '" +
+                                         table + "'");
+      }
+    }
+    if (!st.ok()) {
+      Rollback(mark);
+      return st;
+    }
+    undo_log_.push_back({UndoKind::kUpdate, table, id, *old});
+    stats_.undo_records++;
+    t->OverwriteRow(id, std::move(next));
+    stats_.rows_updated++;
+    ++updated;
+  }
+  Commit(mark);
+  return updated;
+}
+
+size_t Database::Begin() { return undo_log_.size(); }
+
+void Database::Commit(size_t mark) {
+  // Committing keeps the undo records so an outer savepoint can still undo
+  // them; only an explicit Checkpoint truncates the log.
+  (void)mark;
+}
+
+void Database::Rollback(size_t mark) {
+  while (undo_log_.size() > mark) {
+    UndoRecord rec = std::move(undo_log_.back());
+    undo_log_.pop_back();
+    Table* t = TableByName(rec.table);
+    if (t == nullptr) continue;  // temp table dropped meanwhile
+    switch (rec.kind) {
+      case UndoKind::kInsert:
+        t->EraseRow(rec.row_id);
+        break;
+      case UndoKind::kDelete:
+        t->RestoreRow(rec.row_id, std::move(rec.old_row));
+        break;
+      case UndoKind::kUpdate:
+        t->OverwriteRow(rec.row_id, std::move(rec.old_row));
+        break;
+    }
+  }
+}
+
+Result<Table*> Database::CreateTempTable(TableSchema schema) {
+  std::string name = schema.name();
+  if (table_index_.count(name) > 0 || temp_tables_.count(name) > 0) {
+    return Status::InvalidArgument("table '" + name + "' already exists");
+  }
+  temp_schemas_[name] = std::move(schema);
+  auto table = std::make_unique<Table>(&temp_schemas_[name]);
+  Table* raw = table.get();
+  temp_tables_[name] = std::move(table);
+  return raw;
+}
+
+Status Database::DropTempTable(const std::string& name) {
+  if (temp_tables_.erase(name) == 0) {
+    return Status::NotFound("no temp table '" + name + "'");
+  }
+  temp_schemas_.erase(name);
+  return Status::OK();
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const Table& t : tables_) total += t.live_row_count();
+  return total;
+}
+
+}  // namespace ufilter::relational

@@ -1,0 +1,218 @@
+// In-memory relational database: tables with stable row ids, hash indexes on
+// keys, constraint-enforcing insert/delete/update, FK delete policies
+// (CASCADE / SET NULL / RESTRICT) and undo-log transactions with rollback.
+//
+// This is the "data storage / Oracle" box of Fig. 5: the substrate U-Filter
+// issues probe queries and translated SQL updates against.
+#ifndef UFILTER_RELATIONAL_DATABASE_H_
+#define UFILTER_RELATIONAL_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "relational/schema.h"
+
+namespace ufilter::relational {
+
+/// A tuple. Values are positional, aligned with TableSchema::columns().
+using Row = std::vector<Value>;
+
+/// Stable identifier of a row slot within its table (the engine's ROWID).
+using RowId = int64_t;
+
+/// Conjunct of a single-table filter: `column <op> literal`.
+struct ColumnPredicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+
+  std::string ToString() const {
+    return column + " " + CompareOpSymbol(op) + " " + literal.ToSqlLiteral();
+  }
+};
+
+/// Cumulative work counters; benchmarks and tests read these to observe the
+/// cost asymmetries the paper's figures rely on (index lookups vs. scans).
+struct EngineStats {
+  uint64_t rows_scanned = 0;
+  uint64_t index_lookups = 0;
+  uint64_t rows_inserted = 0;
+  uint64_t rows_deleted = 0;
+  uint64_t rows_updated = 0;
+  uint64_t undo_records = 0;
+
+  void Reset() { *this = EngineStats(); }
+};
+
+/// \brief One table's storage: tombstoned row slots plus hash indexes.
+///
+/// An index is built over the primary key (unique), over every UNIQUE column
+/// (unique) and over every foreign-key column set (non-unique). Tables
+/// created without keys (materialized probe results) have no indexes and are
+/// always scanned.
+class Table {
+ public:
+  explicit Table(const TableSchema* schema);
+
+  const TableSchema& schema() const { return *schema_; }
+  size_t live_row_count() const { return live_count_; }
+
+  /// Returns the row at `id` or nullptr when out of range / deleted.
+  const Row* GetRow(RowId id) const;
+  bool IsLive(RowId id) const { return GetRow(id) != nullptr; }
+
+  /// All live row ids in insertion order.
+  std::vector<RowId> AllRowIds() const;
+
+  /// Row ids matching all `preds` (conjunction). Uses a unique/non-unique
+  /// index when one covers an equality predicate; otherwise scans.
+  std::vector<RowId> Find(const std::vector<ColumnPredicate>& preds,
+                          EngineStats* stats) const;
+
+  /// True if an index exists whose leading column is `column`.
+  bool HasIndexOn(const std::string& column) const;
+
+ private:
+  friend class Database;
+
+  struct Index {
+    std::vector<int> column_idx;
+    bool unique = false;
+    std::unordered_multimap<size_t, RowId> map;
+  };
+
+  // Storage-level mutation; constraint checks live in Database.
+  RowId AppendRow(Row row);
+  void EraseRow(RowId id);
+  void RestoreRow(RowId id, Row row);
+  void OverwriteRow(RowId id, Row row);
+
+  size_t IndexKeyHash(const Index& index, const Row& row) const;
+  void IndexInsert(RowId id, const Row& row);
+  void IndexErase(RowId id, const Row& row);
+  /// Finds a unique-index collision for `row` (other than `self`), or -1.
+  RowId FindUniqueConflict(const Row& row, RowId self) const;
+  const Index* FindIndexFor(const std::string& column) const;
+
+  const TableSchema* schema_;
+  std::vector<std::optional<Row>> rows_;
+  size_t live_count_ = 0;
+  std::vector<Index> indexes_;
+};
+
+/// Identifies one affected row of an executed update (used by tests and the
+/// translation engine to report what happened).
+struct AffectedRow {
+  std::string table;
+  RowId row_id;
+};
+
+/// Outcome of a delete: how many rows went away per table (cascades count).
+struct DeleteOutcome {
+  int64_t deleted_rows = 0;   ///< total rows removed across tables
+  int64_t nulled_rows = 0;    ///< rows whose FK columns were SET NULL
+  std::vector<AffectedRow> affected;
+};
+
+/// \brief The database: schema + tables + transaction log.
+///
+/// All mutating calls are recorded in the active transaction's undo log (a
+/// transaction is always active; `Begin` marks a savepoint, `Rollback`
+/// rewinds to the latest savepoint). This mirrors what the Fig. 14 baseline
+/// needs: blind translation, side-effect detection, rollback.
+class Database {
+ public:
+  /// Validates and adopts the schema, creating empty tables.
+  static Result<std::unique_ptr<Database>> Create(DatabaseSchema schema);
+
+  const DatabaseSchema& schema() const { return schema_; }
+  EngineStats& stats() { return stats_; }
+
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Inserts a row, enforcing NOT NULL, CHECK, PK/UNIQUE and FK existence.
+  Result<RowId> Insert(const std::string& table, Row row);
+
+  /// Inserts from a column-name/value mapping; missing columns become NULL.
+  Result<RowId> InsertValues(const std::string& table,
+                             const std::map<std::string, Value>& values);
+
+  /// Deletes all rows matching `preds`, honoring FK delete policies
+  /// transitively. kRestrict aborts the whole delete with
+  /// ConstraintViolation (nothing is applied thanks to the undo log).
+  Result<DeleteOutcome> DeleteWhere(const std::string& table,
+                                    const std::vector<ColumnPredicate>& preds);
+
+  /// Deletes one row by id (same policy handling).
+  Result<DeleteOutcome> DeleteRow(const std::string& table, RowId id);
+
+  /// Sets `assignments` on all rows matching `preds`; enforces the same
+  /// constraints as Insert. Returns the number of rows updated.
+  Result<int64_t> UpdateWhere(const std::string& table,
+                              const std::map<std::string, Value>& assignments,
+                              const std::vector<ColumnPredicate>& preds);
+
+  // --- Transactions (single-writer, nested savepoints) ---
+
+  /// Marks a savepoint; returns its handle.
+  size_t Begin();
+  /// Releases savepoint `mark`, keeping the changes. Undo records are
+  /// retained so an *outer* savepoint can still roll them back; call
+  /// `Checkpoint` to discard the log once no savepoint is outstanding.
+  void Commit(size_t mark);
+  /// Undoes everything back to savepoint `mark`.
+  void Rollback(size_t mark);
+  /// Declares the current state durable: clears the whole undo log.
+  /// Invalidates all outstanding savepoints.
+  void Checkpoint() { undo_log_.clear(); }
+  /// Number of undo records currently held (for tests).
+  size_t undo_log_size() const { return undo_log_.size(); }
+
+  /// Creates an index-free scratch table (materialized probe results; the
+  /// paper's "TAB_book"). The table lives until DropTempTable.
+  Result<Table*> CreateTempTable(TableSchema schema);
+  Status DropTempTable(const std::string& name);
+  bool IsTempTable(const std::string& name) const {
+    return temp_tables_.count(name) > 0;
+  }
+
+  /// Total live rows over all permanent tables (scale reporting in benches).
+  size_t TotalRows() const;
+
+ private:
+  explicit Database(DatabaseSchema schema);
+
+  enum class UndoKind { kInsert, kDelete, kUpdate };
+  struct UndoRecord {
+    UndoKind kind;
+    std::string table;
+    RowId row_id;
+    Row old_row;  // for kDelete / kUpdate
+  };
+
+  Status CheckRowConstraints(const TableSchema& schema, const Row& row) const;
+  Status CheckForeignKeysExist(const TableSchema& schema, const Row& row);
+  // Recursive policy-driven delete. Appends to outcome.
+  Status DeleteRowInternal(Table* table, RowId id, DeleteOutcome* outcome);
+
+  Table* TableByName(const std::string& name);
+
+  DatabaseSchema schema_;
+  std::vector<Table> tables_;                       // aligned with schema_
+  std::map<std::string, size_t> table_index_;
+  std::map<std::string, std::unique_ptr<Table>> temp_tables_;
+  std::map<std::string, TableSchema> temp_schemas_;
+  std::vector<UndoRecord> undo_log_;
+  EngineStats stats_;
+};
+
+}  // namespace ufilter::relational
+
+#endif  // UFILTER_RELATIONAL_DATABASE_H_

@@ -1,0 +1,94 @@
+// Conjunctive select-project-join queries and their evaluator. This is the
+// fragment U-Filter needs: view queries compose into SPJ probe queries
+// (Section 6.1), which the engine evaluates with index-backed left-deep
+// joins. Materialization of probe results into temp tables is supported for
+// the outside strategy (the paper's "TAB_book").
+#ifndef UFILTER_RELATIONAL_QUERY_H_
+#define UFILTER_RELATIONAL_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace ufilter::relational {
+
+/// `alias.column` reference into a query's FROM list.
+struct ColRef {
+  std::string alias;
+  std::string column;
+
+  std::string ToString() const { return alias + "." + column; }
+  bool operator==(const ColRef& o) const {
+    return alias == o.alias && column == o.column;
+  }
+};
+
+/// Equi/theta join between two aliases: `a <op> b`.
+struct JoinPredicate {
+  ColRef a;
+  CompareOp op = CompareOp::kEq;
+  ColRef b;
+};
+
+/// Filter against a literal: `col <op> literal`.
+struct FilterPredicate {
+  ColRef col;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+/// \brief A conjunctive SPJ query: SELECT selects FROM tables WHERE
+/// joins AND filters.
+struct SelectQuery {
+  struct TableRef {
+    std::string table;  ///< table name in the database
+    std::string alias;  ///< unique alias within the query
+  };
+
+  std::vector<ColRef> selects;
+  std::vector<TableRef> tables;
+  std::vector<JoinPredicate> joins;
+  std::vector<FilterPredicate> filters;
+
+  /// SQL text rendering of this query.
+  std::string ToSql() const;
+};
+
+/// \brief Evaluation output: projected rows plus, per result row, the row id
+/// of each participating table (needed to translate updates to ROWIDs).
+struct QueryResult {
+  std::vector<std::string> column_names;  ///< "alias.column"
+  std::vector<Row> rows;
+  /// row_ids[i][j] = RowId in tables[j] contributing to rows[i].
+  std::vector<std::vector<RowId>> row_ids;
+
+  bool empty() const { return rows.empty(); }
+  size_t size() const { return rows.size(); }
+};
+
+/// \brief Evaluates SPJ queries against a Database.
+///
+/// Join strategy: left-deep in FROM order; each new table is accessed by
+/// hash-index lookup when an equality join/filter binds an indexed column,
+/// and by scan-and-filter otherwise (temp tables are always scanned). This
+/// matches the cost model the paper's Figures 15-17 rely on.
+class QueryEvaluator {
+ public:
+  explicit QueryEvaluator(Database* db) : db_(db) {}
+
+  Result<QueryResult> Execute(const SelectQuery& query);
+
+  /// Executes `query` and materializes the full result (all selected
+  /// columns) into a temp table named `temp_name` with no indexes.
+  Status MaterializeInto(const SelectQuery& query,
+                         const std::string& temp_name);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace ufilter::relational
+
+#endif  // UFILTER_RELATIONAL_QUERY_H_

@@ -1,0 +1,224 @@
+#include "relational/schema.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace ufilter::relational {
+
+std::string CheckPredicate::ToString(const std::string& column_name) const {
+  return column_name + " " + CompareOpSymbol(op) + " " + literal.ToText();
+}
+
+const char* DeletePolicyName(DeletePolicy p) {
+  switch (p) {
+    case DeletePolicy::kCascade:
+      return "CASCADE";
+    case DeletePolicy::kSetNull:
+      return "SET NULL";
+    case DeletePolicy::kRestrict:
+      return "RESTRICT";
+  }
+  return "?";
+}
+
+TableSchema& TableSchema::AddColumn(Column column) {
+  columns_.push_back(std::move(column));
+  return *this;
+}
+
+TableSchema& TableSchema::AddColumn(const std::string& name, ValueType type,
+                                    bool not_null) {
+  Column c;
+  c.name = name;
+  c.type = type;
+  c.not_null = not_null;
+  return AddColumn(std::move(c));
+}
+
+TableSchema& TableSchema::SetPrimaryKey(std::vector<std::string> columns) {
+  primary_key_ = std::move(columns);
+  for (const std::string& pk : primary_key_) {
+    int idx = ColumnIndex(pk);
+    if (idx >= 0) columns_[idx].not_null = true;
+  }
+  return *this;
+}
+
+TableSchema& TableSchema::AddForeignKey(ForeignKey fk) {
+  foreign_keys_.push_back(std::move(fk));
+  return *this;
+}
+
+TableSchema& TableSchema::AddCheck(const std::string& column, CompareOp op,
+                                   Value literal) {
+  int idx = ColumnIndex(column);
+  if (idx >= 0) columns_[idx].checks.push_back({op, std::move(literal)});
+  return *this;
+}
+
+TableSchema& TableSchema::SetUnique(const std::string& column) {
+  int idx = ColumnIndex(column);
+  if (idx >= 0) columns_[idx].unique = true;
+  return *this;
+}
+
+int TableSchema::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<const Column*> TableSchema::FindColumn(const std::string& column) const {
+  int idx = ColumnIndex(column);
+  if (idx < 0) {
+    return Status::NotFound("no column '" + column + "' in table '" + name_ +
+                            "'");
+  }
+  return &columns_[idx];
+}
+
+bool TableSchema::IsUniqueIdentifier(const std::string& column) const {
+  if (primary_key_.size() == 1 && primary_key_[0] == column) return true;
+  int idx = ColumnIndex(column);
+  return idx >= 0 && columns_[idx].unique;
+}
+
+bool TableSchema::IsKeyColumn(const std::string& column) const {
+  return std::find(primary_key_.begin(), primary_key_.end(), column) !=
+         primary_key_.end();
+}
+
+std::string TableSchema::ToCreateSql() const {
+  std::vector<std::string> items;
+  for (const Column& c : columns_) {
+    std::string line = c.name + " " + ValueTypeName(c.type);
+    if (c.not_null) line += " NOT NULL";
+    if (c.unique) line += " UNIQUE";
+    for (const CheckPredicate& chk : c.checks) {
+      line += " CHECK (" + chk.ToString(c.name) + ")";
+    }
+    items.push_back(line);
+  }
+  if (!primary_key_.empty()) {
+    items.push_back("PRIMARY KEY (" + Join(primary_key_, ", ") + ")");
+  }
+  for (const ForeignKey& fk : foreign_keys_) {
+    items.push_back("FOREIGN KEY (" + Join(fk.columns, ", ") + ") REFERENCES " +
+                    fk.ref_table + " (" + Join(fk.ref_columns, ", ") +
+                    ") ON DELETE " + DeletePolicyName(fk.on_delete));
+  }
+  return "CREATE TABLE " + name_ + " (\n  " + Join(items, ",\n  ") + "\n)";
+}
+
+Status DatabaseSchema::AddTable(TableSchema table) {
+  if (by_name_.count(table.name()) > 0) {
+    return Status::InvalidArgument("duplicate table '" + table.name() + "'");
+  }
+  by_name_[table.name()] = tables_.size();
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Result<const TableSchema*> DatabaseSchema::FindTable(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  return &tables_[it->second];
+}
+
+bool DatabaseSchema::HasTable(const std::string& name) const {
+  return by_name_.count(name) > 0;
+}
+
+Status DatabaseSchema::Validate() const {
+  for (const TableSchema& t : tables_) {
+    for (const ForeignKey& fk : t.foreign_keys()) {
+      auto ref = FindTable(fk.ref_table);
+      if (!ref.ok()) {
+        return Status::InvalidArgument("table '" + t.name() +
+                                       "' references missing table '" +
+                                       fk.ref_table + "'");
+      }
+      if (fk.columns.size() != fk.ref_columns.size() || fk.columns.empty()) {
+        return Status::InvalidArgument("malformed foreign key on '" +
+                                       t.name() + "'");
+      }
+      for (const std::string& c : fk.columns) {
+        if (!t.HasColumn(c)) {
+          return Status::InvalidArgument("FK column '" + c +
+                                         "' missing in '" + t.name() + "'");
+        }
+      }
+      for (const std::string& c : fk.ref_columns) {
+        if (!(*ref)->HasColumn(c)) {
+          return Status::InvalidArgument("FK target column '" + c +
+                                         "' missing in '" + fk.ref_table +
+                                         "'");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> DatabaseSchema::ReferencingTables(
+    const std::string& table) const {
+  std::vector<std::string> out;
+  for (const TableSchema& t : tables_) {
+    for (const ForeignKey& fk : t.foreign_keys()) {
+      if (fk.ref_table == table) {
+        out.push_back(t.name());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> DatabaseSchema::Extend(
+    const std::string& table) const {
+  std::set<std::string> reached = {table};
+  std::vector<std::string> frontier = {table};
+  while (!frontier.empty()) {
+    std::string current = frontier.back();
+    frontier.pop_back();
+    for (const TableSchema& t : tables_) {
+      if (reached.count(t.name()) > 0) continue;
+      for (const ForeignKey& fk : t.foreign_keys()) {
+        if (fk.ref_table != current) continue;
+        bool propagates = false;
+        switch (fk.on_delete) {
+          case DeletePolicy::kCascade:
+            propagates = true;
+            break;
+          case DeletePolicy::kSetNull: {
+            // SET NULL only destroys the referencing row if the FK column
+            // is NOT NULL (then the policy is inapplicable and the row must
+            // be removed to preserve integrity).
+            for (const std::string& c : fk.columns) {
+              auto col = t.FindColumn(c);
+              if (col.ok() && (*col)->not_null) propagates = true;
+            }
+            break;
+          }
+          case DeletePolicy::kRestrict:
+            propagates = false;
+            break;
+        }
+        if (propagates) {
+          reached.insert(t.name());
+          frontier.push_back(t.name());
+          break;
+        }
+      }
+    }
+  }
+  return {reached.begin(), reached.end()};
+}
+
+}  // namespace ufilter::relational

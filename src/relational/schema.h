@@ -1,0 +1,142 @@
+// Relational schema model: columns, constraints (PRIMARY KEY, UNIQUE,
+// NOT NULL, CHECK, FOREIGN KEY with delete policies) and table/database
+// schema containers. This is the `{(R1..Rn), F}` of the paper's Section 2.
+#ifndef UFILTER_RELATIONAL_SCHEMA_H_
+#define UFILTER_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace ufilter::relational {
+
+/// One conjunct of a column CHECK constraint: `column <op> literal`.
+/// CHECK (price > 0.00) becomes {kGt, 0.00}.
+struct CheckPredicate {
+  CompareOp op;
+  Value literal;
+
+  /// True if `v` satisfies this conjunct (NULL satisfies any CHECK, per SQL).
+  bool Admits(const Value& v) const {
+    return v.is_null() || EvalCompare(v, op, literal);
+  }
+
+  std::string ToString(const std::string& column_name) const;
+};
+
+/// Column definition with its local constraints.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool not_null = false;
+  bool unique = false;  ///< standalone UNIQUE constraint
+  /// Conjunction of CHECK predicates over this column.
+  std::vector<CheckPredicate> checks;
+};
+
+/// Action taken on referencing rows when a referenced row is deleted.
+enum class DeletePolicy {
+  kCascade,
+  kSetNull,
+  kRestrict,
+};
+
+const char* DeletePolicyName(DeletePolicy p);
+
+/// FOREIGN KEY (columns) REFERENCES ref_table (ref_columns).
+struct ForeignKey {
+  std::vector<std::string> columns;
+  std::string ref_table;
+  std::vector<std::string> ref_columns;
+  DeletePolicy on_delete = DeletePolicy::kCascade;
+};
+
+/// \brief Schema of one relation.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// Adds a column; returns *this for fluent construction.
+  TableSchema& AddColumn(Column column);
+  TableSchema& AddColumn(const std::string& name, ValueType type,
+                         bool not_null = false);
+  /// Declares the primary key (columns must exist). PK columns become
+  /// NOT NULL implicitly.
+  TableSchema& SetPrimaryKey(std::vector<std::string> columns);
+  TableSchema& AddForeignKey(ForeignKey fk);
+  /// Appends a CHECK conjunct to an existing column.
+  TableSchema& AddCheck(const std::string& column, CompareOp op, Value literal);
+  /// Marks an existing column UNIQUE (and NOT NULL if `not_null`).
+  TableSchema& SetUnique(const std::string& column);
+
+  /// Index of `column` or -1.
+  int ColumnIndex(const std::string& column) const;
+  bool HasColumn(const std::string& column) const {
+    return ColumnIndex(column) >= 0;
+  }
+  Result<const Column*> FindColumn(const std::string& column) const;
+
+  /// True if `column` alone is a unique identifier of this relation: it is
+  /// the (single-column) primary key or carries a UNIQUE constraint. Used by
+  /// STAR Rule 1's "proper Join" test.
+  bool IsUniqueIdentifier(const std::string& column) const;
+
+  /// True if `column` participates in the primary key.
+  bool IsKeyColumn(const std::string& column) const;
+
+  /// CREATE TABLE rendering (for docs/examples/debugging).
+  std::string ToCreateSql() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::string> primary_key_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+/// \brief Schema of a relational database: named tables plus the global
+/// constraint set implied by their foreign keys.
+class DatabaseSchema {
+ public:
+  /// Adds a table schema; fails on duplicate names or dangling FK targets
+  /// (FKs may reference tables added later; validated by `Validate`).
+  Status AddTable(TableSchema table);
+
+  const std::vector<TableSchema>& tables() const { return tables_; }
+  Result<const TableSchema*> FindTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  /// Checks FK targets exist with matching arity.
+  Status Validate() const;
+
+  /// Tables holding a foreign key that references `table` (direct, one hop).
+  std::vector<std::string> ReferencingTables(const std::string& table) const;
+
+  /// extend(R) of the paper (Section 5.1, Rule 2): relations that refer to R
+  /// through foreign key constraint(s), transitively, **including R itself**.
+  /// Under kCascade every FK hop propagates. Under kSetNull a hop propagates
+  /// only when the FK columns are declared NOT NULL (SET NULL would be
+  /// impossible, so the row must go away); nullable-FK referencers survive
+  /// the delete. Under kRestrict nothing beyond R is affected (the delete is
+  /// rejected instead).
+  std::vector<std::string> Extend(const std::string& table) const;
+
+ private:
+  std::vector<TableSchema> tables_;
+  std::map<std::string, size_t> by_name_;
+};
+
+}  // namespace ufilter::relational
+
+#endif  // UFILTER_RELATIONAL_SCHEMA_H_

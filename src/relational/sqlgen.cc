@@ -1,0 +1,50 @@
+#include "relational/sqlgen.h"
+
+#include "common/strings.h"
+
+namespace ufilter::relational {
+
+std::string UpdateOp::ToSql() const {
+  switch (kind) {
+    case UpdateOpKind::kInsert: {
+      std::vector<std::string> cols, vals;
+      for (const auto& [name, value] : values) {
+        cols.push_back(name);
+        vals.push_back(value.ToSqlLiteral());
+      }
+      return "INSERT INTO " + table + " (" + Join(cols, ", ") + ") VALUES (" +
+             Join(vals, ", ") + ")";
+    }
+    case UpdateOpKind::kDelete: {
+      std::string sql = "DELETE FROM " + table;
+      if (!where.empty()) {
+        std::vector<std::string> preds;
+        for (const ColumnPredicate& p : where) preds.push_back(p.ToString());
+        sql += " WHERE " + Join(preds, " AND ");
+      }
+      return sql;
+    }
+    case UpdateOpKind::kUpdate: {
+      std::vector<std::string> sets;
+      for (const auto& [name, value] : values) {
+        sets.push_back(name + " = " + value.ToSqlLiteral());
+      }
+      std::string sql = "UPDATE " + table + " SET " + Join(sets, ", ");
+      if (!where.empty()) {
+        std::vector<std::string> preds;
+        for (const ColumnPredicate& p : where) preds.push_back(p.ToString());
+        sql += " WHERE " + Join(preds, " AND ");
+      }
+      return sql;
+    }
+  }
+  return "";
+}
+
+std::string UpdateSequenceToSql(const std::vector<UpdateOp>& ops) {
+  std::vector<std::string> lines;
+  for (const UpdateOp& op : ops) lines.push_back(op.ToSql() + ";");
+  return Join(lines, "\n");
+}
+
+}  // namespace ufilter::relational

@@ -1,0 +1,40 @@
+// Rendering of translated relational updates as SQL text. The translation
+// engine produces structured UpdateOp values; this module prints them the
+// way the paper shows them (U1, U2, U3, ...). Useful for logging, examples
+// and tests that assert on the emitted SQL.
+#ifndef UFILTER_RELATIONAL_SQLGEN_H_
+#define UFILTER_RELATIONAL_SQLGEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace ufilter::relational {
+
+/// Kind of a translated relational update statement.
+enum class UpdateOpKind { kInsert, kDelete, kUpdate };
+
+/// \brief One translated relational update statement.
+///
+/// A sequence of UpdateOp is what the update translation engine emits for a
+/// translatable view update (the `U` of Definition 1).
+struct UpdateOp {
+  UpdateOpKind kind = UpdateOpKind::kInsert;
+  std::string table;
+  /// kInsert: full column->value map. kUpdate: SET assignments.
+  std::map<std::string, Value> values;
+  /// kDelete / kUpdate: conjunctive WHERE clause.
+  std::vector<ColumnPredicate> where;
+
+  /// SQL text for this statement.
+  std::string ToSql() const;
+};
+
+/// Renders a whole update sequence, one statement per line.
+std::string UpdateSequenceToSql(const std::vector<UpdateOp>& ops);
+
+}  // namespace ufilter::relational
+
+#endif  // UFILTER_RELATIONAL_SQLGEN_H_

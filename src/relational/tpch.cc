@@ -1,0 +1,161 @@
+#include "relational/tpch.h"
+
+#include <cmath>
+#include <string>
+
+namespace ufilter::relational::tpch {
+
+namespace {
+
+/// xorshift64* PRNG: deterministic across platforms, no <random> variance.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b9) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  int64_t Uniform(int64_t lo, int64_t hi) {  // inclusive
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(
+                                                  hi - lo + 1));
+  }
+
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(Next() >> 11) /
+                             9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+
+}  // namespace
+
+TpchCardinalities CardinalitiesFor(double scale) {
+  TpchCardinalities c;
+  c.customers = std::max(1, static_cast<int>(std::lround(150 * scale)));
+  return c;
+}
+
+DatabaseSchema MakeSchema(DeletePolicy policy) {
+  DatabaseSchema schema;
+
+  TableSchema region("region");
+  region.AddColumn("r_regionkey", ValueType::kInt, true)
+      .AddColumn("r_name", ValueType::kString, true)
+      .AddColumn("r_comment", ValueType::kString)
+      .SetPrimaryKey({"r_regionkey"});
+  (void)schema.AddTable(std::move(region));
+
+  TableSchema nation("nation");
+  nation.AddColumn("n_nationkey", ValueType::kInt, true)
+      .AddColumn("n_name", ValueType::kString, true)
+      .AddColumn("n_regionkey", ValueType::kInt)
+      .AddColumn("n_comment", ValueType::kString)
+      .SetPrimaryKey({"n_nationkey"})
+      .AddForeignKey({{"n_regionkey"}, "region", {"r_regionkey"}, policy});
+  (void)schema.AddTable(std::move(nation));
+
+  TableSchema customer("customer");
+  customer.AddColumn("c_custkey", ValueType::kInt, true)
+      .AddColumn("c_name", ValueType::kString, true)
+      .AddColumn("c_nationkey", ValueType::kInt)
+      .AddColumn("c_acctbal", ValueType::kDouble)
+      .AddColumn("c_mktsegment", ValueType::kString)
+      .SetPrimaryKey({"c_custkey"})
+      .AddForeignKey({{"c_nationkey"}, "nation", {"n_nationkey"}, policy});
+  (void)schema.AddTable(std::move(customer));
+
+  TableSchema orders("orders");
+  orders.AddColumn("o_orderkey", ValueType::kInt, true)
+      .AddColumn("o_custkey", ValueType::kInt)
+      .AddColumn("o_totalprice", ValueType::kDouble)
+      .AddColumn("o_orderstatus", ValueType::kString)
+      .AddColumn("o_orderyear", ValueType::kInt)
+      .SetPrimaryKey({"o_orderkey"})
+      .AddForeignKey({{"o_custkey"}, "customer", {"c_custkey"}, policy});
+  orders.AddCheck("o_totalprice", CompareOp::kGt, Value::Double(0.0));
+  (void)schema.AddTable(std::move(orders));
+
+  TableSchema lineitem("lineitem");
+  lineitem.AddColumn("l_orderkey", ValueType::kInt, true)
+      .AddColumn("l_linenumber", ValueType::kInt, true)
+      .AddColumn("l_quantity", ValueType::kInt)
+      .AddColumn("l_extendedprice", ValueType::kDouble)
+      .AddColumn("l_shipmode", ValueType::kString)
+      .SetPrimaryKey({"l_orderkey", "l_linenumber"})
+      .AddForeignKey({{"l_orderkey"}, "orders", {"o_orderkey"}, policy});
+  lineitem.AddCheck("l_quantity", CompareOp::kGt, Value::Int(0));
+  (void)schema.AddTable(std::move(lineitem));
+
+  return schema;
+}
+
+Result<std::unique_ptr<Database>> MakeDatabase(const TpchOptions& options) {
+  UFILTER_ASSIGN_OR_RETURN(
+      std::unique_ptr<Database> db,
+      Database::Create(MakeSchema(options.delete_policy)));
+  Rng rng(options.seed);
+  TpchCardinalities card = CardinalitiesFor(options.scale);
+
+  for (int r = 0; r < card.regions; ++r) {
+    UFILTER_RETURN_NOT_OK(
+        db->Insert("region", {Value::Int(r), Value::String(kRegionNames[r % 5]),
+                              Value::String("region comment " +
+                                            std::to_string(r))})
+            .status());
+  }
+  int nations = card.regions * card.nations_per_region;
+  for (int n = 0; n < nations; ++n) {
+    UFILTER_RETURN_NOT_OK(
+        db->Insert("nation",
+                   {Value::Int(n), Value::String("NATION_" + std::to_string(n)),
+                    Value::Int(n % card.regions),
+                    Value::String("nation comment")})
+            .status());
+  }
+  for (int c = 0; c < card.customers; ++c) {
+    UFILTER_RETURN_NOT_OK(
+        db->Insert("customer",
+                   {Value::Int(c),
+                    Value::String("Customer#" + std::to_string(c)),
+                    Value::Int(rng.Uniform(0, nations - 1)),
+                    Value::Double(rng.UniformDouble(-999.0, 9999.0)),
+                    Value::String(c % 2 == 0 ? "BUILDING" : "MACHINERY")})
+            .status());
+  }
+  int order_key = 0;
+  for (int c = 0; c < card.customers; ++c) {
+    for (int o = 0; o < card.orders_per_customer; ++o) {
+      int my_order = order_key++;
+      UFILTER_RETURN_NOT_OK(
+          db->Insert("orders",
+                     {Value::Int(my_order), Value::Int(c),
+                      Value::Double(rng.UniformDouble(10.0, 500000.0)),
+                      Value::String(my_order % 3 == 0 ? "F" : "O"),
+                      Value::Int(rng.Uniform(1992, 1998))})
+              .status());
+      for (int l = 0; l < card.lineitems_per_order; ++l) {
+        UFILTER_RETURN_NOT_OK(
+            db->Insert("lineitem",
+                       {Value::Int(my_order), Value::Int(l + 1),
+                        Value::Int(rng.Uniform(1, 50)),
+                        Value::Double(rng.UniformDouble(1.0, 100000.0)),
+                        Value::String(l % 2 == 0 ? "AIR" : "TRUCK")})
+                .status());
+      }
+    }
+  }
+  // Everything generated so far is baseline data, not transaction work.
+  db->Checkpoint();
+  return db;
+}
+
+}  // namespace ufilter::relational::tpch

@@ -1,0 +1,45 @@
+// Deterministic TPC-H-like data generator. Reproduces the 5-relation chain
+// the paper's evaluation nests into views:
+//   REGION <- NATION <- CUSTOMER <- ORDERS <- LINEITEM
+// (arrow = foreign key pointing left). The scale factor controls row counts
+// with the standard cardinality ratios; generation is seeded and repeatable.
+#ifndef UFILTER_RELATIONAL_TPCH_H_
+#define UFILTER_RELATIONAL_TPCH_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace ufilter::relational::tpch {
+
+/// Row counts produced for a given scale.
+struct TpchCardinalities {
+  int regions = 5;
+  int nations_per_region = 5;
+  int customers = 0;   ///< derived from scale
+  int orders_per_customer = 10;
+  int lineitems_per_order = 4;
+};
+
+/// Generation parameters. `scale` = 1.0 produces ~150 customers, 1500
+/// orders, 6000 lineitems (a laptop-scale stand-in for the paper's MB-scale
+/// databases; benches sweep `scale`).
+struct TpchOptions {
+  double scale = 1.0;
+  uint64_t seed = 42;
+  DeletePolicy delete_policy = DeletePolicy::kCascade;
+};
+
+/// Returns the TPC-H-like schema (keys, FKs with `policy` on delete).
+DatabaseSchema MakeSchema(DeletePolicy policy = DeletePolicy::kCascade);
+
+/// Creates and populates a database.
+Result<std::unique_ptr<Database>> MakeDatabase(const TpchOptions& options);
+
+/// Cardinalities implied by `scale`.
+TpchCardinalities CardinalitiesFor(double scale);
+
+}  // namespace ufilter::relational::tpch
+
+#endif  // UFILTER_RELATIONAL_TPCH_H_

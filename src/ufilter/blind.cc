@@ -1,0 +1,126 @@
+#include "ufilter/blind.h"
+
+#include <chrono>
+
+#include "relational/query.h"
+#include "ufilter/translator.h"
+#include "ufilter/update_binding.h"
+#include "ufilter/xml_apply.h"
+#include "view/diff.h"
+#include "view/materializer.h"
+
+namespace ufilter::check {
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<BlindResult> BlindExecute(UFilter* uf, const xq::UpdateStmt& stmt) {
+  BlindResult result;
+  relational::Database* db = uf->database();
+  const view::AnalyzedView& view = uf->analyzed_view();
+  const asg::ViewAsg& gv = uf->view_asg();
+
+  // Expected view: materialize now and apply the update with XML semantics.
+  double t0 = Now();
+  view::Materializer materializer(db);
+  UFILTER_ASSIGN_OR_RETURN(xml::NodePtr expected, materializer.Materialize(view));
+  UFILTER_RETURN_NOT_OK(ApplyUpdateToXml(expected.get(), stmt).status());
+  result.detect_seconds += Now() - t0;
+
+  // Blind translation: no validation, no STAR, no minimization.
+  t0 = Now();
+  UFILTER_ASSIGN_OR_RETURN(BoundUpdate bound, BindUpdate(view, gv, stmt));
+  Translator translator(db, &view, &gv);
+  relational::QueryEvaluator evaluator(db);
+  std::vector<relational::UpdateOp> ops;
+  switch (bound.op) {
+    case xq::UpdateOpType::kDelete: {
+      UFILTER_ASSIGN_OR_RETURN(relational::SelectQuery victim_query,
+                               translator.ComposeVictimProbe(bound));
+      UFILTER_ASSIGN_OR_RETURN(relational::QueryResult victims,
+                               evaluator.Execute(victim_query));
+      UFILTER_ASSIGN_OR_RETURN(
+          ops, translator.TranslateDelete(bound, victim_query, victims,
+                                          /*minimize=*/false));
+      break;
+    }
+    case xq::UpdateOpType::kInsert: {
+      UFILTER_ASSIGN_OR_RETURN(relational::SelectQuery anchor_query,
+                               translator.ComposeAnchorProbe(bound));
+      relational::QueryResult anchors;
+      if (!anchor_query.tables.empty()) {
+        UFILTER_ASSIGN_OR_RETURN(anchors, evaluator.Execute(anchor_query));
+      }
+      UFILTER_ASSIGN_OR_RETURN(
+          ops, translator.TranslateInsert(bound, anchor_query, anchors));
+      break;
+    }
+    case xq::UpdateOpType::kReplace:
+      return Status::NotSupported("blind baseline covers insert/delete");
+  }
+  result.translate_seconds = Now() - t0;
+
+  // Execute.
+  t0 = Now();
+  size_t savepoint = db->Begin();
+  Status exec = Status::OK();
+  for (const relational::UpdateOp& op : ops) {
+    switch (op.kind) {
+      case relational::UpdateOpKind::kInsert: {
+        auto r = db->InsertValues(op.table, op.values);
+        if (!r.ok()) exec = r.status();
+        break;
+      }
+      case relational::UpdateOpKind::kDelete: {
+        auto r = db->DeleteWhere(op.table, op.where);
+        if (!r.ok()) {
+          exec = r.status();
+        } else {
+          result.rows_affected += r->deleted_rows;
+        }
+        break;
+      }
+      case relational::UpdateOpKind::kUpdate: {
+        auto r = db->UpdateWhere(op.table, op.values, op.where);
+        if (!r.ok()) exec = r.status();
+        break;
+      }
+    }
+    if (!exec.ok()) break;
+  }
+  result.execute_seconds = Now() - t0;
+
+  if (!exec.ok()) {
+    t0 = Now();
+    db->Rollback(savepoint);
+    result.rollback_seconds = Now() - t0;
+    result.side_effect = true;
+    return result;
+  }
+
+  // Detect side effects: materialize and compare with the expected view.
+  t0 = Now();
+  UFILTER_ASSIGN_OR_RETURN(xml::NodePtr actual, materializer.Materialize(view));
+  bool equal = view::TreesEqual(*expected, *actual);
+  result.detect_seconds += Now() - t0;
+
+  if (!equal) {
+    t0 = Now();
+    db->Rollback(savepoint);
+    result.rollback_seconds = Now() - t0;
+    result.side_effect = true;
+  } else {
+    db->Commit(savepoint);
+    result.applied = true;
+  }
+  return result;
+}
+
+}  // namespace ufilter::check

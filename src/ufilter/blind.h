@@ -1,0 +1,33 @@
+// The baseline U-Filter argues against (Section 1, Fig. 14): blindly
+// translate the view update, execute it, detect view side effects by
+// comparing the materialized view against the expected view, and roll back
+// on mismatch. Expensive exactly where U-Filter's STAR check is cheap.
+#ifndef UFILTER_UFILTER_BLIND_H_
+#define UFILTER_UFILTER_BLIND_H_
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "ufilter/checker.h"
+#include "xquery/ast.h"
+
+namespace ufilter::check {
+
+struct BlindResult {
+  bool side_effect = false;   ///< update was rejected and rolled back
+  bool applied = false;       ///< update committed
+  int64_t rows_affected = 0;
+  double translate_seconds = 0;
+  double execute_seconds = 0;
+  double detect_seconds = 0;  ///< view materialization + diff
+  double rollback_seconds = 0;
+};
+
+/// Executes `stmt` with no translatability checking: translate directly,
+/// apply, materialize the view, compare against the XML-side expectation,
+/// roll back when a side effect is observed. `uf` supplies the compiled view
+/// (its ASG marks are ignored — that is the point of the baseline).
+Result<BlindResult> BlindExecute(UFilter* uf, const xq::UpdateStmt& stmt);
+
+}  // namespace ufilter::check
+
+#endif  // UFILTER_UFILTER_BLIND_H_

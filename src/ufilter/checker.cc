@@ -1,0 +1,200 @@
+#include "ufilter/checker.h"
+
+#include <chrono>
+
+#include "ufilter/update_binding.h"
+#include "ufilter/validation.h"
+
+namespace ufilter::check {
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* CheckOutcomeName(CheckOutcome o) {
+  switch (o) {
+    case CheckOutcome::kInvalid:
+      return "invalid";
+    case CheckOutcome::kUntranslatable:
+      return "untranslatable";
+    case CheckOutcome::kDataConflict:
+      return "data conflict";
+    case CheckOutcome::kExecuted:
+      return "executed";
+  }
+  return "?";
+}
+
+std::string CheckReport::Describe() const {
+  std::string out = CheckOutcomeName(outcome);
+  if (outcome == CheckOutcome::kExecuted) {
+    out += " (" + std::string(TranslatabilityName(star_class));
+    if (!condition.empty()) out += ", condition: " + condition;
+    out += "), " + std::to_string(rows_affected) + " row(s) affected";
+    if (zero_tuple_warning) out += " [warning: zero tuples matched]";
+    if (!translation.empty()) {
+      out += "\n" + relational::UpdateSequenceToSql(translation);
+    }
+  } else {
+    out += ": " + error.ToString();
+  }
+  return out;
+}
+
+Result<std::unique_ptr<UFilter>> UFilter::Create(
+    relational::Database* db, const std::string& view_query) {
+  auto uf = std::unique_ptr<UFilter>(new UFilter());
+  uf->db_ = db;
+  UFILTER_ASSIGN_OR_RETURN(uf->query_, xq::ParseViewQuery(view_query));
+  UFILTER_ASSIGN_OR_RETURN(
+      uf->view_, view::AnalyzedView::Analyze(uf->query_, &db->schema()));
+  UFILTER_ASSIGN_OR_RETURN(uf->gv_, asg::ViewAsg::Build(*uf->view_));
+  uf->gd_ = asg::BaseAsg::Build(*uf->view_);
+  double t0 = Now();
+  UFILTER_RETURN_NOT_OK(MarkViewAsg(uf->gv_.get(), uf->gd_));
+  uf->marking_seconds_ = Now() - t0;
+  return uf;
+}
+
+CheckReport UFilter::Check(const std::string& update_text,
+                           const CheckOptions& options) {
+  auto stmt = xq::ParseUpdate(update_text);
+  if (!stmt.ok()) {
+    CheckReport report;
+    report.outcome = CheckOutcome::kInvalid;
+    report.error = stmt.status();
+    return report;
+  }
+  return CheckParsed(*stmt, options);
+}
+
+CheckReport UFilter::CheckParsed(const xq::UpdateStmt& stmt,
+                                 const CheckOptions& options) {
+  if (stmt.actions.size() > 1) {
+    // Multi-action UPDATE block: check and apply atomically — every action
+    // must pass or nothing is applied.
+    CheckReport combined;
+    size_t savepoint = db_->Begin();
+    for (const xq::UpdateAction& action : stmt.actions) {
+      CheckOptions per_action = options;
+      per_action.apply = true;  // applied inside the outer savepoint
+      CheckReport r = CheckAction(stmt, action, per_action);
+      combined.step1_seconds += r.step1_seconds;
+      combined.step2_seconds += r.step2_seconds;
+      combined.step3_seconds += r.step3_seconds;
+      if (r.outcome != CheckOutcome::kExecuted) {
+        db_->Rollback(savepoint);
+        r.step1_seconds = combined.step1_seconds;
+        r.step2_seconds = combined.step2_seconds;
+        r.step3_seconds = combined.step3_seconds;
+        return r;
+      }
+      // Keep the weakest classification across actions (conditional beats
+      // unconditional).
+      if (static_cast<int>(r.star_class) <
+          static_cast<int>(combined.star_class)) {
+        combined.star_class = r.star_class;
+      }
+      if (!r.condition.empty()) {
+        if (!combined.condition.empty()) combined.condition += " + ";
+        combined.condition += r.condition;
+      }
+      combined.rows_affected += r.rows_affected;
+      combined.zero_tuple_warning |= r.zero_tuple_warning;
+      for (auto& op : r.translation) combined.translation.push_back(op);
+      for (auto& p : r.probes) combined.probes.push_back(p);
+    }
+    if (options.apply) {
+      db_->Commit(savepoint);
+    } else {
+      db_->Rollback(savepoint);
+    }
+    combined.outcome = CheckOutcome::kExecuted;
+    return combined;
+  }
+  if (stmt.actions.empty()) {
+    CheckReport report;
+    report.outcome = CheckOutcome::kInvalid;
+    report.error = Status::InvalidUpdate("update statement has no action");
+    return report;
+  }
+  return CheckAction(stmt, stmt.actions[0], options);
+}
+
+CheckReport UFilter::CheckAction(const xq::UpdateStmt& stmt,
+                                 const xq::UpdateAction& action,
+                                 const CheckOptions& options) {
+  CheckReport report;
+
+  // ---- Step 1: update validation -----------------------------------------
+  double t0 = Now();
+  auto bound = BindUpdateAction(*view_, *gv_, stmt, action);
+  if (!bound.ok()) {
+    report.outcome = CheckOutcome::kInvalid;
+    report.error = bound.status();
+    report.step1_seconds = Now() - t0;
+    return report;
+  }
+  Status valid = ValidateUpdate(*gv_, *bound);
+  report.step1_seconds = Now() - t0;
+  if (!valid.ok()) {
+    report.outcome = CheckOutcome::kInvalid;
+    report.error = valid;
+    return report;
+  }
+
+  // ---- Step 2: schema-driven translatability reasoning (STAR) ------------
+  StarVerdict verdict;
+  if (options.run_star) {
+    t0 = Now();
+    verdict = CheckStar(*gv_, bound->target_node, bound->op);
+    report.step2_seconds = Now() - t0;
+    report.star_class = verdict.result;
+    report.condition = verdict.condition;
+    if (verdict.result == Translatability::kUntranslatable) {
+      report.outcome = CheckOutcome::kUntranslatable;
+      report.error = Status::Untranslatable(verdict.reason);
+      return report;
+    }
+  }
+  if (!options.run_data_check) {
+    report.outcome = CheckOutcome::kExecuted;
+    return report;
+  }
+
+  // ---- Step 3: data-driven translatability checking + translation --------
+  t0 = Now();
+  DataChecker checker(db_, view_.get(), gv_.get());
+  auto data = checker.CheckAndExecute(*bound, verdict, options.strategy,
+                                      options.apply);
+  report.step3_seconds = Now() - t0;
+  if (!data.ok()) {
+    report.outcome = CheckOutcome::kDataConflict;
+    report.error = data.status();
+    return report;
+  }
+  report.translation = data->translation;
+  report.rows_affected = data->rows_affected;
+  report.zero_tuple_warning = data->zero_tuple_warning;
+  report.probes = data->probes;
+  if (!data->passed) {
+    report.outcome = CheckOutcome::kDataConflict;
+    report.error = data->failure;
+    return report;
+  }
+  report.outcome = CheckOutcome::kExecuted;
+  return report;
+}
+
+Result<xml::NodePtr> UFilter::MaterializeView() {
+  view::Materializer materializer(db_);
+  return materializer.Materialize(*view_);
+}
+
+}  // namespace ufilter::check

@@ -1,0 +1,118 @@
+// U-Filter pipeline facade (Fig. 5): compile a view once (parse, analyze,
+// build + mark the ASGs), then check any number of updates through the three
+// steps, feeding translatable ones to the translation engine.
+//
+// This is the library's primary public entry point:
+//
+//   auto db = ...;                      // relational::Database
+//   auto uf = UFilter::Create(db.get(), kBookViewQuery).value();
+//   CheckReport r = uf->Check("FOR $b IN document(...)...", {});
+//   if (r.outcome == CheckOutcome::kExecuted) { ... }
+#ifndef UFILTER_UFILTER_CHECKER_H_
+#define UFILTER_UFILTER_CHECKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asg/view_asg.h"
+#include "common/result.h"
+#include "relational/database.h"
+#include "ufilter/datacheck.h"
+#include "ufilter/star.h"
+#include "view/analyzed_view.h"
+#include "view/materializer.h"
+#include "xml/node.h"
+#include "xquery/parser.h"
+
+namespace ufilter::check {
+
+/// Where the pipeline ended for an update.
+enum class CheckOutcome {
+  kInvalid,         ///< rejected by step 1 (update validation)
+  kUntranslatable,  ///< rejected by step 2 (STAR)
+  kDataConflict,    ///< rejected by step 3 (data-driven check)
+  kExecuted,        ///< translated (and executed unless apply=false)
+};
+
+const char* CheckOutcomeName(CheckOutcome o);
+
+struct CheckOptions {
+  DataCheckStrategy strategy = DataCheckStrategy::kOutside;
+  /// When false, translation runs but the database is rolled back (dry run).
+  bool apply = true;
+  /// When false, steps 1-2 run but step 3 / execution is skipped; the report
+  /// carries the STAR classification only.
+  bool run_data_check = true;
+  /// When false, step 2 (STAR) is skipped and the update is treated as
+  /// unconditionally translatable — the "Update" (no checking) baseline of
+  /// Figs. 13/14. Default on.
+  bool run_star = true;
+};
+
+/// Full pipeline report for one update.
+struct CheckReport {
+  CheckOutcome outcome = CheckOutcome::kExecuted;
+  /// Rejection reason (invalid / untranslatable / data conflict).
+  Status error;
+  /// STAR classification (valid once past step 2).
+  Translatability star_class = Translatability::kUnconditionallyTranslatable;
+  /// Condition attached by STAR for conditionally translatable updates.
+  std::string condition;
+  /// Executed relational update sequence.
+  std::vector<relational::UpdateOp> translation;
+  int64_t rows_affected = 0;
+  bool zero_tuple_warning = false;
+  std::vector<std::string> probes;
+  /// Wall-clock seconds spent per step.
+  double step1_seconds = 0;
+  double step2_seconds = 0;
+  double step3_seconds = 0;
+
+  /// One-paragraph human-readable summary.
+  std::string Describe() const;
+};
+
+/// \brief A compiled U-Filter instance for one view over one database.
+class UFilter {
+ public:
+  /// Parses and analyzes `view_query`, builds both ASGs and runs the STAR
+  /// marking procedure. The database must outlive the returned object.
+  static Result<std::unique_ptr<UFilter>> Create(
+      relational::Database* db, const std::string& view_query);
+
+  /// Checks (and by default executes) one update statement.
+  CheckReport Check(const std::string& update_text,
+                    const CheckOptions& options = {});
+  CheckReport CheckParsed(const xq::UpdateStmt& stmt,
+                          const CheckOptions& options = {});
+
+  /// Materializes the current view content.
+  Result<xml::NodePtr> MaterializeView();
+
+  const view::AnalyzedView& analyzed_view() const { return *view_; }
+  const asg::ViewAsg& view_asg() const { return *gv_; }
+  const asg::BaseAsg& base_asg() const { return gd_; }
+  relational::Database* database() { return db_; }
+  /// Seconds the STAR marking procedure took at Create time.
+  double marking_seconds() const { return marking_seconds_; }
+
+ private:
+  UFilter() = default;
+
+  /// Runs the three steps for one action of a statement.
+  CheckReport CheckAction(const xq::UpdateStmt& stmt,
+                          const xq::UpdateAction& action,
+                          const CheckOptions& options);
+
+  relational::Database* db_ = nullptr;
+  xq::ViewQuery query_;
+  std::unique_ptr<view::AnalyzedView> view_;
+  std::unique_ptr<asg::ViewAsg> gv_;
+  asg::BaseAsg gd_;
+  double marking_seconds_ = 0;
+};
+
+}  // namespace ufilter::check
+
+#endif  // UFILTER_UFILTER_CHECKER_H_

@@ -1,0 +1,92 @@
+// Step 3: data-driven translatability checking (Section 6).
+//
+// The update-context check (6.1) probes whether the element the update
+// inserts into / deletes from exists in the view. The update-point check
+// (6.2) detects conflicts in the updated data itself, with three strategies:
+//   - internal: map the view to a flat relational view; the probe must fetch
+//     *all* view columns to build a complete relational-view tuple,
+//   - external-hybrid: translate without checking, execute, let the engine
+//     report conflicts (key violations / zero-tuple warnings), roll back,
+//   - external-outside: probe each target relation first, then execute.
+#ifndef UFILTER_UFILTER_DATACHECK_H_
+#define UFILTER_UFILTER_DATACHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/query.h"
+#include "relational/sqlgen.h"
+#include "ufilter/star.h"
+#include "ufilter/translator.h"
+#include "ufilter/update_binding.h"
+
+namespace ufilter::check {
+
+/// Update-point checking strategy (Section 6.2).
+enum class DataCheckStrategy { kInternal, kHybrid, kOutside };
+
+const char* DataCheckStrategyName(DataCheckStrategy s);
+
+/// Outcome of step 3 plus translation/execution.
+struct DataCheckReport {
+  bool passed = false;
+  Status failure;  ///< DataConflict / ConstraintViolation when !passed
+  /// The executed relational update sequence (the `U` of Definition 1).
+  std::vector<relational::UpdateOp> translation;
+  int64_t rows_affected = 0;
+  /// Delete matched nothing ("zero tuples deleted" warning, update u12).
+  bool zero_tuple_warning = false;
+  /// SQL of the probe queries issued, for logging/EXPERIMENTS.
+  std::vector<std::string> probes;
+};
+
+/// \brief Runs step 3 and, when it passes, executes the translation.
+class DataChecker {
+ public:
+  DataChecker(relational::Database* db, const view::AnalyzedView* view,
+              const asg::ViewAsg* gv)
+      : db_(db), view_(view), gv_(gv), translator_(db, view, gv) {}
+
+  /// Checks and executes `update` (which already passed steps 1 and 2 with
+  /// `verdict`). With `apply` false the database is rolled back to its
+  /// initial state afterwards (dry run). On failure the database is always
+  /// left unchanged.
+  Result<DataCheckReport> CheckAndExecute(const BoundUpdate& update,
+                                          const StarVerdict& verdict,
+                                          DataCheckStrategy strategy,
+                                          bool apply);
+
+ private:
+  Result<DataCheckReport> RunDelete(const BoundUpdate& update,
+                                    const StarVerdict& verdict,
+                                    DataCheckStrategy strategy);
+  Result<DataCheckReport> RunInsert(const BoundUpdate& update,
+                                    const StarVerdict& verdict,
+                                    DataCheckStrategy strategy);
+  Result<DataCheckReport> RunReplace(const BoundUpdate& update,
+                                     const StarVerdict& verdict,
+                                     DataCheckStrategy strategy);
+
+  /// Context check (6.1): returns the anchor probe result; DataConflict when
+  /// the context element does not exist in the view.
+  Result<relational::QueryResult> CheckContext(
+      const BoundUpdate& update, relational::SelectQuery* query_out,
+      DataCheckReport* report);
+
+  /// Executes translated ops; fills rows_affected.
+  Status ExecuteOps(const std::vector<relational::UpdateOp>& ops,
+                    DataCheckReport* report);
+
+  /// Outside strategy: pre-probe inserts for key conflicts (PQ3-style).
+  Status ProbeInsertConflicts(const std::vector<relational::UpdateOp>& ops,
+                              DataCheckReport* report);
+
+  relational::Database* db_;
+  const view::AnalyzedView* view_;
+  const asg::ViewAsg* gv_;
+  Translator translator_;
+};
+
+}  // namespace ufilter::check
+
+#endif  // UFILTER_UFILTER_DATACHECK_H_

@@ -1,0 +1,489 @@
+#include "ufilter/star.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace ufilter::check {
+
+using asg::BaseAsg;
+using asg::Cardinality;
+using asg::Closure;
+using asg::NodeKind;
+using asg::ViewAsg;
+using asg::ViewNode;
+using view::ResolvedCondition;
+
+namespace {
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// True if `attr` is a unique identifier (single-column PK or UNIQUE) of
+/// `relation`.
+bool IsUniqueId(const relational::DatabaseSchema& schema,
+                const std::string& relation, const std::string& attr) {
+  auto table = schema.FindTable(relation);
+  return table.ok() && (*table)->IsUniqueIdentifier(attr);
+}
+
+/// Rule 1: decides whether the * edge into `node` carries proper join
+/// conditions. Returns an empty string when proper; otherwise the reason.
+///
+/// Every new relation R of the edge (CR of the child) must be attached
+/// without introducing duplicates:
+///   (a) determined:  a condition S.x = R.y with R.y a unique identifier of
+///       R and S already attached (each S tuple picks at most one R tuple);
+///   (b) chained:     a condition R.x = S.y with S.y a unique identifier of
+///       S and S already attached (each R tuple hangs under at most one
+///       parent instance — the paper's literal "proper Join");
+///   (c) free driver: when the parent has a single instance (no * edge above
+///       it), one relation may drive the iteration unconstrained.
+std::string CheckProperJoin(const ViewAsg& gv, const ViewNode& node) {
+  const relational::DatabaseSchema& schema = gv.analyzed_view().schema();
+  std::vector<std::string> new_rels = gv.CurrentRelations(node.id);
+  if (new_rels.empty()) return "";
+  std::set<std::string> attached;
+  if (node.parent >= 0) {
+    const ViewNode& parent = gv.node(node.parent);
+    attached.insert(parent.uc_binding.begin(), parent.uc_binding.end());
+  }
+  bool free_slot = gv.ParentIsSingleInstance(node.id);
+
+  std::set<std::string> pending(new_rels.begin(), new_rels.end());
+  bool progress = true;
+  while (!pending.empty() && progress) {
+    progress = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      const std::string& r = *it;
+      bool ok = false;
+      for (const ResolvedCondition& cond : node.edge_conditions) {
+        if (!cond.is_correlation || cond.op != CompareOp::kEq) continue;
+        const view::AttrRef* mine = nullptr;
+        const view::AttrRef* other = nullptr;
+        if (cond.lhs.relation == r && attached.count(cond.rhs.relation) > 0) {
+          mine = &cond.lhs;
+          other = &cond.rhs;
+        } else if (cond.rhs.relation == r &&
+                   attached.count(cond.lhs.relation) > 0) {
+          mine = &cond.rhs;
+          other = &cond.lhs;
+        } else {
+          continue;
+        }
+        // (a) determined by the other side, or (b) chained via a unique
+        // identifier of the other side.
+        if (IsUniqueId(schema, mine->relation, mine->attr) ||
+            IsUniqueId(schema, other->relation, other->attr)) {
+          ok = true;
+          break;
+        }
+      }
+      if (ok) {
+        attached.insert(r);
+        it = pending.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!progress && !pending.empty() && free_slot) {
+      // Grant the free driver slot to the first pending relation.
+      attached.insert(*pending.begin());
+      pending.erase(pending.begin());
+      free_slot = false;
+      progress = true;
+    }
+  }
+  if (pending.empty()) return "";
+  return "Rule 1: relation '" + *pending.begin() +
+         "' joins edge into <" + node.tag +
+         "> without a proper Join condition (missing or non-unique join "
+         "attribute)";
+}
+
+void MarkSubtreeUnsafe(ViewAsg* gv, int id, const std::string& reason) {
+  ViewNode& node = gv->mutable_node(id);
+  node.mark.safe_delete = false;
+  node.mark.safe_insert = false;
+  node.mark.unsafe_delete_reason = reason;
+  node.mark.unsafe_insert_reason = reason;
+  for (int c : node.children) MarkSubtreeUnsafe(gv, c, reason);
+}
+
+void ApplyRule1(ViewAsg* gv) {
+  // Iterate a snapshot of star edges; marking mutates marks only.
+  for (const ViewNode& node : gv->nodes()) {
+    if (node.card != Cardinality::kStar) continue;
+    if (node.kind != NodeKind::kComplex && node.kind != NodeKind::kTag) {
+      continue;
+    }
+    std::string reason = CheckProperJoin(*gv, node);
+    if (!reason.empty()) MarkSubtreeUnsafe(gv, node.id, reason);
+  }
+}
+
+/// Attributes used by any correlation predicate anywhere in the view.
+std::set<std::string> ViewJoinAttrs(const ViewAsg& gv) {
+  std::set<std::string> out;
+  for (const ViewNode& node : gv.nodes()) {
+    for (const ResolvedCondition& cond : node.edge_conditions) {
+      if (!cond.is_correlation) continue;
+      out.insert(cond.lhs.relation + "." + cond.lhs.attr);
+      out.insert(cond.rhs.relation + "." + cond.rhs.attr);
+    }
+  }
+  return out;
+}
+
+/// extend(R) restricted to the view's relations (Rule 2), with view-aware
+/// policy handling: a SET NULL hop still propagates *view impact* when the
+/// nulled FK column feeds a view join condition (the referencing row
+/// survives but drops out of every joined view).
+std::vector<std::string> ExtendInView(const ViewAsg& gv,
+                                      const std::string& relation) {
+  const relational::DatabaseSchema& schema = gv.analyzed_view().schema();
+  std::vector<std::string> view_rels = gv.analyzed_view().Relations();
+  std::set<std::string> join_attrs = ViewJoinAttrs(gv);
+  std::set<std::string> reached = {relation};
+  std::vector<std::string> frontier = {relation};
+  while (!frontier.empty()) {
+    std::string current = frontier.back();
+    frontier.pop_back();
+    for (const relational::TableSchema& t : schema.tables()) {
+      if (reached.count(t.name()) > 0) continue;
+      for (const relational::ForeignKey& fk : t.foreign_keys()) {
+        if (fk.ref_table != current) continue;
+        bool propagates = false;
+        switch (fk.on_delete) {
+          case relational::DeletePolicy::kCascade:
+            propagates = true;
+            break;
+          case relational::DeletePolicy::kSetNull:
+            for (const std::string& c : fk.columns) {
+              auto col = t.FindColumn(c);
+              if (col.ok() && (*col)->not_null) propagates = true;
+              if (join_attrs.count(t.name() + "." + c) > 0) propagates = true;
+            }
+            break;
+          case relational::DeletePolicy::kRestrict:
+            propagates = false;
+            break;
+        }
+        if (propagates) {
+          reached.insert(t.name());
+          frontier.push_back(t.name());
+          break;
+        }
+      }
+    }
+  }
+  std::vector<std::string> out;
+  for (const std::string& r : reached) {
+    if (Contains(view_rels, r)) out.push_back(r);
+  }
+  return out;
+}
+
+void ApplyRule2(ViewAsg* gv) {
+  for (ViewNode& node : gv->mutable_nodes()) {
+    if (node.kind != NodeKind::kComplex) continue;
+    if (!node.mark.safe_delete) continue;  // already unsafe via Rule 1
+    std::vector<std::string> cr = gv->CurrentRelations(node.id);
+    bool found = false;
+    std::string best_reason;
+    for (const std::string& r : cr) {
+      std::vector<std::string> ext = ExtendInView(*gv, r);
+      bool all_disjoint = true;
+      for (const ViewNode& other : gv->nodes()) {
+        if (other.kind != NodeKind::kComplex && other.kind != NodeKind::kRoot) {
+          continue;
+        }
+        if (gv->IsDescendant(node.id, other.id)) continue;
+        for (const std::string& e : ext) {
+          if (Contains(other.uc_binding, e)) {
+            all_disjoint = false;
+            best_reason = "deleting from '" + r + "' (extend = {" +
+                          Join(ext, ",") + "}) would affect <" + other.tag +
+                          ">";
+            break;
+          }
+        }
+        if (!all_disjoint) break;
+      }
+      if (all_disjoint) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      node.mark.safe_delete = false;
+      node.mark.unsafe_delete_reason =
+          cr.empty()
+              ? "Rule 2: no current relation — every relation of <" +
+                    node.tag + "> is already bound at its parent"
+              : "Rule 2: " + best_reason;
+    }
+  }
+}
+
+void ApplyRule3(ViewAsg* gv) {
+  for (ViewNode& node : gv->mutable_nodes()) {
+    if (node.kind != NodeKind::kComplex) continue;
+    if (!node.mark.safe_insert) continue;  // already unsafe via Rule 1
+    for (const ViewNode& other : gv->nodes()) {
+      if (other.kind != NodeKind::kComplex) continue;
+      if (gv->IsDescendant(node.id, other.id)) continue;
+      if (other.mark.safe_delete) continue;  // (ii) fails
+      std::vector<std::string> cr = gv->CurrentRelations(other.id);
+      bool overlap = false;
+      for (const std::string& r : cr) {
+        if (Contains(node.up_binding, r)) {
+          overlap = true;
+          break;
+        }
+      }
+      if (overlap) {
+        node.mark.safe_insert = false;
+        node.mark.unsafe_insert_reason =
+            "Rule 3: inserting <" + node.tag +
+            "> may make an instance of unsafe-delete node <" + other.tag +
+            "> appear";
+        break;
+      }
+    }
+  }
+}
+
+void MarkUPoint(ViewAsg* gv, const BaseAsg& gd) {
+  for (ViewNode& node : gv->mutable_nodes()) {
+    if (node.kind != NodeKind::kComplex && node.kind != NodeKind::kRoot) {
+      continue;
+    }
+    Closure cv = gv->NodeClosure(node.id);
+    std::vector<std::string> leaf_names;
+    asg::CollectClosureLeaves(cv, &leaf_names);
+    Closure cd = gd.MappingClosure(leaf_names);
+    node.mark.clean = cv.Equals(cd);
+  }
+}
+
+}  // namespace
+
+Status MarkViewAsg(ViewAsg* gv, const BaseAsg& gd) {
+  // Reset marks.
+  for (ViewNode& node : gv->mutable_nodes()) node.mark = asg::StarMark();
+  ApplyRule1(gv);
+  ApplyRule2(gv);
+  ApplyRule3(gv);
+  MarkUPoint(gv, gd);
+  return Status::OK();
+}
+
+std::string PrimaryVariable(const ViewAsg& gv, int node_id) {
+  const ViewNode& node = gv.node(node_id);
+  if (node.av == nullptr || node.av->scope == nullptr ||
+      node.av->scope->vars.empty()) {
+    return "";
+  }
+  const view::Scope& scope = *node.av->scope;
+  const relational::DatabaseSchema& schema = gv.analyzed_view().schema();
+  std::set<std::string> attached;
+  if (node.parent >= 0) {
+    const ViewNode& parent = gv.node(node.parent);
+    attached.insert(parent.uc_binding.begin(), parent.uc_binding.end());
+  }
+  // Replay the Rule-1 attachment analysis, recording which relations are
+  // *determined* (functionally dependent on an already-attached relation via
+  // a unique identifier on their own side) versus *multipliers* (they drive
+  // the element's repetition). The primary is the last multiplier bound.
+  std::string primary = scope.vars[0].first;  // fallback: first binding
+  std::vector<std::pair<std::string, std::string>> pending(scope.vars);
+  bool progress = true;
+  bool free_slot = gv.ParentIsSingleInstance(node_id);
+  while (!pending.empty() && progress) {
+    progress = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      const auto& [var, rel] = *it;
+      bool determined = false, multiplier = false;
+      for (const ResolvedCondition& cond : node.edge_conditions) {
+        if (!cond.is_correlation || cond.op != CompareOp::kEq) continue;
+        const view::AttrRef* mine = nullptr;
+        const view::AttrRef* other = nullptr;
+        if (cond.lhs.relation == rel && attached.count(cond.rhs.relation)) {
+          mine = &cond.lhs;
+          other = &cond.rhs;
+        } else if (cond.rhs.relation == rel &&
+                   attached.count(cond.lhs.relation)) {
+          mine = &cond.rhs;
+          other = &cond.lhs;
+        } else {
+          continue;
+        }
+        auto table = schema.FindTable(mine->relation);
+        if (table.ok() && (*table)->IsUniqueIdentifier(mine->attr)) {
+          determined = true;
+          break;
+        }
+        auto other_table = schema.FindTable(other->relation);
+        if (other_table.ok() &&
+            (*other_table)->IsUniqueIdentifier(other->attr)) {
+          multiplier = true;
+        }
+      }
+      if (determined || multiplier) {
+        if (multiplier && !determined) primary = var;
+        attached.insert(rel);
+        it = pending.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!progress && !pending.empty() && free_slot) {
+      primary = pending.front().first;
+      attached.insert(pending.front().second);
+      pending.erase(pending.begin());
+      free_slot = false;
+      progress = true;
+    }
+  }
+  return primary;
+}
+
+const char* TranslatabilityName(Translatability t) {
+  switch (t) {
+    case Translatability::kUntranslatable:
+      return "untranslatable";
+    case Translatability::kConditionallyTranslatable:
+      return "conditionally translatable";
+    case Translatability::kUnconditionallyTranslatable:
+      return "unconditionally translatable";
+  }
+  return "?";
+}
+
+namespace {
+
+/// vS/vL updates translate to UPDATE R SET a = ... WHERE key. They are
+/// side-effect free iff the attribute is not load-bearing elsewhere in the
+/// view (not used in a join / selection predicate, not projected by another
+/// leaf).
+StarVerdict CheckLeafUpdate(const ViewAsg& gv, const ViewNode& node) {
+  StarVerdict verdict;
+  const view::AnalyzedView& av = gv.analyzed_view();
+  // Used in any correlation or selection predicate anywhere in the view?
+  std::vector<const view::Scope*> scopes;
+  for (const ViewNode& n : gv.nodes()) {
+    if (n.av != nullptr && n.av->scope != nullptr) scopes.push_back(n.av->scope);
+  }
+  std::sort(scopes.begin(), scopes.end());
+  scopes.erase(std::unique(scopes.begin(), scopes.end()), scopes.end());
+  for (const view::Scope* s : scopes) {
+    for (const ResolvedCondition& cond : s->conditions) {
+      bool touches =
+          (cond.lhs.relation == node.relation && cond.lhs.attr == node.attr) ||
+          (cond.is_correlation && cond.rhs.relation == node.relation &&
+           cond.rhs.attr == node.attr);
+      if (touches) {
+        verdict.result = Translatability::kUntranslatable;
+        verdict.reason = "attribute " + node.relation + "." + node.attr +
+                         " is used by view predicate '" + cond.ToString() +
+                         "'; changing it has view side effects";
+        return verdict;
+      }
+    }
+  }
+  // Projected by another leaf node?
+  int appearances = 0;
+  for (const ViewNode& n : gv.nodes()) {
+    if (n.kind == NodeKind::kLeaf && n.relation == node.relation &&
+        n.attr == node.attr) {
+      ++appearances;
+    }
+  }
+  if (appearances > 1) {
+    verdict.result = Translatability::kUntranslatable;
+    verdict.reason = "attribute " + node.relation + "." + node.attr +
+                     " appears in " + std::to_string(appearances) +
+                     " view leaves; updating one instance changes the others";
+    return verdict;
+  }
+  (void)av;
+  verdict.result = Translatability::kUnconditionallyTranslatable;
+  return verdict;
+}
+
+}  // namespace
+
+StarVerdict CheckStar(const ViewAsg& gv, int node_id, xq::UpdateOpType op) {
+  const ViewNode& node = gv.node(node_id);
+  StarVerdict verdict;
+
+  if (node.kind == NodeKind::kRoot) {
+    // Deleting the root is always translatable (drop all base content the
+    // view exposes); inserting "a root" is meaningless.
+    verdict.result = Translatability::kUnconditionallyTranslatable;
+    return verdict;
+  }
+  if (node.kind == NodeKind::kTag || node.kind == NodeKind::kLeaf) {
+    return CheckLeafUpdate(gv, node);
+  }
+
+  auto CheckDelete = [&]() -> StarVerdict {
+    StarVerdict v;
+    if (!node.mark.safe_delete) {
+      v.result = Translatability::kUntranslatable;
+      v.reason = node.mark.unsafe_delete_reason;
+    } else if (node.mark.clean) {
+      v.result = Translatability::kUnconditionallyTranslatable;
+    } else {
+      v.result = Translatability::kConditionallyTranslatable;
+      v.condition = "translation minimization";
+    }
+    return v;
+  };
+  auto CheckInsert = [&]() -> StarVerdict {
+    StarVerdict v;
+    if (!node.mark.safe_insert) {
+      v.result = Translatability::kUntranslatable;
+      v.reason = node.mark.unsafe_insert_reason;
+    } else if (node.mark.clean) {
+      v.result = Translatability::kUnconditionallyTranslatable;
+    } else {
+      v.result = Translatability::kConditionallyTranslatable;
+      v.condition = "duplication consistency";
+    }
+    return v;
+  };
+
+  switch (op) {
+    case xq::UpdateOpType::kDelete:
+      return CheckDelete();
+    case xq::UpdateOpType::kInsert:
+      return CheckInsert();
+    case xq::UpdateOpType::kReplace: {
+      // Replace = delete followed by insert (footnote 4).
+      StarVerdict del = CheckDelete();
+      StarVerdict ins = CheckInsert();
+      if (del.result == Translatability::kUntranslatable) return del;
+      if (ins.result == Translatability::kUntranslatable) return ins;
+      if (del.result == Translatability::kConditionallyTranslatable ||
+          ins.result == Translatability::kConditionallyTranslatable) {
+        verdict.result = Translatability::kConditionallyTranslatable;
+        std::vector<std::string> conds;
+        if (!del.condition.empty()) conds.push_back(del.condition);
+        if (!ins.condition.empty()) conds.push_back(ins.condition);
+        verdict.condition = Join(conds, " + ");
+        return verdict;
+      }
+      verdict.result = Translatability::kUnconditionallyTranslatable;
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace ufilter::check

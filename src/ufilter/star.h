@@ -1,0 +1,66 @@
+// STAR: Schema-driven TrAnslatability Reasoning (Section 5).
+//
+// The static marking procedure (Algorithm 1) labels every internal node of
+// the view ASG with its (UPoint | UContext) pair:
+//   - Rule 1 catches missing/improper join conditions on * edges,
+//   - Rule 2 marks unsafe-delete nodes (deleting them would make
+//     non-descendant view content disappear),
+//   - Rule 3 marks unsafe-insert nodes (inserting them could make
+//     non-descendant view content appear),
+//   - UPoint compares a node's closure with its mapping closure in the base
+//     ASG (clean = the where-provenance is a clean extended source).
+//
+// The dynamic checking procedure (Observations 1 and 2) then classifies an
+// update in O(1): unsafe -> untranslatable; clean&safe -> unconditional;
+// dirty&safe -> conditional (minimization for deletes, duplication
+// consistency for inserts).
+#ifndef UFILTER_UFILTER_STAR_H_
+#define UFILTER_UFILTER_STAR_H_
+
+#include <string>
+
+#include "asg/view_asg.h"
+#include "common/result.h"
+#include "xquery/ast.h"
+
+namespace ufilter::check {
+
+/// Marks all nodes of `gv` with their STAR (UPoint | UContext) labels.
+/// Idempotent; call once after ViewAsg::Build.
+Status MarkViewAsg(asg::ViewAsg* gv, const asg::BaseAsg& gd);
+
+/// Translatability classes of Fig. 6 (for valid updates).
+enum class Translatability {
+  kUntranslatable,
+  kConditionallyTranslatable,
+  kUnconditionallyTranslatable,
+};
+
+const char* TranslatabilityName(Translatability t);
+
+/// Outcome of the STAR checking procedure for one update.
+struct StarVerdict {
+  Translatability result = Translatability::kUnconditionallyTranslatable;
+  /// For conditional updates: the required condition ("translation
+  /// minimization" or "duplication consistency").
+  std::string condition;
+  /// For untranslatable updates: why.
+  std::string reason;
+};
+
+/// Classifies an update of kind `op` targeting ASG node `node_id`.
+/// Handles internal (vC), tag (vS) and root nodes; replace is treated as
+/// delete-then-insert (footnote 4).
+StarVerdict CheckStar(const asg::ViewAsg& gv, int node_id,
+                      xq::UpdateOpType op);
+
+/// The variable of the element's scope whose relation is in 1-1
+/// correspondence with the element's instances (the deepest "multiplier" of
+/// the join attachment analysis). The delete translation removes this
+/// relation's tuple unconditionally; all other current relations are
+/// shared and go through the minimization reference check.
+std::string PrimaryVariable(const asg::ViewAsg& gv, int node_id);
+
+}  // namespace ufilter::check
+
+#endif  // UFILTER_UFILTER_STAR_H_

@@ -1,0 +1,109 @@
+#include "ufilter/usecases.h"
+
+#include "common/strings.h"
+
+namespace ufilter::check {
+
+const char* QueryFeatureName(QueryFeature f) {
+  switch (f) {
+    case QueryFeature::kDistinct:
+      return "Distinct()";
+    case QueryFeature::kCount:
+      return "Count()";
+    case QueryFeature::kMax:
+      return "max()";
+    case QueryFeature::kAvg:
+      return "avg()";
+    case QueryFeature::kSum:
+      return "sum()";
+    case QueryFeature::kIfThenElse:
+      return "if/then/else";
+    case QueryFeature::kOrderFunction:
+      return "order function";
+    case QueryFeature::kUserFunction:
+      return "user-defined function";
+  }
+  return "?";
+}
+
+const std::vector<UseCaseQuery>& UseCaseCatalog() {
+  using F = QueryFeature;
+  static const std::vector<UseCaseQuery> kCatalog = {
+      // ---- XMP: experiences and exemplars --------------------------------
+      {"XMP", "Q1", "books published by Addison-Wesley after 1991", {}},
+      {"XMP", "Q2", "flat list of all title-author pairs", {}},
+      {"XMP", "Q3", "each book's title and all its authors", {}},
+      {"XMP", "Q4", "for each author, the titles of their books",
+       {F::kDistinct}},
+      {"XMP", "Q5", "title/price pairs joined across two sources", {}},
+      {"XMP", "Q6", "books with more than one author (et-al cut-off)",
+       {F::kCount}},
+      {"XMP", "Q7", "titles and prices of books, restructured", {}},
+      {"XMP", "Q8", "books mentioning Suciu in a paragraph", {}},
+      {"XMP", "Q9", "titles containing the word XML", {}},
+      {"XMP", "Q10", "authors with the set of books they wrote",
+       {F::kDistinct}},
+      {"XMP", "Q11", "books with empty author lists rendered differently",
+       {}},
+      {"XMP", "Q12", "pairs of books with identical author sets", {}},
+      // ---- TREE: queries that preserve hierarchy --------------------------
+      {"TREE", "Q1", "table of contents: nested section titles", {}},
+      {"TREE", "Q2", "figures with their enclosing section titles", {}},
+      {"TREE", "Q3", "number of sections and figures", {F::kCount}},
+      {"TREE", "Q4", "sections with figure counts per section", {F::kCount}},
+      {"TREE", "Q5", "top-level section count", {F::kCount}},
+      {"TREE", "Q6", "shallow sections (count of nested sections)",
+       {F::kCount}},
+      // ---- R: access to relational data -----------------------------------
+      {"R", "Q1", "items offered by a given seller", {}},
+      {"R", "Q2", "highest bid per item", {F::kMax}},
+      {"R", "Q3", "items with their current bids joined", {}},
+      {"R", "Q4", "bidders and the items they bid on", {}},
+      {"R", "Q5", "average bid amount per item", {F::kAvg}},
+      {"R", "Q6", "items with more than N bids", {F::kCount}},
+      {"R", "Q7", "highest bid in a category", {F::kMax}},
+      {"R", "Q8", "users with bid counts", {F::kCount}},
+      {"R", "Q9", "items with no bids (count = 0)", {F::kCount}},
+      {"R", "Q10", "most active bidder", {F::kMax, F::kCount}},
+      {"R", "Q11", "bid totals per user", {F::kSum}},
+      {"R", "Q12", "price statistics per category", {F::kAvg, F::kMax}},
+      {"R", "Q13", "items whose bids exceed the average", {F::kAvg}},
+      {"R", "Q14", "bid histogram per item", {F::kCount}},
+      {"R", "Q15", "top item per category", {F::kMax}},
+      {"R", "Q16", "items and bids of one bidder, restructured", {}},
+      {"R", "Q17", "open auctions with seller and buyer info", {}},
+      {"R", "Q18", "distinct users who offered or bid", {F::kDistinct}},
+  };
+  return kCatalog;
+}
+
+std::vector<UseCaseVerdict> EvaluateUseCases() {
+  std::vector<UseCaseVerdict> out;
+  for (const UseCaseQuery& q : UseCaseCatalog()) {
+    UseCaseVerdict v;
+    v.query = &q;
+    v.included = q.features.empty();
+    if (!v.included) {
+      std::vector<std::string> names;
+      for (QueryFeature f : q.features) names.push_back(QueryFeatureName(f));
+      v.reason = Join(names, ", ");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::string UseCaseTable() {
+  std::string out;
+  out += "View Query     | Included | Reason\n";
+  out += "---------------+----------+-------------------\n";
+  for (const UseCaseVerdict& v : EvaluateUseCases()) {
+    std::string name = v.query->group + "-" + v.query->id;
+    name.resize(14, ' ');
+    out += name + " | " + (v.included ? "   Yes   " : "   No    ") + "| " +
+           v.reason + "\n";
+  }
+  return out;
+}
+
+}  // namespace ufilter::check

@@ -1,0 +1,58 @@
+// Fig. 12: expressiveness evaluation of the view ASG model over the W3C XML
+// Query Use Cases (XMP, TREE, R). The ASG inherits the SilkRoute view-forest
+// limitations: no if/then/else, no ordering functions, no user-defined or
+// aggregate functions (max, count, avg, ...), and Project never eliminates
+// duplicates (no Distinct).
+//
+// Each use-case query is encoded as the set of features it uses (taken from
+// the published use-case definitions); the classifier includes a query iff
+// it uses no feature outside the ASG-expressible fragment.
+#ifndef UFILTER_UFILTER_USECASES_H_
+#define UFILTER_UFILTER_USECASES_H_
+
+#include <string>
+#include <vector>
+
+namespace ufilter::check {
+
+/// Query-language features that the ASG model cannot express.
+enum class QueryFeature {
+  kDistinct,
+  kCount,
+  kMax,
+  kAvg,
+  kSum,
+  kIfThenElse,
+  kOrderFunction,
+  kUserFunction,
+};
+
+const char* QueryFeatureName(QueryFeature f);
+
+/// One W3C use-case query with its feature profile.
+struct UseCaseQuery {
+  std::string group;  ///< "XMP", "TREE", "R"
+  std::string id;     ///< "Q1"...
+  std::string description;
+  std::vector<QueryFeature> features;  ///< unsupported features used
+};
+
+/// Result row of the Fig. 12 table.
+struct UseCaseVerdict {
+  const UseCaseQuery* query;
+  bool included;       ///< ASG-expressible?
+  std::string reason;  ///< blocking features when excluded
+};
+
+/// The catalog of W3C use-case queries covered by Fig. 12.
+const std::vector<UseCaseQuery>& UseCaseCatalog();
+
+/// Classifies every catalog query.
+std::vector<UseCaseVerdict> EvaluateUseCases();
+
+/// Renders the Fig. 12 table.
+std::string UseCaseTable();
+
+}  // namespace ufilter::check
+
+#endif  // UFILTER_UFILTER_USECASES_H_

@@ -1,0 +1,278 @@
+#include "ufilter/validation.h"
+
+#include <map>
+#include <optional>
+
+#include "common/strings.h"
+
+namespace ufilter::check {
+
+using asg::Cardinality;
+using asg::NodeKind;
+using asg::ViewAsg;
+using asg::ViewNode;
+using relational::CheckPredicate;
+
+bool PredicatesSatisfiable(const std::vector<CheckPredicate>& preds) {
+  // Equality pins first.
+  std::optional<Value> pinned;
+  for (const CheckPredicate& p : preds) {
+    if (p.op == CompareOp::kEq) {
+      if (pinned.has_value() && !(*pinned == p.literal)) return false;
+      pinned = p.literal;
+    }
+  }
+  if (pinned.has_value()) {
+    for (const CheckPredicate& p : preds) {
+      if (!EvalCompare(*pinned, p.op, p.literal)) return false;
+    }
+    return true;
+  }
+  // Interval reasoning over the Value total order.
+  std::optional<Value> lower, upper;
+  bool lower_strict = false, upper_strict = false;
+  std::vector<Value> excluded;
+  for (const CheckPredicate& p : preds) {
+    switch (p.op) {
+      case CompareOp::kGt:
+      case CompareOp::kGe: {
+        bool strict = p.op == CompareOp::kGt;
+        if (!lower.has_value() || *lower < p.literal ||
+            (*lower == p.literal && strict)) {
+          lower = p.literal;
+          lower_strict = strict;
+        }
+        break;
+      }
+      case CompareOp::kLt:
+      case CompareOp::kLe: {
+        bool strict = p.op == CompareOp::kLt;
+        if (!upper.has_value() || p.literal < *upper ||
+            (*upper == p.literal && strict)) {
+          upper = p.literal;
+          upper_strict = strict;
+        }
+        break;
+      }
+      case CompareOp::kNe:
+        excluded.push_back(p.literal);
+        break;
+      case CompareOp::kEq:
+        break;  // handled above
+    }
+  }
+  if (lower.has_value() && upper.has_value()) {
+    if (*upper < *lower) return false;
+    if (*lower == *upper) {
+      if (lower_strict || upper_strict) return false;
+      for (const Value& e : excluded) {
+        if (e == *lower) return false;
+      }
+    }
+  }
+  // Open-ended or wide intervals with != exclusions stay satisfiable
+  // (conservative for dense domains).
+  return true;
+}
+
+namespace {
+
+/// Finds the vL node projecting `attr` (matching relation + attribute +
+/// originating variable when available).
+const ViewNode* FindLeaf(const ViewAsg& gv, const view::AttrRef& attr) {
+  const ViewNode* fallback = nullptr;
+  for (const ViewNode& n : gv.nodes()) {
+    if (n.kind != NodeKind::kLeaf) continue;
+    if (n.relation != attr.relation || n.attr != attr.attr) continue;
+    if (n.variable == attr.variable) return &n;
+    fallback = &n;
+  }
+  return fallback;
+}
+
+/// The "overlap" test (Section 4, delete check (i)): the update predicate
+/// conjoined with the leaf's check annotation must be satisfiable, otherwise
+/// the update can never touch anything in this view.
+Status CheckPredicateOverlap(const ViewAsg& gv,
+                             const std::vector<BoundPredicate>& preds) {
+  // Group by attribute.
+  std::map<std::string, std::vector<CheckPredicate>> grouped;
+  for (const BoundPredicate& p : preds) {
+    std::string key = p.attr.ToString();
+    auto& bucket = grouped[key];
+    if (bucket.empty()) {
+      const ViewNode* leaf = FindLeaf(gv, p.attr);
+      if (leaf != nullptr) bucket = leaf->checks;
+    }
+    bucket.push_back({p.op, p.literal});
+  }
+  for (const auto& [attr, bucket] : grouped) {
+    if (!PredicatesSatisfiable(bucket)) {
+      return Status::InvalidUpdate(
+          "update predicate on " + attr +
+          " contradicts the view's selection/check constraints — the "
+          "qualified element can never appear in this view");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckLeafValue(const ViewNode& leaf, const std::string& text,
+                      const std::string& element_tag) {
+  if (text.empty()) {
+    if (leaf.not_null) {
+      return Status::InvalidUpdate("<" + element_tag + "> (" + leaf.relation +
+                                   "." + leaf.attr + ") must not be NULL");
+    }
+    return Status::OK();
+  }
+  auto value = Value::FromText(text, leaf.type);
+  if (!value.ok()) {
+    return Status::InvalidUpdate(
+        "<" + element_tag + "> value '" + text + "' is outside domain " +
+        ValueTypeName(leaf.type));
+  }
+  for (const CheckPredicate& chk : leaf.checks) {
+    if (!chk.Admits(*value)) {
+      return Status::InvalidUpdate("<" + element_tag + "> value '" + text +
+                                   "' violates CHECK (" +
+                                   chk.ToString("value") + ")");
+    }
+  }
+  return Status::OK();
+}
+
+/// Structural + value conformance of an insert payload against the ASG
+/// subtree rooted at `node_id` (Section 4, insert checks).
+Status ValidatePayload(const ViewAsg& gv, int node_id,
+                       const xml::Node& payload) {
+  const ViewNode& node = gv.node(node_id);
+  if (node.kind == NodeKind::kTag) {
+    // Simple element: children are text; check against the leaf.
+    if (node.children.empty()) return Status::OK();
+    const ViewNode& leaf = gv.node(node.children[0]);
+    return CheckLeafValue(leaf, payload.TextContent(), node.tag);
+  }
+  if (node.kind != NodeKind::kComplex && node.kind != NodeKind::kRoot) {
+    return Status::InvalidUpdate("cannot insert into a leaf position");
+  }
+
+  // Index ASG children by tag.
+  std::map<std::string, int> by_tag;
+  for (int c : node.children) {
+    const ViewNode& child = gv.node(c);
+    by_tag[child.tag] = c;
+  }
+  // Count payload children per tag and validate each against its ASG child.
+  std::map<std::string, int> counts;
+  for (const xml::NodePtr& child : payload.children()) {
+    if (child->is_text()) {
+      return Status::InvalidUpdate("unexpected text content inside <" +
+                                   payload.label() + ">");
+    }
+    auto it = by_tag.find(child->label());
+    if (it == by_tag.end()) {
+      return Status::InvalidUpdate("view does not allow element <" +
+                                   child->label() + "> inside <" + node.tag +
+                                   ">");
+    }
+    counts[child->label()]++;
+    UFILTER_RETURN_NOT_OK(ValidatePayload(gv, it->second, *child));
+  }
+  // Cardinality constraints of the ASG edges.
+  for (int c : node.children) {
+    const ViewNode& child = gv.node(c);
+    int count = counts.count(child.tag) > 0 ? counts[child.tag] : 0;
+    switch (child.card) {
+      case Cardinality::kOne:
+        if (count != 1) {
+          return Status::InvalidUpdate(
+              "each <" + node.tag + "> must have exactly one <" + child.tag +
+              ">; payload has " + std::to_string(count));
+        }
+        break;
+      case Cardinality::kOpt:
+        if (count > 1) {
+          return Status::InvalidUpdate("each <" + node.tag +
+                                       "> admits at most one <" + child.tag +
+                                       ">");
+        }
+        break;
+      case Cardinality::kStar:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateUpdate(const ViewAsg& gv, const BoundUpdate& update) {
+  // Selection-predicate overlap applies to every operation kind.
+  UFILTER_RETURN_NOT_OK(CheckPredicateOverlap(gv, update.predicates));
+
+  const ViewNode& target = gv.node(update.target_node);
+  switch (update.op) {
+    case xq::UpdateOpType::kDelete: {
+      if (target.kind == NodeKind::kLeaf) {
+        // DELETE $x/attr/text(): invalid when the attribute is NOT NULL.
+        if (target.not_null) {
+          return Status::InvalidUpdate(
+              "cannot delete text() of " + target.relation + "." +
+              target.attr + ": attribute is NOT NULL");
+        }
+        return Status::OK();
+      }
+      if (target.kind == NodeKind::kRoot) return Status::OK();
+      // Deleting a simple element whose leaf is NOT NULL is invalid (the
+      // incoming edge is "1"; the deletion would leave an impossible NULL).
+      // Deleting a *complex* element over a "1" edge (u2's publisher) is
+      // still a valid update — STAR classifies it untranslatable in step 2.
+      if (target.kind == NodeKind::kTag && target.card == Cardinality::kOne &&
+          !target.children.empty() && gv.node(target.children[0]).not_null) {
+        return Status::InvalidUpdate(
+            "cannot delete <" + target.tag + ">: " + target.relation + "." +
+            target.attr + " is NOT NULL");
+      }
+      return Status::OK();
+    }
+    case xq::UpdateOpType::kInsert: {
+      if (update.payload == nullptr) {
+        return Status::InvalidUpdate("INSERT without payload");
+      }
+      if (target.kind == NodeKind::kLeaf) {
+        return Status::InvalidUpdate("cannot insert below a text() node");
+      }
+      // Inserting an additional instance over a "1" edge is invalid.
+      if (target.card == Cardinality::kOne &&
+          target.kind != NodeKind::kRoot) {
+        return Status::InvalidUpdate(
+            "cannot insert another <" + target.tag + ">: each <" +
+            gv.node(target.parent).tag + "> has exactly one");
+      }
+      return ValidatePayload(gv, update.target_node, *update.payload);
+    }
+    case xq::UpdateOpType::kReplace: {
+      if (update.payload == nullptr) {
+        return Status::InvalidUpdate("REPLACE without payload");
+      }
+      if (target.kind == NodeKind::kLeaf) {
+        const ViewNode& tag_node = gv.node(target.parent);
+        return CheckLeafValue(target, update.payload->TextContent(),
+                              tag_node.tag);
+      }
+      // Replacement keeps cardinalities intact; only the payload must
+      // conform structurally.
+      if (update.payload->label() != target.tag) {
+        return Status::InvalidUpdate("REPLACE payload <" +
+                                     update.payload->label() +
+                                     "> does not match target <" +
+                                     target.tag + ">");
+      }
+      return ValidatePayload(gv, update.target_node, *update.payload);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ufilter::check

@@ -1,0 +1,29 @@
+// Step 1: update validation (Section 4). Checks a bound update against the
+// *local* constraints captured in the view ASG: overlap of the update's
+// selection predicates with the leaf check annotations, deletability
+// (incoming-edge cardinality / NOT NULL), structural conformance and value
+// constraints of insert payloads.
+#ifndef UFILTER_UFILTER_VALIDATION_H_
+#define UFILTER_UFILTER_VALIDATION_H_
+
+#include <vector>
+
+#include "asg/view_asg.h"
+#include "common/result.h"
+#include "ufilter/update_binding.h"
+
+namespace ufilter::check {
+
+/// Returns OK when the update is valid per the view schema; otherwise an
+/// InvalidUpdate status with the violated constraint.
+Status ValidateUpdate(const asg::ViewAsg& gv, const BoundUpdate& update);
+
+/// True when the conjunction of check predicates admits at least one value
+/// (used for the "does the element ever appear in the view" overlap test —
+/// update u5's price > 50 against the view's price < 50 is unsatisfiable).
+bool PredicatesSatisfiable(
+    const std::vector<relational::CheckPredicate>& preds);
+
+}  // namespace ufilter::check
+
+#endif  // UFILTER_UFILTER_VALIDATION_H_

@@ -1,0 +1,188 @@
+#include "ufilter/xml_apply.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace ufilter::check {
+
+namespace {
+
+using xml::Node;
+
+/// Nodes reached from `from` by the element steps of `path` (not including
+/// text()); one hop can fan out to several children with the same tag.
+std::vector<Node*> NavigateSteps(Node* from,
+                                 const std::vector<std::string>& steps) {
+  std::vector<Node*> current = {from};
+  for (const std::string& step : steps) {
+    std::vector<Node*> next;
+    for (Node* n : current) {
+      for (Node* c : n->FindChildren(step)) next.push_back(c);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+/// Evaluates a comparison between a node text and a literal, numeric when
+/// the literal is numeric.
+bool CompareText(const std::string& text, CompareOp op, const Value& literal) {
+  Value lhs;
+  if (literal.is_int() || literal.is_double()) {
+    auto parsed = Value::FromText(text, ValueType::kDouble);
+    if (!parsed.ok()) return false;
+    lhs = *parsed;
+  } else {
+    lhs = Value::String(text);
+  }
+  return EvalCompare(lhs, op, literal);
+}
+
+class XmlUpdater {
+ public:
+  XmlUpdater(Node* root, const xq::UpdateStmt& stmt,
+             const xq::UpdateAction& action)
+      : root_(root), stmt_(stmt), action_(action) {}
+
+  Result<int> Run() {
+    UFILTER_RETURN_NOT_OK(BindFrom(0));
+    // Apply collected mutations after enumeration (stable iteration).
+    int changes = 0;
+    if (action_.op == xq::UpdateOpType::kInsert) {
+      for (Node* target : insert_targets_) {
+        target->AddChild(action_.payload->Clone());
+        ++changes;
+      }
+    } else {
+      for (auto& [parent, child] : removals_) {
+        if (action_.op == xq::UpdateOpType::kReplace) {
+          parent->AddChild(action_.payload->Clone());
+          ++changes;
+        }
+        if (parent->RemoveChild(child) != nullptr) ++changes;
+      }
+    }
+    return changes;
+  }
+
+ private:
+  /// Enumerates variable bindings in order; on full binding evaluates the
+  /// WHERE clause and records the mutation target.
+  Status BindFrom(size_t index) {
+    if (index == stmt_.bindings.size()) {
+      if (!ConditionsHold()) return Status::OK();
+      return RecordTarget();
+    }
+    const xq::ForBinding& binding = stmt_.bindings[index];
+    std::vector<Node*> candidates;
+    if (binding.path.from_document) {
+      candidates = NavigateSteps(root_, binding.path.steps);
+    } else {
+      auto it = env_.find(binding.path.variable);
+      if (it == env_.end()) {
+        return Status::InvalidUpdate("unbound variable $" +
+                                     binding.path.variable);
+      }
+      candidates = NavigateSteps(it->second, binding.path.steps);
+    }
+    for (Node* node : candidates) {
+      env_[binding.variable] = node;
+      UFILTER_RETURN_NOT_OK(BindFrom(index + 1));
+    }
+    env_.erase(binding.variable);
+    return Status::OK();
+  }
+
+  bool ConditionsHold() const {
+    for (const xq::Condition& cond : stmt_.conditions) {
+      const xq::Operand* path_side = &cond.lhs;
+      const xq::Operand* lit_side = &cond.rhs;
+      CompareOp op = cond.op;
+      if (!path_side->is_path()) {
+        path_side = &cond.rhs;
+        lit_side = &cond.lhs;
+        op = FlipCompareOp(op);
+      }
+      auto it = env_.find(path_side->path.variable);
+      if (it == env_.end()) return false;
+      std::vector<Node*> nodes =
+          NavigateSteps(it->second, path_side->path.steps);
+      bool any = false;
+      for (Node* n : nodes) {
+        if (CompareText(n->TextContent(), op, lit_side->literal)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    }
+    return true;
+  }
+
+  Status RecordTarget() {
+    auto it = env_.find(stmt_.target_variable);
+    if (it == env_.end()) {
+      return Status::InvalidUpdate("unbound UPDATE variable $" +
+                                   stmt_.target_variable);
+    }
+    Node* anchor = it->second;
+    switch (action_.op) {
+      case xq::UpdateOpType::kInsert:
+        if (seen_.insert(anchor).second) insert_targets_.push_back(anchor);
+        return Status::OK();
+      case xq::UpdateOpType::kDelete:
+      case xq::UpdateOpType::kReplace: {
+        Node* start = anchor;
+        if (!action_.victim.variable.empty() &&
+            action_.victim.variable != stmt_.target_variable) {
+          auto vit = env_.find(action_.victim.variable);
+          if (vit == env_.end()) {
+            return Status::InvalidUpdate("unbound victim variable $" +
+                                         action_.victim.variable);
+          }
+          start = vit->second;
+        }
+        std::vector<Node*> victims = NavigateSteps(start, action_.victim.steps);
+        for (Node* victim : victims) {
+          if (action_.victim.text_fn) {
+            // Deleting text() NULLs the underlying attribute; a NULL leaf
+            // renders as an absent element, so the element goes away too.
+            if (victim->parent() != nullptr && seen_.insert(victim).second) {
+              removals_.emplace_back(victim->parent(), victim);
+            }
+          } else {
+            if (victim->parent() != nullptr && seen_.insert(victim).second) {
+              removals_.emplace_back(victim->parent(), victim);
+            }
+          }
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown op");
+  }
+
+  Node* root_;
+  const xq::UpdateStmt& stmt_;
+  const xq::UpdateAction& action_;
+  std::map<std::string, Node*> env_;
+  std::set<Node*> seen_;
+  std::vector<Node*> insert_targets_;
+  std::vector<std::pair<Node*, Node*>> removals_;  // (parent, child)
+};
+
+}  // namespace
+
+Result<int> ApplyUpdateToXml(Node* root, const xq::UpdateStmt& stmt) {
+  int total = 0;
+  for (const xq::UpdateAction& action : stmt.actions) {
+    XmlUpdater updater(root, stmt, action);
+    UFILTER_ASSIGN_OR_RETURN(int n, updater.Run());
+    total += n;
+  }
+  return total;
+}
+
+}  // namespace ufilter::check

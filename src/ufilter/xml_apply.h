@@ -1,0 +1,21 @@
+// Applies a view update statement directly to a materialized XML view, with
+// pure XML semantics. This computes the paper's u(DEFv(D)) — the *expected*
+// view after the update — which tests and the blind-translation baseline
+// compare against DEFv(U(D)) to witness view side effects (Definition 1's
+// rectangle rule).
+#ifndef UFILTER_UFILTER_XML_APPLY_H_
+#define UFILTER_UFILTER_XML_APPLY_H_
+
+#include "common/result.h"
+#include "xml/node.h"
+#include "xquery/ast.h"
+
+namespace ufilter::check {
+
+/// Applies `stmt` to `root` in place. Returns the number of nodes inserted
+/// plus removed (0 means the update matched nothing).
+Result<int> ApplyUpdateToXml(xml::Node* root, const xq::UpdateStmt& stmt);
+
+}  // namespace ufilter::check
+
+#endif  // UFILTER_UFILTER_XML_APPLY_H_

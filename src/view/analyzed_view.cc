@@ -1,0 +1,295 @@
+#include "view/analyzed_view.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace ufilter::view {
+
+std::string ResolvedCondition::ToString() const {
+  if (is_correlation) {
+    return lhs.ToString() + " " + CompareOpSymbol(op) + " " + rhs.ToString();
+  }
+  return lhs.ToString() + " " + CompareOpSymbol(op) + " " +
+         literal.ToSqlLiteral();
+}
+
+const std::string* Scope::FindVar(const std::string& var) const {
+  for (const auto& [v, rel] : vars) {
+    if (v == var) return &rel;
+  }
+  return parent != nullptr ? parent->FindVar(var) : nullptr;
+}
+
+std::vector<std::string> Scope::NewRelations() const {
+  std::set<std::string> out;
+  for (const auto& [v, rel] : vars) {
+    (void)v;
+    out.insert(rel);
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> Scope::AllRelations() const {
+  std::set<std::string> out;
+  for (const Scope* s = this; s != nullptr; s = s->parent) {
+    for (const auto& [v, rel] : s->vars) {
+      (void)v;
+      out.insert(rel);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<const AvNode*> AvNode::ElementChildren() const {
+  std::vector<const AvNode*> out;
+  for (const auto& c : children) {
+    if (c->kind == Kind::kGroup) {
+      for (const auto& gc : c->children) {
+        if (gc->is_element()) out.push_back(gc.get());
+      }
+    } else if (c->is_element()) {
+      out.push_back(c.get());
+    }
+  }
+  return out;
+}
+
+const AvNode* AvNode::ParentElement() const {
+  const AvNode* p = parent;
+  while (p != nullptr && !p->is_element()) p = p->parent;
+  return p;
+}
+
+bool AvNode::RepeatsBelow(const AvNode* ancestor) const {
+  for (const AvNode* p = parent; p != nullptr; p = p->parent) {
+    if (p == ancestor) return false;
+    if (p->kind == Kind::kGroup) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> AvNode::TagPath() const {
+  std::vector<std::string> out;
+  for (const AvNode* n = this; n != nullptr; n = n->ParentElement()) {
+    if (n->kind == Kind::kRoot) break;
+    if (n->is_element()) out.push_back(n->tag);
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+class Analyzer {
+ public:
+  Analyzer(const xq::ViewQuery& query, const relational::DatabaseSchema* schema)
+      : query_(query), schema_(schema) {}
+
+  Result<std::unique_ptr<AnalyzedView>> Run() {
+    auto view = std::unique_ptr<AnalyzedView>(new AnalyzedView());
+    view->schema_ = schema_;
+    view_ = view.get();
+
+    auto root_scope = std::make_unique<Scope>();
+    const Scope* root_scope_ptr = root_scope.get();
+    view_->scopes_.push_back(std::move(root_scope));
+
+    auto root = std::make_unique<AvNode>();
+    root->kind = AvNode::Kind::kRoot;
+    root->tag = query_.root_tag;
+    root->scope = root_scope_ptr;
+    view_->root_ = std::move(root);
+
+    for (const xq::FlwrPtr& flwr : query_.flwrs) {
+      UFILTER_RETURN_NOT_OK(
+          AnalyzeFlwr(*flwr, view_->root_.get(), root_scope_ptr));
+    }
+    return view;
+  }
+
+ private:
+  Status AnalyzeFlwr(const xq::Flwr& flwr, AvNode* parent,
+                     const Scope* parent_scope) {
+    auto scope = std::make_unique<Scope>();
+    scope->parent = parent_scope;
+    for (const xq::ForBinding& b : flwr.bindings) {
+      UFILTER_ASSIGN_OR_RETURN(std::string relation, RelationOf(b.path));
+      if (scope->FindVar(b.variable) != nullptr) {
+        return Status::NotSupported("variable $" + b.variable +
+                                    " shadows an outer binding");
+      }
+      scope->vars.emplace_back(b.variable, relation);
+    }
+    for (const xq::Condition& c : flwr.conditions) {
+      UFILTER_ASSIGN_OR_RETURN(ResolvedCondition rc,
+                               ResolveCondition(c, scope.get()));
+      scope->conditions.push_back(std::move(rc));
+    }
+    Scope* scope_ptr = scope.get();
+    view_->scopes_.push_back(std::move(scope));
+
+    auto group = std::make_unique<AvNode>();
+    group->kind = AvNode::Kind::kGroup;
+    group->scope = scope_ptr;
+    group->parent = parent;
+    AvNode* group_ptr = group.get();
+    parent->children.push_back(std::move(group));
+
+    for (const xq::Content& content : flwr.contents) {
+      UFILTER_RETURN_NOT_OK(AnalyzeContent(content, group_ptr, scope_ptr));
+    }
+    return Status::OK();
+  }
+
+  Status AnalyzeContent(const xq::Content& content, AvNode* parent,
+                        const Scope* scope) {
+    switch (content.kind) {
+      case xq::Content::Kind::kProjection:
+        return AnalyzeProjection(content.projection, parent, scope);
+      case xq::Content::Kind::kElement: {
+        auto node = std::make_unique<AvNode>();
+        node->kind = AvNode::Kind::kComplex;
+        node->tag = content.element->tag;
+        node->scope = scope;
+        node->parent = parent;
+        AvNode* node_ptr = node.get();
+        parent->children.push_back(std::move(node));
+        for (const xq::Content& child : content.element->children) {
+          UFILTER_RETURN_NOT_OK(AnalyzeContent(child, node_ptr, scope));
+        }
+        return Status::OK();
+      }
+      case xq::Content::Kind::kFlwr:
+        return AnalyzeFlwr(*content.flwr, parent, scope);
+    }
+    return Status::Internal("unreachable content kind");
+  }
+
+  Status AnalyzeProjection(const xq::Path& path, AvNode* parent,
+                           const Scope* scope) {
+    UFILTER_ASSIGN_OR_RETURN(AttrRef ref, ResolveAttr(path, scope));
+    auto node = std::make_unique<AvNode>();
+    node->kind = AvNode::Kind::kSimple;
+    node->tag = ref.attr;
+    node->variable = ref.variable;
+    node->relation = ref.relation;
+    node->attr = ref.attr;
+    node->scope = scope;
+    node->parent = parent;
+    parent->children.push_back(std::move(node));
+    return Status::OK();
+  }
+
+  /// FOR paths look like document("default.xml")/<table>/row.
+  Result<std::string> RelationOf(const xq::Path& path) const {
+    if (!path.from_document) {
+      return Status::NotSupported(
+          "FOR binding must range over document(...): got " + path.ToString());
+    }
+    if (path.steps.empty()) {
+      return Status::NotSupported("FOR binding path has no table step: " +
+                                  path.ToString());
+    }
+    const std::string& table = path.steps[0];
+    if (!schema_->HasTable(table)) {
+      return Status::NotFound("view query references unknown table '" + table +
+                              "'");
+    }
+    if (path.steps.size() > 2 ||
+        (path.steps.size() == 2 && path.steps[1] != "row")) {
+      return Status::NotSupported("unsupported FOR path: " + path.ToString());
+    }
+    return table;
+  }
+
+  Result<AttrRef> ResolveAttr(const xq::Path& path, const Scope* scope) const {
+    if (path.from_document) {
+      return Status::NotSupported("expected $var/attr path, got " +
+                                  path.ToString());
+    }
+    if (path.steps.size() != 1) {
+      return Status::NotSupported("expected single-step attribute path, got " +
+                                  path.ToString());
+    }
+    const std::string* relation = scope->FindVar(path.variable);
+    if (relation == nullptr) {
+      return Status::NotFound("unbound variable $" + path.variable);
+    }
+    UFILTER_ASSIGN_OR_RETURN(const relational::TableSchema* table,
+                             schema_->FindTable(*relation));
+    if (!table->HasColumn(path.steps[0])) {
+      return Status::NotFound("no column '" + path.steps[0] + "' in '" +
+                              *relation + "'");
+    }
+    return AttrRef{path.variable, *relation, path.steps[0]};
+  }
+
+  Result<ResolvedCondition> ResolveCondition(const xq::Condition& cond,
+                                             const Scope* scope) const {
+    ResolvedCondition out;
+    if (cond.IsCorrelation()) {
+      out.is_correlation = true;
+      UFILTER_ASSIGN_OR_RETURN(out.lhs, ResolveAttr(cond.lhs.path, scope));
+      out.op = cond.op;
+      UFILTER_ASSIGN_OR_RETURN(out.rhs, ResolveAttr(cond.rhs.path, scope));
+      return out;
+    }
+    // Normalize literal to the right side.
+    const xq::Operand* path_side = &cond.lhs;
+    const xq::Operand* lit_side = &cond.rhs;
+    CompareOp op = cond.op;
+    if (!cond.lhs.is_path()) {
+      path_side = &cond.rhs;
+      lit_side = &cond.lhs;
+      op = FlipCompareOp(op);
+    }
+    if (!path_side->is_path() || lit_side->is_path()) {
+      return Status::NotSupported("unsupported condition " + cond.ToString());
+    }
+    out.is_correlation = false;
+    UFILTER_ASSIGN_OR_RETURN(out.lhs, ResolveAttr(path_side->path, scope));
+    out.op = op;
+    out.literal = lit_side->literal;
+    return out;
+  }
+
+  const xq::ViewQuery& query_;
+  const relational::DatabaseSchema* schema_;
+  AnalyzedView* view_ = nullptr;
+};
+
+Result<std::unique_ptr<AnalyzedView>> AnalyzedView::Analyze(
+    const xq::ViewQuery& query, const relational::DatabaseSchema* schema) {
+  Analyzer analyzer(query, schema);
+  return analyzer.Run();
+}
+
+std::vector<std::string> AnalyzedView::Relations() const {
+  std::set<std::string> out;
+  for (const auto& scope : scopes_) {
+    for (const auto& [v, rel] : scope->vars) {
+      (void)v;
+      out.insert(rel);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+Result<const AvNode*> AnalyzedView::ResolveElementPath(
+    const std::vector<std::string>& steps) const {
+  const AvNode* current = root_.get();
+  for (const std::string& step : steps) {
+    const AvNode* next = nullptr;
+    for (const AvNode* child : current->ElementChildren()) {
+      if (child->tag == step) {
+        next = child;
+        break;
+      }
+    }
+    if (next == nullptr) {
+      return Status::NotFound("view has no element path .../" + step);
+    }
+    current = next;
+  }
+  return current;
+}
+
+}  // namespace ufilter::view

@@ -1,0 +1,126 @@
+// Analyzed (name-resolved) form of a view query. The parser's AST is
+// syntactic; this module binds variables to relations, classifies predicates
+// (correlation vs. non-correlation, Section 3.1) and normalizes the
+// constructor structure into a tree that the ASG builder, the materializer
+// and the probe-query composer all walk.
+//
+// Tree shape:
+//   kRoot                 the (possibly dummy) root element
+//   kGroup                an FLWR: carries a Scope (new bindings + WHERE);
+//                         its children repeat once per qualifying binding
+//   kComplex              an element constructor <tag>...</tag>
+//   kSimple               a projection $var/attr, rendering <attr>value</attr>
+#ifndef UFILTER_VIEW_ANALYZED_VIEW_H_
+#define UFILTER_VIEW_ANALYZED_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "xquery/ast.h"
+
+namespace ufilter::view {
+
+/// Resolved `$var/attr`: the variable, its bound relation, and the column.
+struct AttrRef {
+  std::string variable;
+  std::string relation;
+  std::string attr;
+
+  std::string ToString() const { return relation + "." + attr; }
+};
+
+/// A resolved WHERE conjunct. Correlation predicates join two attributes;
+/// local (non-correlation) predicates compare an attribute with a literal.
+struct ResolvedCondition {
+  bool is_correlation = false;
+  AttrRef lhs;
+  CompareOp op = CompareOp::kEq;
+  AttrRef rhs;    ///< when is_correlation
+  Value literal;  ///< when !is_correlation
+
+  std::string ToString() const;
+};
+
+/// Variable scope of one FLWR. Scopes nest following the query's FLWR
+/// nesting; `FindVar` walks outward.
+struct Scope {
+  const Scope* parent = nullptr;
+  /// Bindings introduced by this FLWR, in binding order: var -> relation.
+  std::vector<std::pair<std::string, std::string>> vars;
+  /// Resolved WHERE conjuncts of this FLWR.
+  std::vector<ResolvedCondition> conditions;
+
+  /// Relation bound to `var`, searching this scope then ancestors.
+  const std::string* FindVar(const std::string& var) const;
+  /// Names of relations newly bound here.
+  std::vector<std::string> NewRelations() const;
+  /// Relations bound here or in any ancestor (the UCBinding contribution).
+  std::vector<std::string> AllRelations() const;
+};
+
+/// One node of the analyzed view tree.
+struct AvNode {
+  enum class Kind { kRoot, kGroup, kComplex, kSimple };
+
+  Kind kind = Kind::kRoot;
+  std::string tag;  ///< element tag (kRoot/kComplex/kSimple)
+  // kSimple projection source:
+  std::string variable;
+  std::string relation;
+  std::string attr;
+
+  /// Scope in effect at this node. For kGroup this is the group's own,
+  /// newly introduced scope.
+  const Scope* scope = nullptr;
+  AvNode* parent = nullptr;
+  std::vector<std::unique_ptr<AvNode>> children;
+
+  bool is_element() const { return kind != Kind::kGroup; }
+
+  /// Element children, looking through kGroup wrappers.
+  std::vector<const AvNode*> ElementChildren() const;
+  /// Nearest ancestor that is an element (skipping groups); null for root.
+  const AvNode* ParentElement() const;
+  /// True if this element sits (possibly through kComplex ancestors) under a
+  /// kGroup that is a descendant-or-self of `ancestor`'s subtree start,
+  /// i.e. the element repeats relative to `ancestor`.
+  bool RepeatsBelow(const AvNode* ancestor) const;
+  /// Path of tags from the root element to this element (root tag excluded).
+  std::vector<std::string> TagPath() const;
+};
+
+/// \brief The analyzed view: resolved tree + schema handle.
+class AnalyzedView {
+ public:
+  /// Analyzes `query` against `schema`. Fails with NotFound / NotSupported
+  /// when names don't resolve or the query leaves the supported fragment.
+  static Result<std::unique_ptr<AnalyzedView>> Analyze(
+      const xq::ViewQuery& query, const relational::DatabaseSchema* schema);
+
+  const AvNode& root() const { return *root_; }
+  const relational::DatabaseSchema& schema() const { return *schema_; }
+
+  /// rel(DEFv): all relations referenced by the view query.
+  std::vector<std::string> Relations() const;
+
+  /// Resolves a path of element tags from the root (e.g. {"book",
+  /// "publisher"}) to the **first** matching element node, document order.
+  Result<const AvNode*> ResolveElementPath(
+      const std::vector<std::string>& steps) const;
+
+ private:
+  AnalyzedView() = default;
+
+  std::unique_ptr<AvNode> root_;
+  std::vector<std::unique_ptr<Scope>> scopes_;
+  const relational::DatabaseSchema* schema_ = nullptr;
+
+  friend class Analyzer;
+};
+
+}  // namespace ufilter::view
+
+#endif  // UFILTER_VIEW_ANALYZED_VIEW_H_

@@ -1,0 +1,35 @@
+#include "view/diff.h"
+
+namespace ufilter::view {
+
+namespace {
+
+std::optional<std::string> DiffAt(const xml::Node& a, const xml::Node& b,
+                                  const std::string& path) {
+  if (a.kind() != b.kind()) {
+    return path + ": node kind differs";
+  }
+  if (a.label() != b.label()) {
+    return path + ": '" + a.label() + "' vs '" + b.label() + "'";
+  }
+  if (a.children().size() != b.children().size()) {
+    return path + "/" + a.label() + ": child count " +
+           std::to_string(a.children().size()) + " vs " +
+           std::to_string(b.children().size());
+  }
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    auto d = DiffAt(*a.children()[i], *b.children()[i],
+                    path + "/" + a.label() + "[" + std::to_string(i) + "]");
+    if (d.has_value()) return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> FirstDifference(const xml::Node& a,
+                                           const xml::Node& b) {
+  return DiffAt(a, b, "");
+}
+
+}  // namespace ufilter::view

@@ -1,0 +1,28 @@
+// Structural XML diff used as the side-effect oracle: the blind-translation
+// baseline (Fig. 14) materializes the view before and after executing a
+// translated update and compares the observed change against the requested
+// one; tests use it to verify Definition 1's "rectangle rule".
+#ifndef UFILTER_VIEW_DIFF_H_
+#define UFILTER_VIEW_DIFF_H_
+
+#include <optional>
+#include <string>
+
+#include "xml/node.h"
+
+namespace ufilter::view {
+
+/// Describes the first structural difference between two XML trees, or
+/// nullopt when they are equal. The description contains the path and the
+/// differing labels.
+std::optional<std::string> FirstDifference(const xml::Node& a,
+                                           const xml::Node& b);
+
+/// Convenience: trees equal?
+inline bool TreesEqual(const xml::Node& a, const xml::Node& b) {
+  return !FirstDifference(a, b).has_value();
+}
+
+}  // namespace ufilter::view
+
+#endif  // UFILTER_VIEW_DIFF_H_

@@ -1,0 +1,33 @@
+// Evaluates an analyzed view query over the relational database, producing
+// the XML view content (Fig. 3(b) from Fig. 3(a) + Fig. 1). Used by the
+// examples, by tests as a side-effect oracle, and by the Fig. 14 baseline
+// (blind translation detects side effects by materializing before/after).
+#ifndef UFILTER_VIEW_MATERIALIZER_H_
+#define UFILTER_VIEW_MATERIALIZER_H_
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "view/analyzed_view.h"
+#include "xml/node.h"
+
+namespace ufilter::view {
+
+/// \brief View query evaluator.
+///
+/// Group enumeration uses the engine's hash indexes when a scope condition
+/// equates a new variable's indexed column with an already-bound value;
+/// otherwise it scans. NULL projection values render as absent elements
+/// (matching the '?' cardinality in the view ASG).
+class Materializer {
+ public:
+  explicit Materializer(relational::Database* db) : db_(db) {}
+
+  Result<xml::NodePtr> Materialize(const AnalyzedView& view);
+
+ private:
+  relational::Database* db_;
+};
+
+}  // namespace ufilter::view
+
+#endif  // UFILTER_VIEW_MATERIALIZER_H_

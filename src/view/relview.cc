@@ -1,0 +1,197 @@
+#include "view/relview.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace ufilter::view {
+
+namespace {
+
+using relational::Database;
+using relational::Row;
+using relational::RowId;
+using relational::Table;
+
+void CollectColumns(const AvNode& node, std::set<std::string>* used,
+                    std::vector<RelViewColumn>* out) {
+  if (node.kind == AvNode::Kind::kSimple) {
+    std::string name = node.attr;
+    int n = 1;
+    while (used->count(name) > 0) name = node.attr + "_" + std::to_string(n++);
+    used->insert(name);
+    out->push_back({name, AttrRef{node.variable, node.relation, node.attr}});
+    return;
+  }
+  for (const auto& c : node.children) CollectColumns(*c, used, out);
+}
+
+struct BoundVar {
+  const Table* table;
+  const Row* row;
+};
+using Env = std::map<std::string, BoundVar>;
+
+class Flattener {
+ public:
+  Flattener(Database* db, const RelationalView* schema_only)
+      : db_(db), schema_(schema_only) {}
+
+  Status Flatten(const AvNode& node, Env* env, std::vector<Row>* out) {
+    // Find the first group child (nesting level); emit the cartesian LOJ.
+    const AvNode* group = nullptr;
+    for (const auto& c : node.children) {
+      if (c->kind == AvNode::Kind::kGroup) {
+        group = c.get();
+        break;
+      }
+    }
+    if (group == nullptr) {
+      out->push_back(RowFromEnv(*env));
+      return Status::OK();
+    }
+    return BindGroup(*group, 0, env, out);
+  }
+
+ private:
+  Row RowFromEnv(const Env& env) const {
+    Row row(schema_->columns.size());
+    for (size_t i = 0; i < schema_->columns.size(); ++i) {
+      const AttrRef& src = schema_->columns[i].source;
+      auto it = env.find(src.variable);
+      if (it == env.end()) continue;  // NULL (outer side unmatched)
+      int c = it->second.table->schema().ColumnIndex(src.attr);
+      if (c >= 0) row[i] = (*it->second.row)[static_cast<size_t>(c)];
+    }
+    return row;
+  }
+
+  const Value* Lookup(const Env& env, const AttrRef& ref) const {
+    auto it = env.find(ref.variable);
+    if (it == env.end()) return nullptr;
+    int c = it->second.table->schema().ColumnIndex(ref.attr);
+    if (c < 0) return nullptr;
+    return &(*it->second.row)[static_cast<size_t>(c)];
+  }
+
+  Status BindGroup(const AvNode& group, size_t var_index, Env* env,
+                   std::vector<Row>* out) {
+    const Scope& scope = *group.scope;
+    if (var_index == scope.vars.size()) {
+      for (const ResolvedCondition& cond : scope.conditions) {
+        const Value* lhs = Lookup(*env, cond.lhs);
+        bool pass = false;
+        if (lhs != nullptr) {
+          if (cond.is_correlation) {
+            const Value* rhs = Lookup(*env, cond.rhs);
+            pass = rhs != nullptr && EvalCompare(*lhs, cond.op, *rhs);
+          } else {
+            pass = EvalCompare(*lhs, cond.op, cond.literal);
+          }
+        }
+        if (!pass) return Status::OK();
+      }
+      // Descend into nested groups (next nesting level); left-outer: if no
+      // nested rows were produced, emit this level NULL-padded.
+      size_t before = out->size();
+      const AvNode* nested = nullptr;
+      for (const auto& c : group.children) {
+        UFILTER_RETURN_NOT_OK(FindNestedGroup(*c, &nested));
+      }
+      if (nested != nullptr) {
+        UFILTER_RETURN_NOT_OK(BindGroup(*nested, 0, env, out));
+      }
+      if (out->size() == before) out->push_back(RowFromEnv(*env));
+      return Status::OK();
+    }
+
+    const auto& [var, relation] = scope.vars[var_index];
+    UFILTER_ASSIGN_OR_RETURN(Table * table, db_->GetTable(relation));
+    size_t produced_before = out->size();
+    for (RowId id : table->AllRowIds()) {
+      const Row* row = table->GetRow(id);
+      if (row == nullptr) continue;
+      (*env)[var] = BoundVar{table, row};
+      UFILTER_RETURN_NOT_OK(BindGroup(group, var_index + 1, env, out));
+    }
+    env->erase(var);
+    // Left-outer semantics at the top of each group: parent row without
+    // children still appears (handled by caller when nothing was produced).
+    (void)produced_before;
+    return Status::OK();
+  }
+
+  Status FindNestedGroup(const AvNode& node, const AvNode** found) const {
+    if (node.kind == AvNode::Kind::kGroup) {
+      if (*found != nullptr && *found != &node) {
+        return Status::NotSupported(
+            "relational view mapping supports one nested group per level");
+      }
+      *found = &node;
+      return Status::OK();
+    }
+    for (const auto& c : node.children) {
+      UFILTER_RETURN_NOT_OK(FindNestedGroup(*c, found));
+    }
+    return Status::OK();
+  }
+
+  Database* db_;
+  const RelationalView* schema_;
+};
+
+}  // namespace
+
+int RelationalView::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string RelationalView::ToCreateViewSql(const std::string& view_name) const {
+  std::vector<std::string> cols;
+  std::set<std::string> rels;
+  for (const RelViewColumn& c : columns) {
+    cols.push_back(c.source.relation + "." + c.source.attr + " AS " + c.name);
+    rels.insert(c.source.relation);
+  }
+  return "CREATE VIEW " + view_name + " AS SELECT " + Join(cols, ", ") +
+         " FROM " + Join({rels.begin(), rels.end()}, " LEFT JOIN ");
+}
+
+std::vector<RelViewColumn> FlattenColumns(const AnalyzedView& view) {
+  std::set<std::string> used;
+  std::vector<RelViewColumn> out;
+  CollectColumns(view.root(), &used, &out);
+  return out;
+}
+
+Result<RelationalView> BuildRelationalView(relational::Database* db,
+                                           const AnalyzedView& view) {
+  RelationalView rv;
+  rv.columns = FlattenColumns(view);
+  Env env;
+  Flattener flattener(db, &rv);
+  // The root's first group drives the flattening; additional top-level
+  // groups (republished relations) are out of scope for the internal
+  // mapping, matching the paper's well-nested RelationalBookView which only
+  // flattens the book branch.
+  const AvNode* first_group = nullptr;
+  for (const auto& c : view.root().children) {
+    if (c->kind == AvNode::Kind::kGroup) {
+      first_group = c.get();
+      break;
+    }
+  }
+  if (first_group == nullptr) return rv;
+  std::vector<relational::Row> rows;
+  Flattener inner(db, &rv);
+  UFILTER_RETURN_NOT_OK(inner.Flatten(view.root(), &env, &rows));
+  rv.rows = std::move(rows);
+  (void)flattener;
+  return rv;
+}
+
+}  // namespace ufilter::view

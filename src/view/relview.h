@@ -1,0 +1,46 @@
+// The "internal approach" substrate (Section 6.2.1): maps the XML view to a
+// single flat relational view built with left outer joins following the view
+// nesting (the paper's RelationalBookView, Fig. 11). The internal strategy
+// then updates this relational view, which forces retrieval of *all* view
+// columns — the inefficiency Fig. 15 measures.
+#ifndef UFILTER_VIEW_RELVIEW_H_
+#define UFILTER_VIEW_RELVIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "view/analyzed_view.h"
+
+namespace ufilter::view {
+
+/// One column of the flattened relational view.
+struct RelViewColumn {
+  std::string name;      ///< unique-ified column name
+  AttrRef source;        ///< originating relation.attribute
+};
+
+/// The flattened relational view: schema + rows (NULL-padded on the outer
+/// side of each nesting level, like a LEFT JOIN chain).
+struct RelationalView {
+  std::vector<RelViewColumn> columns;
+  std::vector<relational::Row> rows;
+
+  int ColumnIndex(const std::string& name) const;
+  /// CREATE VIEW text describing this mapping (documentation/logging).
+  std::string ToCreateViewSql(const std::string& view_name) const;
+};
+
+/// Builds the flattened relational view of `view` over `db`.
+Result<RelationalView> BuildRelationalView(relational::Database* db,
+                                           const AnalyzedView& view);
+
+/// Collects the flattened column list only (no data access); used by the
+/// internal strategy to know which attributes a relational-view update must
+/// populate.
+std::vector<RelViewColumn> FlattenColumns(const AnalyzedView& view);
+
+}  // namespace ufilter::view
+
+#endif  // UFILTER_VIEW_RELVIEW_H_

@@ -1,0 +1,23 @@
+#include "xml/default_view.h"
+
+namespace ufilter::xml {
+
+NodePtr DefaultView(const relational::Database& db) {
+  NodePtr root = Node::Element("DB");
+  for (const relational::TableSchema& schema : db.schema().tables()) {
+    auto table = db.GetTable(schema.name());
+    if (!table.ok()) continue;
+    Node* table_el = root->AddChild(Node::Element(schema.name()));
+    for (relational::RowId id : (*table)->AllRowIds()) {
+      const relational::Row* row = (*table)->GetRow(id);
+      Node* row_el = table_el->AddChild(Node::Element("row"));
+      for (size_t i = 0; i < schema.columns().size(); ++i) {
+        row_el->AddChild(Node::SimpleElement(schema.columns()[i].name,
+                                             (*row)[i].ToText()));
+      }
+    }
+  }
+  return root;
+}
+
+}  // namespace ufilter::xml

@@ -1,0 +1,17 @@
+// The "default XML view" of Fig. 2: a canonical one-to-one XML image of a
+// relational database (<DB><table><row><col>value</col>...</row>...</table>).
+#ifndef UFILTER_XML_DEFAULT_VIEW_H_
+#define UFILTER_XML_DEFAULT_VIEW_H_
+
+#include "relational/database.h"
+#include "xml/node.h"
+
+namespace ufilter::xml {
+
+/// Builds the default XML view of `db` (all permanent tables, rows in
+/// row-id order).
+NodePtr DefaultView(const relational::Database& db);
+
+}  // namespace ufilter::xml
+
+#endif  // UFILTER_XML_DEFAULT_VIEW_H_

@@ -1,0 +1,88 @@
+#include "xml/node.h"
+
+namespace ufilter::xml {
+
+NodePtr Node::SimpleElement(std::string tag, std::string text) {
+  NodePtr el = Element(std::move(tag));
+  el->AddChild(Text(std::move(text)));
+  return el;
+}
+
+Node* Node::AddChild(NodePtr child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+NodePtr Node::RemoveChild(size_t index) {
+  if (index >= children_.size()) return nullptr;
+  NodePtr out = std::move(children_[index]);
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
+  out->parent_ = nullptr;
+  return out;
+}
+
+NodePtr Node::RemoveChild(Node* child) {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].get() == child) return RemoveChild(i);
+  }
+  return nullptr;
+}
+
+Node* Node::FindChild(const std::string& tag) const {
+  for (const NodePtr& c : children_) {
+    if (c->is_element() && c->label() == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<Node*> Node::FindChildren(const std::string& tag) const {
+  std::vector<Node*> out;
+  for (const NodePtr& c : children_) {
+    if (c->is_element() && c->label() == tag) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::vector<Node*> Node::ElementChildren() const {
+  std::vector<Node*> out;
+  for (const NodePtr& c : children_) {
+    if (c->is_element()) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Node::TextContent() const {
+  if (is_text()) return label_;
+  std::string out;
+  for (const NodePtr& c : children_) out += c->TextContent();
+  return out;
+}
+
+std::string Node::ChildText(const std::string& tag) const {
+  Node* c = FindChild(tag);
+  return c != nullptr ? c->TextContent() : "";
+}
+
+NodePtr Node::Clone() const {
+  NodePtr copy(new Node(kind_, label_));
+  for (const NodePtr& c : children_) copy->AddChild(c->Clone());
+  return copy;
+}
+
+bool Node::Equals(const Node& other) const {
+  if (kind_ != other.kind_ || label_ != other.label_) return false;
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+size_t Node::CountElements() const {
+  size_t n = is_element() ? 1 : 0;
+  for (const NodePtr& c : children_) n += c->CountElements();
+  return n;
+}
+
+}  // namespace ufilter::xml

@@ -1,0 +1,82 @@
+// DOM-like XML tree used for materialized views, default views (Fig. 2) and
+// update payloads. Elements own their children; text lives in text nodes.
+#ifndef UFILTER_XML_NODE_H_
+#define UFILTER_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ufilter::xml {
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// \brief An XML node: element (tag + children) or text (content).
+class Node {
+ public:
+  enum class Kind { kElement, kText };
+
+  static NodePtr Element(std::string tag) {
+    return NodePtr(new Node(Kind::kElement, std::move(tag)));
+  }
+  static NodePtr Text(std::string content) {
+    return NodePtr(new Node(Kind::kText, std::move(content)));
+  }
+  /// Convenience: <tag>text</tag>.
+  static NodePtr SimpleElement(std::string tag, std::string text);
+
+  Kind kind() const { return kind_; }
+  bool is_element() const { return kind_ == Kind::kElement; }
+  bool is_text() const { return kind_ == Kind::kText; }
+
+  /// Tag name for elements, content for text nodes.
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  const std::vector<NodePtr>& children() const { return children_; }
+  Node* parent() const { return parent_; }
+
+  /// Appends a child and returns a raw pointer to it.
+  Node* AddChild(NodePtr child);
+  /// Removes the child at `index`; returns ownership.
+  NodePtr RemoveChild(size_t index);
+  /// Removes `child` (by identity); returns ownership or nullptr.
+  NodePtr RemoveChild(Node* child);
+
+  /// First child element with tag `tag`, or nullptr.
+  Node* FindChild(const std::string& tag) const;
+  /// All child elements with tag `tag`.
+  std::vector<Node*> FindChildren(const std::string& tag) const;
+  /// Child elements in order.
+  std::vector<Node*> ElementChildren() const;
+
+  /// Concatenated text of all descendant text nodes.
+  std::string TextContent() const;
+  /// Text of the child element `tag` ("" when absent).
+  std::string ChildText(const std::string& tag) const;
+
+  /// Deep copy (parent pointer of the copy is null).
+  NodePtr Clone() const;
+
+  /// Structural equality: same kind, label, and recursively equal children
+  /// (order-sensitive, as XML is ordered).
+  bool Equals(const Node& other) const;
+
+  /// Number of element nodes in this subtree (including this one if element).
+  size_t CountElements() const;
+
+ private:
+  Node(Kind kind, std::string label) : kind_(kind), label_(std::move(label)) {}
+
+  Kind kind_;
+  std::string label_;
+  std::vector<NodePtr> children_;
+  Node* parent_ = nullptr;
+};
+
+}  // namespace ufilter::xml
+
+#endif  // UFILTER_XML_NODE_H_

@@ -1,0 +1,82 @@
+#include "xml/writer.h"
+
+namespace ufilter::xml {
+
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool HasElementChild(const Node& node) {
+  for (const NodePtr& c : node.children()) {
+    if (c->is_element()) return true;
+  }
+  return false;
+}
+
+void WriteNode(const Node& node, const WriteOptions& options, int depth,
+               std::string* out) {
+  std::string pad =
+      options.pretty ? std::string(static_cast<size_t>(depth) *
+                                       static_cast<size_t>(options.indent_width),
+                                   ' ')
+                     : "";
+  if (node.is_text()) {
+    *out += pad + EscapeText(node.label());
+    if (options.pretty) *out += "\n";
+    return;
+  }
+  if (node.children().empty()) {
+    *out += pad + "<" + node.label() + "/>";
+    if (options.pretty) *out += "\n";
+    return;
+  }
+  // Element with only text children renders inline.
+  if (!HasElementChild(node)) {
+    *out += pad + "<" + node.label() + ">" +
+            EscapeText(node.TextContent()) + "</" + node.label() + ">";
+    if (options.pretty) *out += "\n";
+    return;
+  }
+  *out += pad + "<" + node.label() + ">";
+  if (options.pretty) *out += "\n";
+  for (const NodePtr& c : node.children()) {
+    WriteNode(*c, options, depth + 1, out);
+  }
+  *out += pad + "</" + node.label() + ">";
+  if (options.pretty) *out += "\n";
+}
+
+}  // namespace
+
+std::string ToString(const Node& node, const WriteOptions& options) {
+  std::string out;
+  WriteNode(node, options, 0, &out);
+  return out;
+}
+
+}  // namespace ufilter::xml

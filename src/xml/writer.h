@@ -1,0 +1,24 @@
+// XML serialization with entity escaping and optional pretty-printing.
+#ifndef UFILTER_XML_WRITER_H_
+#define UFILTER_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace ufilter::xml {
+
+struct WriteOptions {
+  bool pretty = true;
+  int indent_width = 2;
+};
+
+/// Serializes `node` (and its subtree) to XML text.
+std::string ToString(const Node& node, const WriteOptions& options = {});
+
+/// Escapes &, <, >, ", ' for use in XML text content.
+std::string EscapeText(const std::string& text);
+
+}  // namespace ufilter::xml
+
+#endif  // UFILTER_XML_WRITER_H_

@@ -1,0 +1,33 @@
+#include "xquery/ast.h"
+
+namespace ufilter::xq {
+
+std::string Path::ToString() const {
+  std::string out = from_document ? ("document(\"" + document + "\")")
+                                  : ("$" + variable);
+  for (const std::string& s : steps) out += "/" + s;
+  if (text_fn) out += "/text()";
+  return out;
+}
+
+std::string Operand::ToString() const {
+  return is_path() ? path.ToString() : literal.ToSqlLiteral();
+}
+
+std::string Condition::ToString() const {
+  return lhs.ToString() + " " + CompareOpSymbol(op) + " " + rhs.ToString();
+}
+
+const char* UpdateOpTypeName(UpdateOpType t) {
+  switch (t) {
+    case UpdateOpType::kInsert:
+      return "INSERT";
+    case UpdateOpType::kDelete:
+      return "DELETE";
+    case UpdateOpType::kReplace:
+      return "REPLACE";
+  }
+  return "?";
+}
+
+}  // namespace ufilter::xq

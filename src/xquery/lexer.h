@@ -1,0 +1,58 @@
+// Character-level tokenizer for the XQuery fragment. Keeps <, >, =, !, /
+// as single-character tokens; the parser combines them contextually (so
+// `$b/price<50` lexes correctly and `<book>` can start a constructor).
+#ifndef UFILTER_XQUERY_LEXER_H_
+#define UFILTER_XQUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ufilter::xq {
+
+enum class TokenKind {
+  kIdent,     // FOR, IN, WHERE, book, text (keywords resolved by parser)
+  kVariable,  // $book (text() excludes the $)
+  kString,    // "..."
+  kNumber,    // 50.00, 1990
+  kLess,      // <
+  kGreater,   // >
+  kEquals,    // =
+  kBang,      // !
+  kSlash,     // /
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // ident name, variable name, string content, number
+  size_t offset = 0;  // into the source
+};
+
+/// \brief Tokenizer with raw-source access (the parser slices raw XML
+/// payloads for INSERT/REPLACE directly out of the source).
+class Lexer {
+ public:
+  explicit Lexer(std::string source);
+
+  const std::string& source() const { return source_; }
+  const std::vector<Token>& tokens() const { return tokens_; }
+  const Status& status() const { return status_; }
+
+ private:
+  void Tokenize();
+
+  std::string source_;
+  std::vector<Token> tokens_;
+  Status status_;
+};
+
+}  // namespace ufilter::xq
+
+#endif  // UFILTER_XQUERY_LEXER_H_

@@ -1,0 +1,21 @@
+// Recursive-descent parser for view queries (FLWR) and view update
+// statements. See ast.h for the grammar covered.
+#ifndef UFILTER_XQUERY_PARSER_H_
+#define UFILTER_XQUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "xquery/ast.h"
+
+namespace ufilter::xq {
+
+/// Parses a view query, e.g. the BookView XQuery of Fig. 3(a).
+Result<ViewQuery> ParseViewQuery(const std::string& source);
+
+/// Parses a view update statement, e.g. u1..u13 of Figs. 4 and 10.
+Result<UpdateStmt> ParseUpdate(const std::string& source);
+
+}  // namespace ufilter::xq
+
+#endif  // UFILTER_XQUERY_PARSER_H_

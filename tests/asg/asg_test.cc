@@ -1,0 +1,237 @@
+// Asserts the ASG construction against the paper's Figs. 8 and 9: node
+// annotations (UCBinding/UPBinding, checks), edge cardinalities/conditions,
+// closures, mapping closures and the base ASG shape.
+#include <gtest/gtest.h>
+
+#include "asg/view_asg.h"
+#include "fixtures/bookdb.h"
+#include "ufilter/star.h"
+#include "xquery/parser.h"
+
+namespace ufilter::asg {
+namespace {
+
+using view::AnalyzedView;
+
+class BookAsgTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = fixtures::MakeBookDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto q = xq::ParseViewQuery(fixtures::BookViewQuery());
+    ASSERT_TRUE(q.ok());
+    query_ = std::move(*q);
+    auto v = AnalyzedView::Analyze(query_, &db_->schema());
+    ASSERT_TRUE(v.ok());
+    view_ = std::move(*v);
+    auto gv = ViewAsg::Build(*view_);
+    ASSERT_TRUE(gv.ok()) << gv.status().ToString();
+    gv_ = std::move(*gv);
+    gd_ = BaseAsg::Build(*view_);
+  }
+
+  const ViewNode* Node(const std::vector<std::string>& path) {
+    auto av = view_->ResolveElementPath(path);
+    EXPECT_TRUE(av.ok());
+    return gv_->NodeForAv(*av);
+  }
+
+  std::unique_ptr<relational::Database> db_;
+  xq::ViewQuery query_;
+  std::unique_ptr<AnalyzedView> view_;
+  std::unique_ptr<ViewAsg> gv_;
+  BaseAsg gd_;
+};
+
+TEST_F(BookAsgTest, Fig8Bindings) {
+  const ViewNode& root = gv_->root();
+  EXPECT_TRUE(root.uc_binding.empty());
+  EXPECT_EQ(root.up_binding,
+            (std::vector<std::string>{"book", "publisher", "review"}));
+
+  const ViewNode* vc1 = Node({"book"});
+  ASSERT_NE(vc1, nullptr);
+  EXPECT_EQ(vc1->uc_binding, (std::vector<std::string>{"book", "publisher"}));
+  EXPECT_EQ(vc1->up_binding,
+            (std::vector<std::string>{"book", "publisher", "review"}));
+
+  const ViewNode* vc2 = Node({"book", "publisher"});
+  ASSERT_NE(vc2, nullptr);
+  EXPECT_EQ(vc2->uc_binding, (std::vector<std::string>{"book", "publisher"}));
+  EXPECT_EQ(vc2->up_binding, (std::vector<std::string>{"publisher"}));
+
+  const ViewNode* vc3 = Node({"book", "review"});
+  ASSERT_NE(vc3, nullptr);
+  EXPECT_EQ(vc3->uc_binding,
+            (std::vector<std::string>{"book", "publisher", "review"}));
+  EXPECT_EQ(vc3->up_binding, (std::vector<std::string>{"review"}));
+
+  const ViewNode* vc4 = Node({"publisher"});
+  ASSERT_NE(vc4, nullptr);
+  EXPECT_EQ(vc4->uc_binding, (std::vector<std::string>{"publisher"}));
+  EXPECT_EQ(vc4->up_binding, (std::vector<std::string>{"publisher"}));
+}
+
+TEST_F(BookAsgTest, Fig8CurrentRelations) {
+  EXPECT_EQ(gv_->CurrentRelations(Node({"book"})->id),
+            (std::vector<std::string>{"book", "publisher"}));
+  EXPECT_TRUE(gv_->CurrentRelations(Node({"book", "publisher"})->id).empty());
+  EXPECT_EQ(gv_->CurrentRelations(Node({"book", "review"})->id),
+            (std::vector<std::string>{"review"}));
+  EXPECT_EQ(gv_->CurrentRelations(Node({"publisher"})->id),
+            (std::vector<std::string>{"publisher"}));
+}
+
+TEST_F(BookAsgTest, Fig8EdgeAnnotations) {
+  // (vR, vC1): * with the book-publisher join condition.
+  const ViewNode* vc1 = Node({"book"});
+  EXPECT_EQ(vc1->card, Cardinality::kStar);
+  bool has_join = false;
+  for (const auto& c : vc1->edge_conditions) {
+    if (c.is_correlation) has_join = true;
+  }
+  EXPECT_TRUE(has_join);
+  // (vC1, vC2): 1.
+  EXPECT_EQ(Node({"book", "publisher"})->card, Cardinality::kOne);
+  // (vC1, vC3): *.
+  EXPECT_EQ(Node({"book", "review"})->card, Cardinality::kStar);
+  // (vR, vC4): *.
+  EXPECT_EQ(Node({"publisher"})->card, Cardinality::kStar);
+}
+
+TEST_F(BookAsgTest, Fig8LeafAnnotations) {
+  // The price leaf merges the DB CHECK (> 0) and the query predicate (< 50).
+  const ViewNode* vc1 = Node({"book"});
+  int price_tag = -1;
+  for (int c : vc1->children) {
+    if (gv_->node(c).tag == "price") price_tag = c;
+  }
+  ASSERT_GE(price_tag, 0);
+  const ViewNode& leaf = gv_->node(gv_->node(price_tag).children[0]);
+  EXPECT_EQ(leaf.kind, NodeKind::kLeaf);
+  ASSERT_EQ(leaf.checks.size(), 2u);
+  EXPECT_EQ(leaf.checks[0].op, CompareOp::kGt);
+  EXPECT_EQ(leaf.checks[1].op, CompareOp::kLt);
+  EXPECT_FALSE(leaf.not_null);
+
+  // bookid is NOT NULL (key).
+  int bookid_tag = vc1->children[0];
+  const ViewNode& bookid_leaf =
+      gv_->node(gv_->node(bookid_tag).children[0]);
+  EXPECT_TRUE(bookid_leaf.not_null);
+  EXPECT_EQ(bookid_leaf.relation, "book");
+  EXPECT_EQ(bookid_leaf.attr, "bookid");
+}
+
+TEST_F(BookAsgTest, NodeClosuresMatchSection512) {
+  // vC2+ = {publisher.pubid, publisher.pubname}.
+  Closure c2 = gv_->NodeClosure(Node({"book", "publisher"})->id);
+  EXPECT_EQ(c2.Serialize(), "{publisher.pubid,publisher.pubname}");
+  // vC3+ = {review.comment, review.reviewid}.
+  Closure c3 = gv_->NodeClosure(Node({"book", "review"})->id);
+  EXPECT_EQ(c3.Serialize(), "{review.comment,review.reviewid}");
+  // vC1+ inlines book and publisher leaves and stars the review group.
+  Closure c1 = gv_->NodeClosure(Node({"book"})->id);
+  EXPECT_EQ(c1.leaves.size(), 5u);
+  ASSERT_EQ(c1.starred.size(), 1u);
+  EXPECT_EQ(c1.starred[0].group.Serialize(),
+            "{review.comment,review.reviewid}");
+  EXPECT_EQ(c1.starred[0].condition, "book.bookid=review.bookid");
+}
+
+TEST_F(BookAsgTest, Fig9BaseAsg) {
+  EXPECT_EQ(gd_.relations().size(), 3u);
+  EXPECT_TRUE(gd_.HasRelation("book"));
+  EXPECT_TRUE(gd_.HasRelation("publisher"));
+  EXPECT_TRUE(gd_.HasRelation("review"));
+  // publisher's closure nests book, which nests review.
+  auto nested = gd_.NestedRelations("publisher");
+  EXPECT_EQ(nested, (std::vector<std::string>{"book", "review"}));
+  EXPECT_EQ(gd_.NestedRelations("review"),
+            (std::vector<std::string>{}));
+  // n8+ (review) = {review.comment, review.reviewid}.
+  EXPECT_EQ(gd_.RelationClosure("review").Serialize(),
+            "{review.comment,review.reviewid}");
+  // n4+ (book) = {bookid,title,price,(review...)*con2}.
+  Closure book = gd_.RelationClosure("book");
+  EXPECT_EQ(book.leaves.size(), 3u);
+  ASSERT_EQ(book.starred.size(), 1u);
+  EXPECT_EQ(book.starred[0].condition, "book.bookid=review.bookid");
+}
+
+TEST_F(BookAsgTest, MappingClosures) {
+  // Mapping closure of vC3's leaves = review's closure (clean).
+  Closure cv3 = gv_->NodeClosure(Node({"book", "review"})->id);
+  std::vector<std::string> leaves;
+  CollectClosureLeaves(cv3, &leaves);
+  Closure cd3 = gd_.MappingClosure(leaves);
+  EXPECT_TRUE(cv3.Equals(cd3));
+
+  // Mapping closure of vC2's leaves is publisher's full closure (dirty).
+  Closure cv2 = gv_->NodeClosure(Node({"book", "publisher"})->id);
+  leaves.clear();
+  CollectClosureLeaves(cv2, &leaves);
+  Closure cd2 = gd_.MappingClosure(leaves);
+  EXPECT_FALSE(cv2.Equals(cd2));
+  // The ⊔ dedup keeps only publisher: book and review nest inside it.
+  Closure cd1 = gd_.MappingClosure(
+      {"book.bookid", "publisher.pubid", "review.reviewid"});
+  EXPECT_TRUE(cd1.Equals(gd_.RelationClosure("publisher")));
+}
+
+TEST_F(BookAsgTest, ClosureContainment) {
+  Closure review = gd_.RelationClosure("review");
+  Closure book = gd_.RelationClosure("book");
+  Closure publisher = gd_.RelationClosure("publisher");
+  EXPECT_TRUE(review.ContainedIn(book));      // n8+ ⊆ n4+
+  EXPECT_TRUE(review.ContainedIn(publisher));
+  EXPECT_TRUE(book.ContainedIn(publisher));
+  EXPECT_FALSE(publisher.ContainedIn(book));
+}
+
+TEST_F(BookAsgTest, SubtreeLeavesAndDescendants) {
+  const ViewNode* vc1 = Node({"book"});
+  auto leaves = gv_->SubtreeLeaves(vc1->id);
+  EXPECT_EQ(leaves.size(), 7u);  // bookid,title,price,pubid,pubname,reviewid,comment
+  const ViewNode* vc3 = Node({"book", "review"});
+  EXPECT_TRUE(gv_->IsDescendant(vc1->id, vc3->id));
+  EXPECT_FALSE(gv_->IsDescendant(vc3->id, vc1->id));
+  EXPECT_TRUE(gv_->IsDescendant(vc1->id, vc1->id));
+}
+
+TEST_F(BookAsgTest, ParentIsSingleInstance) {
+  // book's parent is the root: single instance.
+  EXPECT_TRUE(gv_->ParentIsSingleInstance(Node({"book"})->id));
+  // review's parent (book) repeats.
+  EXPECT_FALSE(gv_->ParentIsSingleInstance(Node({"book", "review"})->id));
+}
+
+TEST(ClosureTest, NormalizeSortsAndDedupes) {
+  Closure c;
+  c.leaves = {"b.y", "a.x", "b.y"};
+  c.Normalize();
+  EXPECT_EQ(c.Serialize(), "{a.x,b.y}");
+}
+
+TEST(ClosureTest, UnionEliminatesDuplicateSubgroups) {
+  Closure sub;
+  sub.leaves = {"r.a"};
+  Closure c1;
+  c1.starred.push_back({sub, "cond"});
+  Closure c2;
+  c2.starred.push_back({sub, "cond"});
+  c2.leaves = {"x.y"};
+  c1.UnionWith(c2);
+  EXPECT_EQ(c1.starred.size(), 1u);
+  EXPECT_EQ(c1.leaves.size(), 1u);
+}
+
+TEST(ClosureTest, NormalizeConditionSortsSides) {
+  EXPECT_EQ(NormalizeCondition("b.x", "=", "a.y"), "a.y=b.x");
+  EXPECT_EQ(NormalizeCondition("a.y", "=", "b.x"), "a.y=b.x");
+  EXPECT_EQ(NormalizeCondition("b.x", "<", "a.y"), "b.x<a.y");
+}
+
+}  // namespace
+}  // namespace ufilter::asg

@@ -1,0 +1,83 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace ufilter {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::DataConflict("key exists");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsDataConflict());
+  EXPECT_EQ(s.message(), "key exists");
+  EXPECT_EQ(s.ToString(), "DataConflict: key exists");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("no table 'x'").WithContext("step 3");
+  EXPECT_EQ(s.message(), "step 3: no table 'x'");
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, AllCodePredicates) {
+  EXPECT_TRUE(Status::ParseError("").IsParseError());
+  EXPECT_TRUE(Status::ConstraintViolation("").IsConstraintViolation());
+  EXPECT_TRUE(Status::InvalidUpdate("").IsInvalidUpdate());
+  EXPECT_TRUE(Status::Untranslatable("").IsUntranslatable());
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported("").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("").IsInternal());
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Propagates() {
+  UFILTER_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(Propagates().IsInternal());
+}
+
+Result<int> GiveInt(bool ok) {
+  if (!ok) return Status::NotFound("nope");
+  return 41;
+}
+
+Result<int> UseAssign(bool ok) {
+  UFILTER_ASSIGN_OR_RETURN(int v, GiveInt(ok));
+  return v + 1;
+}
+
+TEST(ResultTest, ValueAndError) {
+  auto good = UseAssign(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  auto bad = UseAssign(false);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(GiveInt(false).ValueOr(7), 7);
+  EXPECT_EQ(GiveInt(true).ValueOr(7), 41);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+}  // namespace
+}  // namespace ufilter

@@ -1,0 +1,37 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace ufilter {
+namespace {
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("a,,c", ',')[1], "");
+  EXPECT_EQ(Split("trailing,", ',').back(), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n x y \r"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("none"), "none");
+}
+
+TEST(StringsTest, ToLowerAndStartsWith) {
+  EXPECT_EQ(ToLower("FoR WhErE"), "for where");
+  EXPECT_TRUE(StartsWith("document(\"x\")", "document"));
+  EXPECT_FALSE(StartsWith("doc", "document"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+}  // namespace
+}  // namespace ufilter

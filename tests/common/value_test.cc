@@ -1,0 +1,114 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace ufilter {
+namespace {
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToText(), "");
+  EXPECT_EQ(v.ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, IntAndDoubleCompareNumerically) {
+  EXPECT_TRUE(Value::Int(3) == Value::Double(3.0));
+  EXPECT_TRUE(Value::Int(3) < Value::Double(3.5));
+  EXPECT_FALSE(Value::Double(4.0) < Value::Int(4));
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  // NULL < numbers < strings.
+  EXPECT_TRUE(Value::Null() < Value::Int(-100));
+  EXPECT_TRUE(Value::Int(1000000) < Value::String("a"));
+  EXPECT_FALSE(Value::String("a") < Value::Int(5));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_TRUE(Value::String("abc") < Value::String("abd"));
+  EXPECT_TRUE(Value::String("abc") == Value::String("abc"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+}
+
+TEST(ValueTest, ToTextFormatsDoublesLikeThePaper) {
+  EXPECT_EQ(Value::Double(37.0).ToText(), "37.00");
+  EXPECT_EQ(Value::Double(48.0).ToText(), "48.00");
+  EXPECT_EQ(Value::Int(1997).ToText(), "1997");
+}
+
+TEST(ValueTest, SqlLiteralEscapesQuotes) {
+  EXPECT_EQ(Value::String("O'Brien").ToSqlLiteral(), "'O''Brien'");
+}
+
+TEST(ValueTest, FromTextInt) {
+  auto v = Value::FromText("42", ValueType::kInt);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 42);
+  EXPECT_FALSE(Value::FromText("4x", ValueType::kInt).ok());
+}
+
+TEST(ValueTest, FromTextDouble) {
+  auto v = Value::FromText("37.5", ValueType::kDouble);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 37.5);
+  EXPECT_FALSE(Value::FromText("abc", ValueType::kDouble).ok());
+}
+
+TEST(ValueTest, FromTextEmptyIsNullForNonString) {
+  auto v = Value::FromText("", ValueType::kInt);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  auto s = Value::FromText("", ValueType::kString);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->is_string());
+}
+
+TEST(CompareOpTest, FlipIsInvolutionOnOrderOps) {
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_EQ(FlipCompareOp(FlipCompareOp(op)), op);
+  }
+}
+
+TEST(CompareOpTest, EvalCompareNullIsFalse) {
+  EXPECT_FALSE(EvalCompare(Value::Null(), CompareOp::kEq, Value::Null()));
+  EXPECT_FALSE(EvalCompare(Value::Null(), CompareOp::kLt, Value::Int(1)));
+  EXPECT_FALSE(EvalCompare(Value::Int(1), CompareOp::kNe, Value::Null()));
+}
+
+TEST(CompareOpTest, EvalCompareAllOps) {
+  Value a = Value::Int(3), b = Value::Int(5);
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLt, b));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLe, b));
+  EXPECT_TRUE(EvalCompare(b, CompareOp::kGt, a));
+  EXPECT_TRUE(EvalCompare(b, CompareOp::kGe, a));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kNe, b));
+  EXPECT_FALSE(EvalCompare(a, CompareOp::kEq, b));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kEq, Value::Int(3)));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kGe, Value::Int(3)));
+}
+
+// Flip semantics: a op b == b flip(op) a over a numeric sweep.
+class FlipPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlipPropertyTest, FlipMirrorsOperands) {
+  int i = GetParam();
+  Value a = Value::Int(i % 7 - 3);
+  Value b = Value::Int(i / 7 - 3);
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_EQ(EvalCompare(a, op, b), EvalCompare(b, FlipCompareOp(op), a))
+        << "a=" << a.ToText() << " b=" << b.ToText();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FlipPropertyTest, ::testing::Range(0, 49));
+
+}  // namespace
+}  // namespace ufilter

@@ -1,0 +1,112 @@
+// The three data-check strategies (internal / hybrid / outside) differ in
+// cost, never in outcome: for any update they must produce the same verdict
+// and leave the database in the same final state.
+#include <gtest/gtest.h>
+
+#include "fixtures/tpch_views.h"
+#include "relational/tpch.h"
+#include "ufilter/checker.h"
+#include "view/diff.h"
+
+namespace ufilter {
+namespace {
+
+using check::CheckOptions;
+using check::CheckOutcome;
+using check::CheckReport;
+using check::DataCheckStrategy;
+using check::UFilter;
+
+struct Workload {
+  const char* name;
+  std::string update;
+  const std::string* view_query;
+};
+
+std::vector<Workload> Workloads() {
+  static const std::string vlinear = fixtures::VLinearQuery();
+  static const std::string vbush = fixtures::VBushQuery();
+  return {
+      {"delete-nation", fixtures::DeleteElementUpdate("nation", 8), &vlinear},
+      {"delete-order", fixtures::DeleteElementUpdate("order", 21), &vlinear},
+      {"delete-lineitem", fixtures::DeleteElementUpdate("lineitem", 3),
+       &vlinear},
+      {"insert-lineitem", fixtures::InsertLineitemUpdate(7, 42), &vlinear},
+      {"insert-conflict", fixtures::InsertLineitemUpdate(7, 1), &vlinear},
+      {"insert-missing-order", fixtures::InsertLineitemUpdate(987654, 1),
+       &vlinear},
+      {"delete-bush-order",
+       "FOR $nation IN document(\"V.xml\")/nation, $order IN "
+       "$nation/order\nWHERE $order/o_orderkey/text() = 33\nUPDATE $nation "
+       "{\n  DELETE $order\n}",
+       &vbush},
+  };
+}
+
+class StrategyEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StrategyEquivalenceTest, SameOutcomeAndFinalState) {
+  auto [workload_idx, strategy_idx] = GetParam();
+  Workload workload = Workloads()[static_cast<size_t>(workload_idx)];
+  DataCheckStrategy strategy = static_cast<DataCheckStrategy>(strategy_idx);
+
+  // Reference run with the outside strategy.
+  auto Run = [&](DataCheckStrategy s,
+                 std::unique_ptr<relational::Database>* db_out)
+      -> std::pair<CheckOutcome, int64_t> {
+    relational::tpch::TpchOptions options;
+    options.scale = 0.15;
+    auto db = relational::tpch::MakeDatabase(options);
+    EXPECT_TRUE(db.ok());
+    auto uf = UFilter::Create(db->get(), *workload.view_query);
+    EXPECT_TRUE(uf.ok()) << uf.status().ToString();
+    CheckOptions check_options;
+    check_options.strategy = s;
+    CheckReport r = (*uf)->Check(workload.update, check_options);
+    *db_out = std::move(*db);
+    return {r.outcome, r.rows_affected};
+  };
+
+  std::unique_ptr<relational::Database> db_ref, db_test;
+  auto ref = Run(DataCheckStrategy::kOutside, &db_ref);
+  auto test = Run(strategy, &db_test);
+  EXPECT_EQ(test.first, ref.first) << workload.name;
+  EXPECT_EQ(test.second, ref.second) << workload.name;
+  // Identical final state, table by table.
+  for (const auto& table : db_ref->schema().tables()) {
+    auto a = db_ref->GetTable(table.name());
+    auto b = db_test->GetTable(table.name());
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ((*a)->live_row_count(), (*b)->live_row_count())
+        << workload.name << " table " << table.name();
+    auto ids_a = (*a)->AllRowIds();
+    auto ids_b = (*b)->AllRowIds();
+    ASSERT_EQ(ids_a.size(), ids_b.size());
+    for (size_t i = 0; i < ids_a.size(); ++i) {
+      const auto* ra = (*a)->GetRow(ids_a[i]);
+      const auto* rb = (*b)->GetRow(ids_b[i]);
+      ASSERT_TRUE(*ra == *rb) << workload.name << " table " << table.name()
+                              << " row " << i;
+    }
+  }
+}
+
+std::string PairName(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  static const char* kStrategies[] = {"internal", "hybrid", "outside"};
+  std::string name =
+      Workloads()[static_cast<size_t>(std::get<0>(info.param))].name;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_" + kStrategies[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, StrategyEquivalenceTest,
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Range(0, 3)),
+    PairName);
+
+}  // namespace
+}  // namespace ufilter

@@ -1,0 +1,322 @@
+// STAR marking (Rules 1-3, UPoint) and checking (Observations 1-2) against
+// the paper's Fig. 8 marks and the Section 7.2 views.
+#include "ufilter/star.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures/bookdb.h"
+#include "fixtures/tpch_views.h"
+#include "relational/tpch.h"
+#include "xquery/parser.h"
+
+namespace ufilter::check {
+namespace {
+
+using asg::BaseAsg;
+using asg::ViewAsg;
+using asg::ViewNode;
+using view::AnalyzedView;
+
+struct CompiledView {
+  std::unique_ptr<relational::Database> db;
+  xq::ViewQuery query;
+  std::unique_ptr<AnalyzedView> view;
+  std::unique_ptr<ViewAsg> gv;
+  BaseAsg gd;
+
+  const ViewNode* Node(const std::vector<std::string>& path) const {
+    auto av = view->ResolveElementPath(path);
+    if (!av.ok()) return nullptr;
+    return gv->NodeForAv(*av);
+  }
+};
+
+CompiledView Compile(std::unique_ptr<relational::Database> db,
+                     const std::string& query_text) {
+  CompiledView out;
+  out.db = std::move(db);
+  auto q = xq::ParseViewQuery(query_text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  out.query = std::move(*q);
+  auto v = AnalyzedView::Analyze(out.query, &out.db->schema());
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  out.view = std::move(*v);
+  auto gv = ViewAsg::Build(*out.view);
+  EXPECT_TRUE(gv.ok()) << gv.status().ToString();
+  out.gv = std::move(*gv);
+  out.gd = BaseAsg::Build(*out.view);
+  EXPECT_TRUE(MarkViewAsg(out.gv.get(), out.gd).ok());
+  return out;
+}
+
+CompiledView CompileBookView(const std::string& query_text) {
+  auto db = fixtures::MakeBookDatabase();
+  EXPECT_TRUE(db.ok());
+  return Compile(std::move(*db), query_text);
+}
+
+CompiledView CompileTpch(const std::string& query_text) {
+  relational::tpch::TpchOptions options;
+  options.scale = 0.1;
+  auto db = relational::tpch::MakeDatabase(options);
+  EXPECT_TRUE(db.ok());
+  return Compile(std::move(*db), query_text);
+}
+
+TEST(StarMarkingTest, Fig8Marks) {
+  CompiledView v = CompileBookView(fixtures::BookViewQuery());
+  // vC1 book: (dirty | safe-delete, unsafe-insert).
+  const ViewNode* vc1 = v.Node({"book"});
+  EXPECT_TRUE(vc1->mark.safe_delete);
+  EXPECT_FALSE(vc1->mark.safe_insert);
+  EXPECT_FALSE(vc1->mark.clean);
+  // vC2 publisher-in-book: (dirty | unsafe-delete, unsafe-insert).
+  const ViewNode* vc2 = v.Node({"book", "publisher"});
+  EXPECT_FALSE(vc2->mark.safe_delete);
+  EXPECT_FALSE(vc2->mark.safe_insert);
+  EXPECT_FALSE(vc2->mark.clean);
+  // vC3 review: (clean | safe-delete, safe-insert).
+  const ViewNode* vc3 = v.Node({"book", "review"});
+  EXPECT_TRUE(vc3->mark.safe_delete);
+  EXPECT_TRUE(vc3->mark.safe_insert);
+  EXPECT_TRUE(vc3->mark.clean);
+  // vC4 top-level publisher: (dirty | unsafe-delete, safe-insert).
+  const ViewNode* vc4 = v.Node({"publisher"});
+  EXPECT_FALSE(vc4->mark.safe_delete);
+  EXPECT_TRUE(vc4->mark.safe_insert);
+  EXPECT_FALSE(vc4->mark.clean);
+}
+
+TEST(StarMarkingTest, Rule1MissingJoinMarksSubtreeUnsafe) {
+  // BookView with the review correlation removed: the whole review table
+  // nests inside every book.
+  const char* kQuery = R"(
+<V>
+FOR $book IN document("d")/book/row,
+    $publisher IN document("d")/publisher/row
+WHERE ($book/pubid = $publisher/pubid)
+RETURN {
+  <book>
+    $book/bookid,
+    FOR $review IN document("d")/review/row
+    RETURN { <review> $review/reviewid </review> }
+  </book>
+}
+</V>)";
+  CompiledView v = CompileBookView(kQuery);
+  const ViewNode* review = v.Node({"book", "review"});
+  ASSERT_NE(review, nullptr);
+  EXPECT_FALSE(review->mark.safe_delete);
+  EXPECT_FALSE(review->mark.safe_insert);
+  EXPECT_NE(review->mark.unsafe_delete_reason.find("Rule 1"),
+            std::string::npos);
+}
+
+TEST(StarMarkingTest, Rule1ImproperJoinMarksSubtreeUnsafe) {
+  // Join through non-unique attributes (the paper's title = comment case).
+  const char* kQuery = R"(
+<V>
+FOR $book IN document("d")/book/row
+RETURN {
+  <book>
+    $book/bookid,
+    FOR $review IN document("d")/review/row
+    WHERE ($book/title = $review/comment)
+    RETURN { <review> $review/reviewid </review> }
+  </book>
+}
+</V>)";
+  CompiledView v = CompileBookView(kQuery);
+  const ViewNode* review = v.Node({"book", "review"});
+  ASSERT_NE(review, nullptr);
+  EXPECT_FALSE(review->mark.safe_delete);
+  EXPECT_FALSE(review->mark.safe_insert);
+}
+
+TEST(StarMarkingTest, Rule1CartesianProductAtTopUnsafe) {
+  // Two unjoined relations in one top-level FLWR: only one free driver is
+  // allowed, so the pair is improper.
+  const char* kQuery = R"(
+<V>
+FOR $book IN document("d")/book/row,
+    $publisher IN document("d")/publisher/row
+RETURN { <pair> $book/bookid, $publisher/pubid </pair> }
+</V>)";
+  CompiledView v = CompileBookView(kQuery);
+  const ViewNode* pair = v.Node({"pair"});
+  ASSERT_NE(pair, nullptr);
+  EXPECT_FALSE(pair->mark.safe_delete);
+}
+
+TEST(StarMarkingTest, VsuccessAllInternalNodesCleanAndSafe) {
+  CompiledView v = CompileTpch(fixtures::VSuccessQuery());
+  for (const char* tag : {"region", "nation", "customer", "order",
+                          "lineitem"}) {
+    std::vector<std::string> path;
+    for (const char* step : {"region", "nation", "customer", "order",
+                             "lineitem"}) {
+      path.push_back(step);
+      if (std::string(step) == tag) break;
+    }
+    const ViewNode* node = v.Node(path);
+    ASSERT_NE(node, nullptr) << tag;
+    EXPECT_TRUE(node->mark.safe_delete) << tag << ": "
+                                        << node->mark.unsafe_delete_reason;
+    EXPECT_TRUE(node->mark.safe_insert) << tag << ": "
+                                        << node->mark.unsafe_insert_reason;
+    EXPECT_TRUE(node->mark.clean) << tag;
+    StarVerdict verdict = CheckStar(*v.gv, node->id, xq::UpdateOpType::kDelete);
+    EXPECT_EQ(verdict.result, Translatability::kUnconditionallyTranslatable)
+        << tag;
+  }
+}
+
+TEST(StarMarkingTest, VfailRepublishedRelationUnsafeDelete) {
+  for (const char* rel : {"region", "nation", "customer", "orders",
+                          "lineitem"}) {
+    CompiledView v = CompileTpch(fixtures::VFailQuery(rel));
+    // The chain element of the republished relation becomes unsafe-delete.
+    std::vector<std::string> path;
+    for (const char* step : {"region", "nation", "customer", "order",
+                             "lineitem"}) {
+      path.push_back(step);
+      std::string tag = step;
+      if (tag == "order") tag = "orders";
+      if (tag == rel) break;
+    }
+    const ViewNode* node = v.Node(path);
+    ASSERT_NE(node, nullptr) << rel;
+    EXPECT_FALSE(node->mark.safe_delete) << rel;
+    StarVerdict verdict = CheckStar(*v.gv, node->id, xq::UpdateOpType::kDelete);
+    EXPECT_EQ(verdict.result, Translatability::kUntranslatable) << rel;
+  }
+}
+
+TEST(StarMarkingTest, VfailOtherLevelsStillSafe) {
+  CompiledView v = CompileTpch(fixtures::VFailQuery("region"));
+  // Republishing REGION leaves nation/customer deletes safe.
+  const ViewNode* nation = v.Node({"region", "nation"});
+  EXPECT_TRUE(nation->mark.safe_delete)
+      << nation->mark.unsafe_delete_reason;
+}
+
+TEST(StarMarkingTest, VbushMarksSafe) {
+  CompiledView v = CompileTpch(fixtures::VBushQuery());
+  const ViewNode* order = v.Node({"nation", "order"});
+  ASSERT_NE(order, nullptr);
+  EXPECT_TRUE(order->mark.safe_delete)
+      << order->mark.unsafe_delete_reason;
+  const ViewNode* lineitem = v.Node({"nation", "order", "lineitem"});
+  ASSERT_NE(lineitem, nullptr);
+  EXPECT_TRUE(lineitem->mark.safe_delete);
+  EXPECT_TRUE(lineitem->mark.clean);
+}
+
+TEST(StarCheckingTest, Observation1DeleteVerdicts) {
+  CompiledView v = CompileBookView(fixtures::BookViewQuery());
+  // (clean | safe-delete) -> unconditional.
+  StarVerdict review = CheckStar(*v.gv, v.Node({"book", "review"})->id,
+                                 xq::UpdateOpType::kDelete);
+  EXPECT_EQ(review.result, Translatability::kUnconditionallyTranslatable);
+  // (dirty | safe-delete) -> conditional with minimization.
+  StarVerdict book =
+      CheckStar(*v.gv, v.Node({"book"})->id, xq::UpdateOpType::kDelete);
+  EXPECT_EQ(book.result, Translatability::kConditionallyTranslatable);
+  EXPECT_EQ(book.condition, "translation minimization");
+  // unsafe-delete -> untranslatable.
+  StarVerdict pub = CheckStar(*v.gv, v.Node({"book", "publisher"})->id,
+                              xq::UpdateOpType::kDelete);
+  EXPECT_EQ(pub.result, Translatability::kUntranslatable);
+}
+
+TEST(StarCheckingTest, Observation2InsertVerdicts) {
+  CompiledView v = CompileBookView(fixtures::BookViewQuery());
+  // (clean | safe-insert) -> unconditional.
+  StarVerdict review = CheckStar(*v.gv, v.Node({"book", "review"})->id,
+                                 xq::UpdateOpType::kInsert);
+  EXPECT_EQ(review.result, Translatability::kUnconditionallyTranslatable);
+  // unsafe-insert -> untranslatable.
+  StarVerdict book =
+      CheckStar(*v.gv, v.Node({"book"})->id, xq::UpdateOpType::kInsert);
+  EXPECT_EQ(book.result, Translatability::kUntranslatable);
+  // (dirty | safe-insert) -> conditional with duplication consistency.
+  StarVerdict pub = CheckStar(*v.gv, v.Node({"publisher"})->id,
+                              xq::UpdateOpType::kInsert);
+  EXPECT_EQ(pub.result, Translatability::kConditionallyTranslatable);
+  EXPECT_EQ(pub.condition, "duplication consistency");
+}
+
+TEST(StarCheckingTest, ReplaceCombinesBothDirections) {
+  CompiledView v = CompileBookView(fixtures::BookViewQuery());
+  // Replace on review (clean/safe both ways) -> unconditional.
+  StarVerdict review = CheckStar(*v.gv, v.Node({"book", "review"})->id,
+                                 xq::UpdateOpType::kReplace);
+  EXPECT_EQ(review.result, Translatability::kUnconditionallyTranslatable);
+  // Replace on book: insert side is unsafe -> untranslatable.
+  StarVerdict book =
+      CheckStar(*v.gv, v.Node({"book"})->id, xq::UpdateOpType::kReplace);
+  EXPECT_EQ(book.result, Translatability::kUntranslatable);
+}
+
+TEST(StarCheckingTest, RootDeleteAlwaysTranslatable) {
+  CompiledView v = CompileBookView(fixtures::BookViewQuery());
+  StarVerdict verdict =
+      CheckStar(*v.gv, 0, xq::UpdateOpType::kDelete);
+  EXPECT_EQ(verdict.result, Translatability::kUnconditionallyTranslatable);
+}
+
+TEST(StarCheckingTest, LeafUpdateUsedInPredicateUntranslatable) {
+  CompiledView v = CompileBookView(fixtures::BookViewQuery());
+  // book.price appears in a selection predicate: changing it has side
+  // effects.
+  auto av = v.view->ResolveElementPath({"book", "price"});
+  ASSERT_TRUE(av.ok());
+  const ViewNode* tag = v.gv->NodeForAv(*av);
+  ASSERT_NE(tag, nullptr);
+  StarVerdict verdict =
+      CheckStar(*v.gv, tag->id, xq::UpdateOpType::kDelete);
+  EXPECT_EQ(verdict.result, Translatability::kUntranslatable);
+}
+
+TEST(StarCheckingTest, LeafProjectedTwiceUntranslatable) {
+  CompiledView v = CompileBookView(fixtures::BookViewQuery());
+  // publisher.pubname appears in two leaves (vC2 and vC4).
+  auto av = v.view->ResolveElementPath({"book", "publisher", "pubname"});
+  ASSERT_TRUE(av.ok());
+  const ViewNode* tag = v.gv->NodeForAv(*av);
+  StarVerdict verdict =
+      CheckStar(*v.gv, tag->id, xq::UpdateOpType::kDelete);
+  EXPECT_EQ(verdict.result, Translatability::kUntranslatable);
+}
+
+TEST(StarCheckingTest, LeafUpdateOnUnconstrainedAttrTranslatable) {
+  // review.comment is projected once and used in no predicate.
+  CompiledView v = CompileBookView(fixtures::BookViewQuery());
+  auto av = v.view->ResolveElementPath({"book", "review", "comment"});
+  ASSERT_TRUE(av.ok());
+  const ViewNode* tag = v.gv->NodeForAv(*av);
+  StarVerdict verdict =
+      CheckStar(*v.gv, tag->id, xq::UpdateOpType::kDelete);
+  EXPECT_EQ(verdict.result, Translatability::kUnconditionallyTranslatable);
+}
+
+TEST(StarMarkingTest, SetNullPolicyShrinksExtendAndUnlocksDeletes) {
+  // Under SET NULL, deleting a publisher no longer destroys books, so the
+  // top-level publisher list (vC4) stays unsafe only through the *view*
+  // dependency — Rule 2 re-evaluates extend(publisher) = {publisher}.
+  auto db = fixtures::MakeBookDatabase(relational::DeletePolicy::kSetNull);
+  ASSERT_TRUE(db.ok());
+  CompiledView v = Compile(std::move(*db), fixtures::BookViewQuery());
+  const ViewNode* vc4 = v.Node({"publisher"});
+  ASSERT_NE(vc4, nullptr);
+  // extend(publisher) = {publisher} under SET NULL, and no other node's
+  // UCBinding is disjoint from it... vC1/vC2 still bind publisher, so the
+  // delete remains unsafe (the book's nested publisher would vanish).
+  EXPECT_FALSE(vc4->mark.safe_delete);
+  // But deleting a book no longer risks publisher loss: still safe, and the
+  // mark reasoning stays consistent.
+  EXPECT_TRUE(v.Node({"book"})->mark.safe_delete);
+}
+
+}  // namespace
+}  // namespace ufilter::check

@@ -1,0 +1,223 @@
+#include "ufilter/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures/bookdb.h"
+#include "ufilter/checker.h"
+#include "xquery/parser.h"
+
+namespace ufilter::check {
+namespace {
+
+class TranslatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = fixtures::MakeBookDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto uf = UFilter::Create(db_.get(), fixtures::BookViewQuery());
+    ASSERT_TRUE(uf.ok());
+    uf_ = std::move(*uf);
+  }
+
+  BoundUpdate Bind(const std::string& text) {
+    auto stmt = xq::ParseUpdate(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    stmts_.push_back(std::make_unique<xq::UpdateStmt>(std::move(*stmt)));
+    auto bound =
+        BindUpdate(uf_->analyzed_view(), uf_->view_asg(), *stmts_.back());
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    return std::move(*bound);
+  }
+
+  std::unique_ptr<relational::Database> db_;
+  std::unique_ptr<UFilter> uf_;
+  std::vector<std::unique_ptr<xq::UpdateStmt>> stmts_;
+};
+
+TEST_F(TranslatorTest, AnchorProbeComposesViewAndUpdatePredicates) {
+  BoundUpdate u = Bind(fixtures::PaperUpdate(13));  // insert review
+  Translator t(db_.get(), &uf_->analyzed_view(), &uf_->view_asg());
+  auto probe = t.ComposeAnchorProbe(u);
+  ASSERT_TRUE(probe.ok());
+  std::string sql = probe->ToSql();
+  // The paper's PQ2: view predicates + the update's title filter.
+  EXPECT_NE(sql.find("book.title = 'Data on the Web'"), std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("book.price < 50.00"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("book.year > 1990"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("book.pubid = publisher.pubid"), std::string::npos)
+      << sql;
+}
+
+TEST_F(TranslatorTest, WideProbeSelectsAllViewColumns) {
+  BoundUpdate u = Bind(fixtures::PaperUpdate(13));
+  Translator t(db_.get(), &uf_->analyzed_view(), &uf_->view_asg());
+  auto narrow = t.ComposeAnchorProbe(u);
+  auto wide = t.ComposeWideProbe(u);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  // The internal strategy retrieves every view column (title, pubname, ...)
+  // while the narrow probe sticks to keys and join/predicate columns.
+  auto has = [](const relational::SelectQuery& q, const char* col) {
+    for (const auto& c : q.selects) {
+      if (c.column == col) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(*wide, "title"));
+  EXPECT_TRUE(has(*wide, "pubname"));
+  EXPECT_FALSE(has(*narrow, "title"));
+  EXPECT_FALSE(has(*narrow, "pubname"));
+}
+
+TEST_F(TranslatorTest, InsertTranslationFillsForeignKeyFromAnchor) {
+  BoundUpdate u = Bind(fixtures::PaperUpdate(13));
+  Translator t(db_.get(), &uf_->analyzed_view(), &uf_->view_asg());
+  auto anchor_query = t.ComposeAnchorProbe(u);
+  ASSERT_TRUE(anchor_query.ok());
+  relational::QueryEvaluator eval(db_.get());
+  auto anchors = eval.Execute(*anchor_query);
+  ASSERT_TRUE(anchors.ok());
+  ASSERT_EQ(anchors->size(), 1u);
+  auto ops = t.TranslateInsert(u, *anchor_query, *anchors);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 1u);
+  const relational::UpdateOp& op = (*ops)[0];
+  EXPECT_EQ(op.kind, relational::UpdateOpKind::kInsert);
+  EXPECT_EQ(op.table, "review");
+  EXPECT_EQ(op.values.at("bookid").AsString(), "98003");  // from the anchor
+  EXPECT_EQ(op.values.at("reviewid").AsString(), "001");
+  EXPECT_EQ(op.values.at("comment").AsString(), "Easy read and useful.");
+}
+
+TEST_F(TranslatorTest, BookInsertEmitsPublisherBeforeBookAndPinsYear) {
+  // Use the reduced view where a book insert is schema-safe.
+  auto db = fixtures::MakeBookDatabase();
+  ASSERT_TRUE(db.ok());
+  auto uf = UFilter::Create(db->get(), fixtures::BookViewNoRepublishQuery());
+  ASSERT_TRUE(uf.ok());
+  auto stmt = xq::ParseUpdate(
+      "FOR $root IN document(\"BookView.xml\") UPDATE $root { INSERT "
+      "<book><bookid>\"90\"</bookid><title>\"T\"</title><price>20.00</price>"
+      "<publisher><pubid>Z01</pubid><pubname>Zebra Press</pubname>"
+      "</publisher></book> }");
+  ASSERT_TRUE(stmt.ok());
+  auto bound = BindUpdate((*uf)->analyzed_view(), (*uf)->view_asg(), *stmt);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  Translator t(db->get(), &(*uf)->analyzed_view(), &(*uf)->view_asg());
+  auto anchor_query = t.ComposeAnchorProbe(*bound);
+  ASSERT_TRUE(anchor_query.ok());
+  relational::QueryResult anchors;  // root context: no probe needed
+  auto ops = t.TranslateInsert(*bound, *anchor_query, anchors);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 2u);
+  // FK topological order: publisher first.
+  EXPECT_EQ((*ops)[0].table, "publisher");
+  EXPECT_EQ((*ops)[1].table, "book");
+  // book.pubid filled from the in-payload join condition.
+  EXPECT_EQ((*ops)[1].values.at("pubid").AsString(), "Z01");
+  // book.year pinned to satisfy the view predicate year > 1990.
+  ASSERT_TRUE((*ops)[1].values.count("year") > 0);
+  EXPECT_GT((*ops)[1].values.at("year").AsInt(), 1990);
+}
+
+TEST_F(TranslatorTest, DuplicationConsistencyDropsConsistentDuplicate) {
+  auto db = fixtures::MakeBookDatabase();
+  ASSERT_TRUE(db.ok());
+  auto uf = UFilter::Create(db->get(), fixtures::BookViewNoRepublishQuery());
+  ASSERT_TRUE(uf.ok());
+  // Insert a new book reusing the existing publisher A01 with *identical*
+  // values: the publisher insert is dropped, the book insert stays.
+  CheckReport r = (*uf)->Check(
+      "FOR $root IN document(\"BookView.xml\") UPDATE $root { INSERT "
+      "<book><bookid>\"90\"</bookid><title>\"T\"</title><price>20.00</price>"
+      "<publisher><pubid>A01</pubid><pubname>McGraw-Hill Inc.</pubname>"
+      "</publisher></book> }");
+  ASSERT_EQ(r.outcome, CheckOutcome::kExecuted) << r.Describe();
+  EXPECT_EQ(r.star_class, Translatability::kConditionallyTranslatable);
+  ASSERT_EQ(r.translation.size(), 1u);  // publisher reused
+  EXPECT_EQ(r.translation[0].table, "book");
+  EXPECT_EQ((*(*uf)->database()->GetTable("publisher"))->live_row_count(),
+            3u);
+}
+
+TEST_F(TranslatorTest, DuplicationConsistencyRejectsInconsistentDuplicate) {
+  auto db = fixtures::MakeBookDatabase();
+  ASSERT_TRUE(db.ok());
+  auto uf = UFilter::Create(db->get(), fixtures::BookViewNoRepublishQuery());
+  ASSERT_TRUE(uf.ok());
+  // Same pubid but a different name: inconsistent duplicate.
+  CheckReport r = (*uf)->Check(
+      "FOR $root IN document(\"BookView.xml\") UPDATE $root { INSERT "
+      "<book><bookid>\"90\"</bookid><title>\"T\"</title><price>20.00</price>"
+      "<publisher><pubid>A01</pubid><pubname>Wrong Name</pubname>"
+      "</publisher></book> }");
+  EXPECT_EQ(r.outcome, CheckOutcome::kDataConflict) << r.Describe();
+}
+
+TEST_F(TranslatorTest, MinimizationSkipsSharedTuple) {
+  BoundUpdate u = Bind(fixtures::PaperUpdate(9));  // delete book > $40
+  Translator t(db_.get(), &uf_->analyzed_view(), &uf_->view_asg());
+  auto victim_query = t.ComposeVictimProbe(u);
+  ASSERT_TRUE(victim_query.ok());
+  relational::QueryEvaluator eval(db_.get());
+  auto victims = eval.Execute(*victim_query);
+  ASSERT_TRUE(victims.ok());
+  ASSERT_EQ(victims->size(), 1u);  // book 98003
+  auto ops = t.TranslateDelete(u, *victim_query, *victims, /*minimize=*/true);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  // Only the book delete survives; publisher A01 is still referenced.
+  ASSERT_EQ(ops->size(), 1u);
+  EXPECT_EQ((*ops)[0].table, "book");
+}
+
+TEST_F(TranslatorTest, WithoutMinimizationSharedTupleIsDeleted) {
+  BoundUpdate u = Bind(fixtures::PaperUpdate(9));
+  Translator t(db_.get(), &uf_->analyzed_view(), &uf_->view_asg());
+  auto victim_query = t.ComposeVictimProbe(u);
+  relational::QueryEvaluator eval(db_.get());
+  auto victims = eval.Execute(*victim_query);
+  ASSERT_TRUE(victims.ok());
+  auto ops =
+      t.TranslateDelete(u, *victim_query, *victims, /*minimize=*/false);
+  ASSERT_TRUE(ops.ok());
+  EXPECT_EQ(ops->size(), 2u);  // blind translation deletes both tuples
+}
+
+TEST_F(TranslatorTest, LeafDeleteTranslatesToSetNull) {
+  BoundUpdate u = Bind(
+      "FOR $book IN document(\"BookView.xml\")/book, $review IN "
+      "$book/review WHERE $review/reviewid/text() = \"001\" UPDATE $book { "
+      "DELETE $review/comment/text() }");
+  Translator t(db_.get(), &uf_->analyzed_view(), &uf_->view_asg());
+  auto victim_query = t.ComposeVictimProbe(u);
+  ASSERT_TRUE(victim_query.ok());
+  relational::QueryEvaluator eval(db_.get());
+  auto victims = eval.Execute(*victim_query);
+  ASSERT_TRUE(victims.ok());
+  auto ops = t.TranslateDelete(u, *victim_query, *victims, false);
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 1u);
+  EXPECT_EQ((*ops)[0].kind, relational::UpdateOpKind::kUpdate);
+  EXPECT_TRUE((*ops)[0].values.at("comment").is_null());
+  std::string sql = (*ops)[0].ToSql();
+  EXPECT_NE(sql.find("UPDATE review SET comment = NULL"), std::string::npos)
+      << sql;
+}
+
+TEST_F(TranslatorTest, UpdateOpSqlRendering) {
+  relational::UpdateOp op;
+  op.kind = relational::UpdateOpKind::kInsert;
+  op.table = "review";
+  op.values = {{"bookid", Value::String("98003")},
+               {"reviewid", Value::String("001")}};
+  EXPECT_EQ(op.ToSql(),
+            "INSERT INTO review (bookid, reviewid) VALUES ('98003', '001')");
+  op.kind = relational::UpdateOpKind::kDelete;
+  op.values.clear();
+  op.where = {{"bookid", CompareOp::kEq, Value::String("98003")}};
+  EXPECT_EQ(op.ToSql(), "DELETE FROM review WHERE bookid = '98003'");
+}
+
+}  // namespace
+}  // namespace ufilter::check

@@ -1,0 +1,96 @@
+// Fig. 12 reproduction: the classification of the W3C use-case queries.
+#include "ufilter/usecases.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace ufilter::check {
+namespace {
+
+std::map<std::string, bool> VerdictMap() {
+  std::map<std::string, bool> out;
+  for (const UseCaseVerdict& v : EvaluateUseCases()) {
+    out[v.query->group + "-" + v.query->id] = v.included;
+  }
+  return out;
+}
+
+TEST(UseCasesTest, XmpClassificationMatchesFig12) {
+  auto v = VerdictMap();
+  for (const char* q : {"Q1", "Q2", "Q3", "Q5", "Q7", "Q8", "Q9", "Q11",
+                        "Q12"}) {
+    EXPECT_TRUE(v.at(std::string("XMP-") + q)) << q;
+  }
+  EXPECT_FALSE(v.at("XMP-Q4"));   // Distinct()
+  EXPECT_FALSE(v.at("XMP-Q10"));  // Distinct()
+  EXPECT_FALSE(v.at("XMP-Q6"));   // Count()
+}
+
+TEST(UseCasesTest, TreeClassificationMatchesFig12) {
+  auto v = VerdictMap();
+  EXPECT_TRUE(v.at("TREE-Q1"));
+  EXPECT_TRUE(v.at("TREE-Q2"));
+  for (const char* q : {"Q3", "Q4", "Q5", "Q6"}) {
+    EXPECT_FALSE(v.at(std::string("TREE-") + q)) << q;
+  }
+}
+
+TEST(UseCasesTest, RClassificationMatchesFig12) {
+  auto v = VerdictMap();
+  for (const char* q : {"Q1", "Q3", "Q4", "Q16", "Q17"}) {
+    EXPECT_TRUE(v.at(std::string("R-") + q)) << q;
+  }
+  for (const char* q : {"Q2", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10", "Q11",
+                        "Q12", "Q13", "Q14", "Q15"}) {
+    EXPECT_FALSE(v.at(std::string("R-") + q)) << q;
+  }
+  EXPECT_FALSE(v.at("R-Q18"));  // Distinct()
+}
+
+TEST(UseCasesTest, CatalogCoversAllFig12Queries) {
+  // 12 XMP + 6 TREE + 18 R.
+  std::set<std::string> groups;
+  int xmp = 0, tree = 0, r = 0;
+  for (const UseCaseQuery& q : UseCaseCatalog()) {
+    groups.insert(q.group);
+    if (q.group == "XMP") ++xmp;
+    if (q.group == "TREE") ++tree;
+    if (q.group == "R") ++r;
+  }
+  EXPECT_EQ(groups.size(), 3u);
+  EXPECT_EQ(xmp, 12);
+  EXPECT_EQ(tree, 6);
+  EXPECT_EQ(r, 18);
+}
+
+TEST(UseCasesTest, ExcludedQueriesCarryReasons) {
+  for (const UseCaseVerdict& v : EvaluateUseCases()) {
+    if (!v.included) {
+      EXPECT_FALSE(v.reason.empty()) << v.query->id;
+    } else {
+      EXPECT_TRUE(v.reason.empty());
+    }
+  }
+}
+
+TEST(UseCasesTest, TableRendersAllRows) {
+  std::string table = UseCaseTable();
+  EXPECT_NE(table.find("XMP-Q1"), std::string::npos);
+  EXPECT_NE(table.find("R-Q18"), std::string::npos);
+  EXPECT_NE(table.find("Distinct()"), std::string::npos);
+  EXPECT_NE(table.find("Count()"), std::string::npos);
+}
+
+TEST(UseCasesTest, InclusionCountsMatchPaper) {
+  int included = 0;
+  for (const UseCaseVerdict& v : EvaluateUseCases()) {
+    if (v.included) ++included;
+  }
+  // 9 XMP + 2 TREE + 5 R = 16 of 36.
+  EXPECT_EQ(included, 16);
+}
+
+}  // namespace
+}  // namespace ufilter::check

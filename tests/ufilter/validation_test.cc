@@ -1,0 +1,187 @@
+#include "ufilter/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures/bookdb.h"
+#include "ufilter/checker.h"
+
+namespace ufilter::check {
+namespace {
+
+using relational::CheckPredicate;
+
+TEST(SatisfiabilityTest, EmptyConjunctionSatisfiable) {
+  EXPECT_TRUE(PredicatesSatisfiable({}));
+}
+
+TEST(SatisfiabilityTest, PaperU5Case) {
+  // view: 0 < price < 50; update: price > 50 -> unsatisfiable.
+  EXPECT_FALSE(PredicatesSatisfiable({
+      {CompareOp::kGt, Value::Double(0.0)},
+      {CompareOp::kLt, Value::Double(50.0)},
+      {CompareOp::kGt, Value::Double(50.0)},
+  }));
+  // price < 40 overlaps -> satisfiable.
+  EXPECT_TRUE(PredicatesSatisfiable({
+      {CompareOp::kGt, Value::Double(0.0)},
+      {CompareOp::kLt, Value::Double(50.0)},
+      {CompareOp::kLt, Value::Double(40.0)},
+  }));
+}
+
+TEST(SatisfiabilityTest, BoundaryCases) {
+  // x >= 5 and x <= 5 pins x = 5.
+  EXPECT_TRUE(PredicatesSatisfiable(
+      {{CompareOp::kGe, Value::Int(5)}, {CompareOp::kLe, Value::Int(5)}}));
+  // x > 5 and x <= 5 is empty.
+  EXPECT_FALSE(PredicatesSatisfiable(
+      {{CompareOp::kGt, Value::Int(5)}, {CompareOp::kLe, Value::Int(5)}}));
+  // x >= 5, x <= 5, x != 5 is empty.
+  EXPECT_FALSE(PredicatesSatisfiable({{CompareOp::kGe, Value::Int(5)},
+                                      {CompareOp::kLe, Value::Int(5)},
+                                      {CompareOp::kNe, Value::Int(5)}}));
+}
+
+TEST(SatisfiabilityTest, EqualityPins) {
+  EXPECT_TRUE(PredicatesSatisfiable(
+      {{CompareOp::kEq, Value::Int(7)}, {CompareOp::kLt, Value::Int(10)}}));
+  EXPECT_FALSE(PredicatesSatisfiable(
+      {{CompareOp::kEq, Value::Int(7)}, {CompareOp::kGt, Value::Int(10)}}));
+  EXPECT_FALSE(PredicatesSatisfiable({{CompareOp::kEq, Value::Int(7)},
+                                      {CompareOp::kEq, Value::Int(8)}}));
+  EXPECT_TRUE(PredicatesSatisfiable({{CompareOp::kEq, Value::Int(7)},
+                                     {CompareOp::kEq, Value::Int(7)}}));
+}
+
+TEST(SatisfiabilityTest, StringsCompareLexicographically) {
+  EXPECT_FALSE(PredicatesSatisfiable(
+      {{CompareOp::kEq, Value::String("abc")},
+       {CompareOp::kEq, Value::String("abd")}}));
+  EXPECT_FALSE(PredicatesSatisfiable(
+      {{CompareOp::kLt, Value::String("b")},
+       {CompareOp::kGt, Value::String("c")}}));
+  EXPECT_TRUE(PredicatesSatisfiable(
+      {{CompareOp::kGt, Value::String("b")},
+       {CompareOp::kLt, Value::String("c")}}));
+}
+
+// Parameterized sweep: a predicate pair (x > a) AND (x < b) is satisfiable
+// iff a < b - 1 ... over integers treat dense satisfiability (a < b).
+class RangePairTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RangePairTest, OpenIntervalsSatisfiableIffNonEmpty) {
+  auto [lo, hi] = GetParam();
+  bool sat = PredicatesSatisfiable({{CompareOp::kGt, Value::Double(lo)},
+                                    {CompareOp::kLt, Value::Double(hi)}});
+  EXPECT_EQ(sat, lo < hi);  // dense domain: (lo, hi) nonempty iff lo < hi
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RangePairTest,
+                         ::testing::Values(std::make_pair(0, 10),
+                                           std::make_pair(10, 0),
+                                           std::make_pair(5, 5),
+                                           std::make_pair(-3, -2),
+                                           std::make_pair(-2, -3)));
+
+// End-to-end validation cases beyond the paper's u1/u5/u6/u7.
+class ValidationPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = fixtures::MakeBookDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto uf = UFilter::Create(db_.get(), fixtures::BookViewQuery());
+    ASSERT_TRUE(uf.ok());
+    uf_ = std::move(*uf);
+  }
+
+  CheckReport Check(const std::string& text) { return uf_->Check(text); }
+
+  std::unique_ptr<relational::Database> db_;
+  std::unique_ptr<UFilter> uf_;
+};
+
+TEST_F(ValidationPipelineTest, InsertUnknownElementInvalid) {
+  CheckReport r = Check(
+      "FOR $book IN document(\"BookView.xml\")/book UPDATE $book { INSERT "
+      "<isbn>123</isbn> }");
+  EXPECT_EQ(r.outcome, CheckOutcome::kInvalid) << r.Describe();
+}
+
+TEST_F(ValidationPipelineTest, InsertPayloadWithForeignChildInvalid) {
+  CheckReport r = Check(
+      "FOR $book IN document(\"BookView.xml\")/book UPDATE $book { INSERT "
+      "<review><reviewid>003</reviewid><isbn>1</isbn></review> }");
+  EXPECT_EQ(r.outcome, CheckOutcome::kInvalid) << r.Describe();
+}
+
+TEST_F(ValidationPipelineTest, InsertPriceOutOfDomainInvalid) {
+  CheckReport r = Check(
+      "FOR $root IN document(\"BookView.xml\") UPDATE $root { INSERT "
+      "<book><bookid>\"90\"</bookid><title>\"T\"</title>"
+      "<price>cheap</price>"
+      "<publisher><pubid>A01</pubid><pubname>McGraw-Hill Inc.</pubname>"
+      "</publisher></book> }");
+  EXPECT_EQ(r.outcome, CheckOutcome::kInvalid) << r.Describe();
+}
+
+TEST_F(ValidationPipelineTest, InsertSecondPublisherInvalid) {
+  CheckReport r = Check(
+      "FOR $root IN document(\"BookView.xml\") UPDATE $root { INSERT "
+      "<book><bookid>\"90\"</bookid><title>\"T\"</title><price>5.00</price>"
+      "<publisher><pubid>A01</pubid><pubname>M</pubname></publisher>"
+      "<publisher><pubid>B01</pubid><pubname>P</pubname></publisher>"
+      "</book> }");
+  EXPECT_EQ(r.outcome, CheckOutcome::kInvalid) << r.Describe();
+}
+
+TEST_F(ValidationPipelineTest, InsertPriceViolatingViewPredicateInvalid) {
+  // price 60 > view's < 50 bound: the book would be invisible.
+  CheckReport r = Check(
+      "FOR $root IN document(\"BookView.xml\") UPDATE $root { INSERT "
+      "<book><bookid>\"90\"</bookid><title>\"T\"</title><price>60.00</price>"
+      "<publisher><pubid>A01</pubid><pubname>McGraw-Hill Inc.</pubname>"
+      "</publisher></book> }");
+  EXPECT_EQ(r.outcome, CheckOutcome::kInvalid) << r.Describe();
+}
+
+TEST_F(ValidationPipelineTest, DeleteMissingElementPathInvalid) {
+  CheckReport r = Check(
+      "FOR $book IN document(\"BookView.xml\")/book UPDATE $book { DELETE "
+      "$book/isbn }");
+  EXPECT_EQ(r.outcome, CheckOutcome::kInvalid) << r.Describe();
+}
+
+TEST_F(ValidationPipelineTest, DeleteNullableTextValid) {
+  // review.comment is nullable: deleting its text is a valid update.
+  CheckReport r = Check(
+      "FOR $book IN document(\"BookView.xml\")/book, $review IN "
+      "$book/review WHERE $review/reviewid/text() = \"001\" UPDATE $book { "
+      "DELETE $review/comment/text() }");
+  EXPECT_EQ(r.outcome, CheckOutcome::kExecuted) << r.Describe();
+  // The comment column is now NULL.
+  auto review = db_->GetTable("review");
+  auto rows = (*review)->Find(
+      {{"reviewid", CompareOp::kEq, Value::String("001")}}, nullptr);
+  ASSERT_EQ(rows.size(), 1u);
+  const relational::Row* row = (*review)->GetRow(rows[0]);
+  int c = (*review)->schema().ColumnIndex("comment");
+  EXPECT_TRUE((*row)[static_cast<size_t>(c)].is_null());
+}
+
+TEST_F(ValidationPipelineTest, ReplaceLeafWithInvalidValueRejected) {
+  CheckReport r = Check(
+      "FOR $book IN document(\"BookView.xml\")/book WHERE "
+      "$book/bookid/text() = \"98001\" UPDATE $book { REPLACE $book/price "
+      "WITH <price>-3.00</price> }");
+  EXPECT_EQ(r.outcome, CheckOutcome::kInvalid) << r.Describe();
+}
+
+TEST_F(ValidationPipelineTest, UnparsableUpdateInvalid) {
+  CheckReport r = Check("DELETE EVERYTHING");
+  EXPECT_EQ(r.outcome, CheckOutcome::kInvalid);
+  EXPECT_TRUE(r.error.IsParseError());
+}
+
+}  // namespace
+}  // namespace ufilter::check

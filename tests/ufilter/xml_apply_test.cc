@@ -1,0 +1,128 @@
+#include "ufilter/xml_apply.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures/bookdb.h"
+#include "xml/parser.h"
+#include "xquery/parser.h"
+
+namespace ufilter::check {
+namespace {
+
+xml::NodePtr SampleView() {
+  auto parsed = xml::Parse(R"(
+<BookView>
+  <book>
+    <bookid>98001</bookid>
+    <title>TCP/IP Illustrated</title>
+    <price>37.00</price>
+    <publisher><pubid>A01</pubid></publisher>
+    <review><reviewid>001</reviewid><comment>Good</comment></review>
+    <review><reviewid>002</reviewid><comment>Useful</comment></review>
+  </book>
+  <book>
+    <bookid>98003</bookid>
+    <title>Data on the Web</title>
+    <price>48.00</price>
+    <publisher><pubid>A01</pubid></publisher>
+  </book>
+</BookView>)");
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+int Apply(xml::Node* root, const std::string& update) {
+  auto stmt = xq::ParseUpdate(update);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto n = ApplyUpdateToXml(root, *stmt);
+  EXPECT_TRUE(n.ok()) << n.status().ToString();
+  return n.ValueOr(-1);
+}
+
+TEST(XmlApplyTest, DeleteWithPredicate) {
+  xml::NodePtr view = SampleView();
+  int n = Apply(view.get(),
+                "FOR $book IN document(\"v\")/book WHERE "
+                "$book/bookid/text() = \"98001\" UPDATE $book { DELETE "
+                "$book/review }");
+  EXPECT_EQ(n, 2);
+  EXPECT_TRUE(
+      view->FindChildren("book")[0]->FindChildren("review").empty());
+  // Other book untouched.
+  EXPECT_EQ(view->FindChildren("book").size(), 2u);
+}
+
+TEST(XmlApplyTest, DeleteWholeElementViaOuterVariable) {
+  xml::NodePtr view = SampleView();
+  int n = Apply(view.get(),
+                "FOR $root IN document(\"v\"), $book = $root/book WHERE "
+                "$book/price > 40.00 UPDATE $root { DELETE $book }");
+  EXPECT_EQ(n, 1);
+  auto books = view->FindChildren("book");
+  ASSERT_EQ(books.size(), 1u);
+  EXPECT_EQ(books[0]->ChildText("bookid"), "98001");
+}
+
+TEST(XmlApplyTest, DeleteTextOnly) {
+  xml::NodePtr view = SampleView();
+  int n = Apply(view.get(),
+                "FOR $book IN document(\"v\")/book, $r IN $book/review "
+                "WHERE $r/reviewid/text() = \"001\" UPDATE $book { DELETE "
+                "$r/comment/text() }");
+  EXPECT_EQ(n, 1);
+  xml::Node* review = view->FindChildren("book")[0]->FindChildren("review")[0];
+  // NULLed leaf: the whole <comment> element disappears (matching the
+  // materializer's NULL-renders-as-absent policy).
+  EXPECT_EQ(review->FindChild("comment"), nullptr);
+  EXPECT_NE(review->FindChild("reviewid"), nullptr);
+}
+
+TEST(XmlApplyTest, InsertAppendsClonePerMatch) {
+  xml::NodePtr view = SampleView();
+  int n = Apply(view.get(),
+                "FOR $book IN document(\"v\")/book UPDATE $book { INSERT "
+                "<review><reviewid>009</reviewid></review> }");
+  EXPECT_EQ(n, 2);  // both books matched
+  EXPECT_EQ(view->FindChildren("book")[0]->FindChildren("review").size(), 3u);
+  EXPECT_EQ(view->FindChildren("book")[1]->FindChildren("review").size(), 1u);
+}
+
+TEST(XmlApplyTest, ReplaceSwapsElement) {
+  xml::NodePtr view = SampleView();
+  int n = Apply(view.get(),
+                "FOR $book IN document(\"v\")/book WHERE "
+                "$book/bookid/text() = \"98003\" UPDATE $book { REPLACE "
+                "$book/price WITH <price>44.00</price> }");
+  EXPECT_EQ(n, 2);  // one insert + one removal
+  EXPECT_EQ(view->FindChildren("book")[1]->ChildText("price"), "44.00");
+}
+
+TEST(XmlApplyTest, NumericPredicateComparesNumerically) {
+  xml::NodePtr view = SampleView();
+  // "37.00" > 40 is false numerically (string compare would differ).
+  int n = Apply(view.get(),
+                "FOR $book IN document(\"v\")/book WHERE $book/price > "
+                "40.00 UPDATE $book { DELETE $book/review }");
+  EXPECT_EQ(n, 0);  // 98003 has no reviews; 98001 doesn't match
+}
+
+TEST(XmlApplyTest, NoMatchReturnsZero) {
+  xml::NodePtr view = SampleView();
+  int n = Apply(view.get(),
+                "FOR $book IN document(\"v\")/book WHERE "
+                "$book/bookid/text() = \"nope\" UPDATE $book { DELETE "
+                "$book/review }");
+  EXPECT_EQ(n, 0);
+}
+
+TEST(XmlApplyTest, UnboundVariableFails) {
+  xml::NodePtr view = SampleView();
+  auto stmt = xq::ParseUpdate(
+      "FOR $book IN document(\"v\")/book UPDATE $ghost { DELETE "
+      "$book/review }");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(ApplyUpdateToXml(view.get(), *stmt).ok());
+}
+
+}  // namespace
+}  // namespace ufilter::check

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "fixtures/bookdb.h"
+#include "xml/default_view.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace ufilter::xml {
+namespace {
+
+TEST(NodeTest, BuildAndNavigate) {
+  NodePtr book = Node::Element("book");
+  book->AddChild(Node::SimpleElement("bookid", "98001"));
+  book->AddChild(Node::SimpleElement("title", "TCP/IP Illustrated"));
+  EXPECT_EQ(book->ChildText("bookid"), "98001");
+  EXPECT_EQ(book->ElementChildren().size(), 2u);
+  EXPECT_EQ(book->FindChild("missing"), nullptr);
+  EXPECT_EQ(book->CountElements(), 3u);
+}
+
+TEST(NodeTest, RemoveChildReturnsOwnership) {
+  NodePtr book = Node::Element("book");
+  Node* title = book->AddChild(Node::SimpleElement("title", "X"));
+  NodePtr removed = book->RemoveChild(title);
+  ASSERT_NE(removed.get(), nullptr);
+  EXPECT_EQ(removed->label(), "title");
+  EXPECT_EQ(removed->parent(), nullptr);
+  EXPECT_TRUE(book->children().empty());
+}
+
+TEST(NodeTest, CloneIsDeepAndEqual) {
+  NodePtr book = Node::Element("book");
+  book->AddChild(Node::SimpleElement("bookid", "98001"));
+  NodePtr copy = book->Clone();
+  EXPECT_TRUE(book->Equals(*copy));
+  copy->children()[0]->children()[0]->set_label("changed");
+  EXPECT_FALSE(book->Equals(*copy));
+}
+
+TEST(NodeTest, EqualsIsOrderSensitive) {
+  NodePtr a = Node::Element("r");
+  a->AddChild(Node::SimpleElement("x", "1"));
+  a->AddChild(Node::SimpleElement("y", "2"));
+  NodePtr b = Node::Element("r");
+  b->AddChild(Node::SimpleElement("y", "2"));
+  b->AddChild(Node::SimpleElement("x", "1"));
+  EXPECT_FALSE(a->Equals(*b));
+}
+
+TEST(ParserTest, RoundTrip) {
+  const char* kText =
+      "<book><bookid>98001</bookid><title>TCP/IP</title>"
+      "<publisher><pubid>A01</pubid></publisher></book>";
+  auto parsed = Parse(kText);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string serialized = ToString(**parsed, {.pretty = false});
+  auto reparsed = Parse(serialized);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE((*parsed)->Equals(**reparsed));
+}
+
+TEST(ParserTest, EntitiesDecodeAndEscape) {
+  auto parsed = Parse("<p>Simon &amp; Schuster &lt;Inc&gt;</p>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->TextContent(), "Simon & Schuster <Inc>");
+  std::string out = ToString(**parsed, {.pretty = false});
+  EXPECT_EQ(out, "<p>Simon &amp; Schuster &lt;Inc&gt;</p>");
+}
+
+TEST(ParserTest, SelfClosingAndEmptyElements) {
+  auto parsed = Parse("<a><b/><c></c></a>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->ElementChildren().size(), 2u);
+  EXPECT_TRUE((*parsed)->FindChild("b")->children().empty());
+  EXPECT_TRUE((*parsed)->FindChild("c")->children().empty());
+}
+
+TEST(ParserTest, CommentsAndPrologSkipped) {
+  auto parsed =
+      Parse("<?xml version=\"1.0\"?><!-- hi --><a><!-- x -->1</a>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->TextContent(), "1");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("<a><b></a>").ok());        // mismatched close
+  EXPECT_FALSE(Parse("<a>").ok());               // unterminated
+  EXPECT_FALSE(Parse("<a></a><b></b>").ok());    // trailing content
+  EXPECT_FALSE(Parse("<a>&bogus;</a>").ok());    // unknown entity
+  EXPECT_FALSE(Parse("plain text").ok());        // no element
+}
+
+TEST(WriterTest, PrettyPrintingNests) {
+  NodePtr root = Node::Element("BookView");
+  Node* book = root->AddChild(Node::Element("book"));
+  book->AddChild(Node::SimpleElement("bookid", "98001"));
+  std::string out = ToString(*root);
+  EXPECT_NE(out.find("<BookView>\n"), std::string::npos);
+  EXPECT_NE(out.find("  <book>\n"), std::string::npos);
+  EXPECT_NE(out.find("    <bookid>98001</bookid>\n"), std::string::npos);
+}
+
+TEST(DefaultViewTest, MirrorsDatabase) {
+  auto db = fixtures::MakeBookDatabase();
+  ASSERT_TRUE(db.ok());
+  NodePtr view = DefaultView(**db);
+  EXPECT_EQ(view->label(), "DB");
+  Node* book = view->FindChild("book");
+  ASSERT_NE(book, nullptr);
+  EXPECT_EQ(book->FindChildren("row").size(), 3u);
+  Node* first = book->FindChildren("row")[0];
+  EXPECT_EQ(first->ChildText("bookid"), "98001");
+  EXPECT_EQ(first->ChildText("price"), "37.00");
+  // NULL-free fixture: every row has all 5 columns.
+  EXPECT_EQ(first->ElementChildren().size(), 5u);
+}
+
+}  // namespace
+}  // namespace ufilter::xml

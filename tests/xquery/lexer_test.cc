@@ -1,0 +1,65 @@
+#include "xquery/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace ufilter::xq {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& src) {
+  Lexer lexer(src);
+  EXPECT_TRUE(lexer.status().ok()) << lexer.status().ToString();
+  std::vector<TokenKind> out;
+  for (const Token& t : lexer.tokens()) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, SplitsComparisonFromPath) {
+  // `$b/price<50.00` must lex as variable, slash, ident, less, number.
+  auto kinds = Kinds("$b/price<50.00");
+  ASSERT_EQ(kinds.size(), 6u);  // + kEnd
+  EXPECT_EQ(kinds[0], TokenKind::kVariable);
+  EXPECT_EQ(kinds[1], TokenKind::kSlash);
+  EXPECT_EQ(kinds[2], TokenKind::kIdent);
+  EXPECT_EQ(kinds[3], TokenKind::kLess);
+  EXPECT_EQ(kinds[4], TokenKind::kNumber);
+}
+
+TEST(LexerTest, StringsAndNumbers) {
+  Lexer lexer("\"Data on the Web\" 48.00 1990 -3");
+  ASSERT_TRUE(lexer.status().ok());
+  EXPECT_EQ(lexer.tokens()[0].kind, TokenKind::kString);
+  EXPECT_EQ(lexer.tokens()[0].text, "Data on the Web");
+  EXPECT_EQ(lexer.tokens()[1].text, "48.00");
+  EXPECT_EQ(lexer.tokens()[2].text, "1990");
+  EXPECT_EQ(lexer.tokens()[3].text, "-3");
+}
+
+TEST(LexerTest, VariablesKeepNames) {
+  Lexer lexer("$book $publisher_2");
+  ASSERT_TRUE(lexer.status().ok());
+  EXPECT_EQ(lexer.tokens()[0].text, "book");
+  EXPECT_EQ(lexer.tokens()[1].text, "publisher_2");
+}
+
+TEST(LexerTest, OffsetsPointIntoSource) {
+  std::string src = "FOR $x IN y";
+  Lexer lexer(src);
+  ASSERT_TRUE(lexer.status().ok());
+  EXPECT_EQ(lexer.tokens()[1].offset, 4u);  // $x
+  EXPECT_EQ(src.substr(lexer.tokens()[3].offset, 1), "y");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lexer("\"unterminated").status().ok());
+  EXPECT_FALSE(Lexer("$ alone").status().ok());
+  EXPECT_FALSE(Lexer("back`tick").status().ok());
+}
+
+TEST(LexerTest, PayloadPunctuationTolerated) {
+  // Characters that only occur inside raw XML payloads lex as filler.
+  Lexer lexer("a & b; c.d: e*f @g h-i j?");
+  EXPECT_TRUE(lexer.status().ok()) << lexer.status().ToString();
+}
+
+}  // namespace
+}  // namespace ufilter::xq
