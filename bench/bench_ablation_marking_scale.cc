@@ -4,6 +4,8 @@
 // FK-chain views of growing depth.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -95,7 +97,5 @@ int main(int argc, char** argv) {
       "Marking should grow polynomially (roughly quadratically: Rules 2/3\n"
       "compare node pairs) with depth; the checking procedure should stay\n"
       "flat.\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ufilter::bench::RunWithJson(argc, argv, "ablation_marking_scale");
 }

@@ -2,6 +2,8 @@
 // Prints the paper's table, then micro-benchmarks the classifier itself.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 
 #include "ufilter/usecases.h"
@@ -30,7 +32,5 @@ int main(int argc, char** argv) {
   }
   std::printf("included: %d / %d (paper: 16 / 36)\n\n", included, total);
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ufilter::bench::RunWithJson(argc, argv, "fig12_usecases");
 }

@@ -8,6 +8,8 @@
 // both series).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -91,7 +93,5 @@ int main(int argc, char** argv) {
       "Expected shape: per-level times fall Region >> Nation >> ... >>\n"
       "Lineitem; the two series are indistinguishable (STAR is ~us).\n\n");
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ufilter::bench::RunWithJson(argc, argv, "fig13_translatable");
 }

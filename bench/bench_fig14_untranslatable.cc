@@ -9,6 +9,8 @@
 // tiny (~0.02 s on 2005 hardware).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -135,7 +137,5 @@ int main(int argc, char** argv) {
       "Expected shape: blind cost falls Region >> ... >> Lineitem; the\n"
       "STAR series is flat and orders of magnitude cheaper.\n\n");
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ufilter::bench::RunWithJson(argc, argv, "fig14_untranslatable");
 }

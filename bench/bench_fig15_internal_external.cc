@@ -8,6 +8,8 @@
 // internal sits consistently above external and the gap grows with DB size.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -82,7 +84,5 @@ int main(int argc, char** argv) {
       "Vlinear ===\n"
       "Arg = scale/10 (row counts in the db_rows counter). Expected shape:\n"
       "internal above external at every size.\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ufilter::bench::RunWithJson(argc, argv, "fig15_internal_external");
 }

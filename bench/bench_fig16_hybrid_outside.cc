@@ -10,6 +10,8 @@
 // The paper's shape: hybrid clearly below outside at every database size.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -137,7 +139,5 @@ int main(int argc, char** argv) {
       "Arg = scale/10. Expected shape: hybrid below outside everywhere —\n"
       "the outside strategy pays for scan joins against the unindexed\n"
       "materialized probe table.\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ufilter::bench::RunWithJson(argc, argv, "fig16_hybrid_outside");
 }

@@ -12,6 +12,8 @@
 // Fail1 gap larger (everything is skipped, not just one statement).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -192,7 +194,5 @@ int main(int argc, char** argv) {
       "=== Fig. 17: hybrid vs. outside over Vlinear, failed cases ===\n"
       "Arg = scale/10. Expected shape: outside below hybrid for both Fail1\n"
       "(nothing qualifies) and Fail2 (no lineitems qualify).\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ufilter::bench::RunWithJson(argc, argv, "fig17_failed_cases");
 }

@@ -4,6 +4,8 @@
 // independent of the database size (it is schema-only).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <memory>
 
@@ -106,7 +108,5 @@ int main(int argc, char** argv) {
       "=== STAR marking cost (Section 7.2) ===\n"
       "Paper: 0.12 s (Vsuccess) / 0.15 s (Vfail) on 2005 hardware; the\n"
       "reproduced claim is schema-only cost, flat across database sizes.\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ufilter::bench::RunWithJson(argc, argv, "star_marking");
 }

@@ -207,7 +207,10 @@ Result<DataCheckReport> DataChecker::RunInsert(const BoundUpdate& update,
 
 Result<DataCheckReport> DataChecker::RunReplace(const BoundUpdate& update,
                                                 const StarVerdict& verdict,
-                                                DataCheckStrategy strategy) {
+                                                // Replace rewrites one bound leaf in place, so the probe and the
+                                                // translation coincide for every strategy: there is no wide tuple to
+                                                // assemble (internal) and no conflict set to pre-probe (outside).
+                                                DataCheckStrategy /*strategy*/) {
   DataCheckReport report;
   SelectQuery anchor_query;
   UFILTER_ASSIGN_OR_RETURN(QueryResult anchors,

@@ -146,7 +146,7 @@ Result<xml::NodePtr> Materializer::Materialize(const AnalyzedView& view) {
   Env env;
   Emitter emitter(db_);
   UFILTER_RETURN_NOT_OK(emitter.EmitChildren(view.root(), &env, root.get()));
-  return std::move(root);
+  return root;
 }
 
 }  // namespace ufilter::view

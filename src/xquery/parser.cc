@@ -138,7 +138,7 @@ class Parser {
     stmt.SyncMirrors();
     UFILTER_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "}"));
     UFILTER_RETURN_NOT_OK(Expect(TokenKind::kEnd, "end of input"));
-    return std::move(stmt);
+    return stmt;
   }
 
  private:
@@ -332,7 +332,7 @@ class Parser {
     UFILTER_RETURN_NOT_OK(
         ParseContentList(TokenKind::kRBrace, &flwr->contents));
     UFILTER_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "}"));
-    return std::move(flwr);
+    return flwr;
   }
 
   /// Parses content items until `terminator` (not consumed). Inside an
@@ -383,7 +383,7 @@ class Parser {
                                 "> ... </" + close + ">");
     }
     UFILTER_RETURN_NOT_OK(Expect(TokenKind::kGreater, ">"));
-    return std::move(ctor);
+    return ctor;
   }
 
   /// Slices the raw XML element starting at the current '<' token out of the
@@ -436,7 +436,7 @@ class Parser {
     NormalizePayload(payload.get());
     // Skip tokens covered by the payload.
     while (Peek().kind != TokenKind::kEnd && Peek().offset < end) Advance();
-    return std::move(payload);
+    return payload;
   }
 
   Lexer lexer_;

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Docs lint: README code snippets must not drift from their source files.
+
+Every fenced code block in README.md that is immediately preceded by a
+marker comment of the form
+
+    <!-- snippet: examples/quickstart.cpp -->
+
+must appear *verbatim* (as a contiguous substring) in the named file.
+Exits non-zero listing each stale snippet otherwise.
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+README = ROOT / "README.md"
+
+MARKER = re.compile(
+    r"<!--\s*snippet:\s*(?P<path>\S+)\s*-->\s*\n```[^\n]*\n(?P<body>.*?)```",
+    re.DOTALL,
+)
+
+
+def main() -> int:
+    text = README.read_text()
+    snippets = list(MARKER.finditer(text))
+    if not snippets:
+        print("error: README.md contains no tagged snippets "
+              "(expected '<!-- snippet: <file> -->' markers)")
+        return 1
+    failures = 0
+    for m in snippets:
+        rel, body = m.group("path"), m.group("body")
+        src = ROOT / rel
+        if not src.exists():
+            print(f"error: README snippet references missing file {rel}")
+            failures += 1
+            continue
+        if body not in src.read_text():
+            line = text.count("\n", 0, m.start()) + 1
+            print(f"error: README.md:{line}: snippet drifted from {rel}:")
+            for snippet_line in body.rstrip("\n").split("\n"):
+                print(f"    {snippet_line}")
+            failures += 1
+    if failures:
+        return 1
+    print(f"ok: {len(snippets)} README snippet(s) match their sources")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
