@@ -59,6 +59,10 @@ void RunLevel(benchmark::State& state, const std::string& level,
   CheckOptions options;
   options.apply = false;
   options.run_star = with_star;
+  // The figure measures the *per-update* pipeline cost; keep the plan cache
+  // out so every iteration pays parse/bind/validate(/STAR) like the paper's
+  // per-request setting (the cached path is bench_batch_throughput's job).
+  options.use_plan_cache = false;
   int64_t rows = 0;
   for (auto _ : state) {
     auto report = setup.uf->Check(update, options);

@@ -23,6 +23,7 @@
 
 namespace {
 
+using ufilter::check::CheckOptions;
 using ufilter::check::CheckOutcome;
 using ufilter::check::UFilter;
 
@@ -101,8 +102,13 @@ void RunStar(benchmark::State& state, const std::string& rel) {
   Setup& setup = SharedSetup();
   auto [tag, key] = Levels().at(rel);
   std::string update = ufilter::fixtures::DeleteElementUpdate(tag, key);
+  // Per-update measurement: bypass the plan cache so the STAR reject cost
+  // (parse + bind + validate + STAR) is paid every iteration, as in the
+  // paper's per-request setting.
+  CheckOptions options;
+  options.use_plan_cache = false;
   for (auto _ : state) {
-    auto report = setup.views[rel]->Check(update);
+    auto report = setup.views[rel]->Check(update, options);
     if (report.outcome != CheckOutcome::kUntranslatable) {
       state.SkipWithError("expected untranslatable");
       return;

@@ -55,6 +55,8 @@ void RunInsert(benchmark::State& state, DataCheckStrategy strategy) {
   CheckOptions options;
   options.apply = false;  // keep the key free for the next iteration
   options.strategy = strategy;
+  // Per-update measurement: every iteration pays the full pipeline.
+  options.use_plan_cache = false;
   for (auto _ : state) {
     auto report = inst.uf->Check(update, options);
     if (report.outcome != CheckOutcome::kExecuted) {

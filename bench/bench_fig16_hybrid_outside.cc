@@ -12,6 +12,8 @@
 
 #include "bench_json.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -61,10 +63,25 @@ Instance& InstanceFor(int scale_tenths) {
   return *slot;
 }
 
+/// Surfaces the per-iteration probe work of the scenario that just ran.
+/// Counters are reset at scenario entry so series/scales never accumulate
+/// into each other.
+void ReportWork(benchmark::State& state,
+                ufilter::relational::Database* db) {
+  const ufilter::relational::EngineStats stats = db->SnapshotWorkCounters();
+  const double iters = static_cast<double>(std::max<int64_t>(
+      state.iterations(), 1));
+  state.counters["queries_per_iter"] =
+      static_cast<double>(stats.queries_executed) / iters;
+  state.counters["rows_scanned_per_iter"] =
+      static_cast<double>(stats.rows_scanned) / iters;
+}
+
 /// Hybrid: translate via indexed base-table probes and execute directly.
 void BM_Hybrid(benchmark::State& state) {
   Instance& inst = InstanceFor(static_cast<int>(state.range(0)));
   auto* db = inst.db.get();
+  db->ResetWorkCounters();
   for (auto _ : state) {
     size_t savepoint = db->Begin();
     auto bound =
@@ -83,6 +100,7 @@ void BM_Hybrid(benchmark::State& state) {
     db->Rollback(savepoint);
   }
   state.counters["db_rows"] = static_cast<double>(db->TotalRows());
+  ReportWork(state, db);
 }
 
 /// Outside: materialize the context probe into an unindexed temp table,
@@ -91,6 +109,7 @@ void BM_Hybrid(benchmark::State& state) {
 void BM_Outside(benchmark::State& state) {
   Instance& inst = InstanceFor(static_cast<int>(state.range(0)));
   auto* db = inst.db.get();
+  db->ResetWorkCounters();
   for (auto _ : state) {
     size_t savepoint = db->Begin();
     auto bound =
@@ -126,6 +145,7 @@ void BM_Outside(benchmark::State& state) {
     db->Rollback(savepoint);
   }
   state.counters["db_rows"] = static_cast<double>(db->TotalRows());
+  ReportWork(state, db);
 }
 
 BENCHMARK(BM_Hybrid)->DenseRange(2, 10, 2);

@@ -2,10 +2,36 @@
 #ifndef UFILTER_COMMON_STRINGS_H_
 #define UFILTER_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace ufilter {
+
+/// FNV-1a, 64-bit. Mix strings into `seed` incrementally (a 0xff separator
+/// is folded in after each string so field boundaries matter), or hash one
+/// string with the default offset basis.
+inline constexpr uint64_t kFnv1aOffsetBasis = 14695981039346656037ULL;
+inline constexpr uint64_t kFnv1aPrime = 1099511628211ULL;
+
+inline uint64_t Fnv1aMix(uint64_t seed, const std::string& s) {
+  for (char c : s) {
+    seed ^= static_cast<unsigned char>(c);
+    seed *= kFnv1aPrime;
+  }
+  seed ^= 0xff;
+  seed *= kFnv1aPrime;
+  return seed;
+}
+
+inline uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = kFnv1aOffsetBasis;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
 
 /// Joins `parts` with `sep`.
 std::string Join(const std::vector<std::string>& parts,

@@ -39,6 +39,15 @@ struct ColumnPredicate {
 
 /// Cumulative work counters; benchmarks and tests read these to observe the
 /// cost asymmetries the paper's figures rely on (index lookups vs. scans).
+///
+/// The struct doubles as the *snapshot* type of the work-counter mechanism:
+/// `Database::SnapshotWorkCounters()` returns a copy, `DiffSince` subtracts a
+/// baseline, and `Database::ResetWorkCounters()` zeroes the live counters so
+/// benchmark scenarios stop accumulating into each other.
+///
+/// The compile-side counters (queries, plan cache, prepares, STAR runs) are
+/// incremented by the layers above (QueryEvaluator, UFilter); they live here
+/// so one snapshot captures the whole pipeline's work.
 struct EngineStats {
   uint64_t rows_scanned = 0;
   uint64_t index_lookups = 0;
@@ -46,8 +55,42 @@ struct EngineStats {
   uint64_t rows_deleted = 0;
   uint64_t rows_updated = 0;
   uint64_t undo_records = 0;
+  /// SELECT evaluations issued against the engine (probe queries included).
+  uint64_t queries_executed = 0;
+  /// Merged OR-of-predicates probes evaluated (each counts once in
+  /// queries_executed too).
+  uint64_t batch_queries_executed = 0;
+  /// Individual probe branches served by merged queries (savings =
+  /// batch_branches_merged - batch_queries_executed).
+  uint64_t batch_branches_merged = 0;
+  /// U-Filter plan cache: Prepare calls answered from / missing the cache.
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  /// Full compiles (parse + bind + validate) actually performed.
+  uint64_t updates_compiled = 0;
+  /// STAR dynamic-checking runs actually performed.
+  uint64_t star_checks = 0;
 
   void Reset() { *this = EngineStats(); }
+
+  /// Field-wise `*this - baseline` (counters are monotonic between resets).
+  EngineStats DiffSince(const EngineStats& baseline) const {
+    EngineStats d = *this;
+    d.rows_scanned -= baseline.rows_scanned;
+    d.index_lookups -= baseline.index_lookups;
+    d.rows_inserted -= baseline.rows_inserted;
+    d.rows_deleted -= baseline.rows_deleted;
+    d.rows_updated -= baseline.rows_updated;
+    d.undo_records -= baseline.undo_records;
+    d.queries_executed -= baseline.queries_executed;
+    d.batch_queries_executed -= baseline.batch_queries_executed;
+    d.batch_branches_merged -= baseline.batch_branches_merged;
+    d.plan_cache_hits -= baseline.plan_cache_hits;
+    d.plan_cache_misses -= baseline.plan_cache_misses;
+    d.updates_compiled -= baseline.updates_compiled;
+    d.star_checks -= baseline.star_checks;
+    return d;
+  }
 };
 
 /// \brief One table's storage: tombstoned row slots plus hash indexes.
@@ -133,6 +176,11 @@ class Database {
 
   const DatabaseSchema& schema() const { return schema_; }
   EngineStats& stats() { return stats_; }
+
+  /// Copy of the live work counters (see EngineStats for diffing).
+  EngineStats SnapshotWorkCounters() const { return stats_; }
+  /// Zeroes all work counters; benchmarks call this between scenarios.
+  void ResetWorkCounters() { stats_.Reset(); }
 
   Result<Table*> GetTable(const std::string& name);
   Result<const Table*> GetTable(const std::string& name) const;

@@ -30,6 +30,38 @@ std::string SelectQuery::ToSql() const {
   return sql;
 }
 
+std::string DisjunctiveQuery::ToSql() const {
+  std::string sql = base.ToSql();
+  if (branches.empty()) return sql;
+  std::vector<std::string> ors;
+  for (const std::vector<FilterPredicate>& branch : branches) {
+    if (branch.empty()) {
+      ors.push_back("(TRUE)");
+      continue;
+    }
+    std::vector<std::string> conj;
+    for (const FilterPredicate& f : branch) {
+      conj.push_back(f.col.ToString() + " " + CompareOpSymbol(f.op) + " " +
+                     f.literal.ToSqlLiteral());
+    }
+    ors.push_back("(" + Join(conj, " AND ") + ")");
+  }
+  bool base_has_where = !base.joins.empty() || !base.filters.empty();
+  sql += (base_has_where ? " AND (" : " WHERE (") + Join(ors, " OR ") + ")";
+  return sql;
+}
+
+QueryResult DisjunctiveResult::Extract(size_t b) const {
+  QueryResult out;
+  out.column_names = merged.column_names;
+  if (b >= branch_rows.size()) return out;
+  for (size_t i : branch_rows[b]) {
+    out.rows.push_back(merged.rows[i]);
+    out.row_ids.push_back(merged.row_ids[i]);
+  }
+  return out;
+}
+
 namespace {
 
 struct BoundTable {
@@ -40,6 +72,18 @@ struct BoundTable {
 }  // namespace
 
 Result<QueryResult> QueryEvaluator::Execute(const SelectQuery& query) {
+  UFILTER_ASSIGN_OR_RETURN(DisjunctiveResult result, ExecuteImpl(query, {}));
+  return std::move(result.merged);
+}
+
+Result<DisjunctiveResult> QueryEvaluator::ExecuteDisjunctive(
+    const DisjunctiveQuery& dq) {
+  return ExecuteImpl(dq.base, dq.branches);
+}
+
+Result<DisjunctiveResult> QueryEvaluator::ExecuteImpl(
+    const SelectQuery& query,
+    const std::vector<std::vector<FilterPredicate>>& query_branches) {
   // Resolve tables.
   std::vector<BoundTable> bound;
   std::map<std::string, int> alias_pos;
@@ -88,18 +132,34 @@ Result<QueryResult> QueryEvaluator::Execute(const SelectQuery& query) {
     UFILTER_ASSIGN_OR_RETURN(auto c, resolve(f.col));
     filters.push_back({c.first, c.second, f.op, f.literal});
   }
+  std::vector<std::vector<RFilter>> branches;
+  for (const std::vector<FilterPredicate>& branch : query_branches) {
+    std::vector<RFilter> rbranch;
+    for (const FilterPredicate& f : branch) {
+      UFILTER_ASSIGN_OR_RETURN(auto c, resolve(f.col));
+      rbranch.push_back({c.first, c.second, f.op, f.literal});
+    }
+    branches.push_back(std::move(rbranch));
+  }
   std::vector<std::pair<int, int>> selects;
   for (const ColRef& s : query.selects) {
     UFILTER_ASSIGN_OR_RETURN(auto c, resolve(s));
     selects.push_back(c);
   }
 
-  QueryResult result;
+  DisjunctiveResult out;
+  out.branch_rows.resize(branches.size());
+  QueryResult& result = out.merged;
   for (const ColRef& s : query.selects) {
     result.column_names.push_back(s.ToString());
   }
 
   EngineStats* stats = &db_->stats();
+  stats->queries_executed += 1;
+  if (!branches.empty()) {
+    stats->batch_queries_executed += 1;
+    stats->batch_branches_merged += branches.size();
+  }
   // Left-deep recursive join over tables in FROM order.
   std::vector<RowId> current(bound.size(), -1);
   std::vector<const Row*> rows(bound.size(), nullptr);
@@ -128,14 +188,35 @@ Result<QueryResult> QueryEvaluator::Execute(const SelectQuery& query) {
     return true;
   };
 
-  std::function<void(size_t)> Recurse = [&](size_t k) {
-    if (k == bound.size()) {
-      Row out;
-      out.reserve(selects.size());
-      for (auto [t, c] : selects) {
-        out.push_back((*rows[static_cast<size_t>(t)])[static_cast<size_t>(c)]);
+  // Per-branch conjunct test for the predicates of branch `b` fully bound
+  // once table `k` is added.
+  auto BranchSatisfiedAt = [&](size_t b, size_t k) {
+    for (const RFilter& f : branches[b]) {
+      if (static_cast<size_t>(f.t) == k) {
+        if (!EvalCompare((*rows[k])[static_cast<size_t>(f.c)], f.op,
+                         f.literal)) {
+          return false;
+        }
       }
-      result.rows.push_back(std::move(out));
+    }
+    return true;
+  };
+
+  // `alive[b]` = branch b's conjuncts have held for every table bound so
+  // far. A subtree with no live branch left cannot produce a result row.
+  std::function<void(size_t, const std::vector<char>&)> Recurse =
+      [&](size_t k, const std::vector<char>& alive) {
+    if (k == bound.size()) {
+      Row row_out;
+      row_out.reserve(selects.size());
+      for (auto [t, c] : selects) {
+        row_out.push_back(
+            (*rows[static_cast<size_t>(t)])[static_cast<size_t>(c)]);
+      }
+      for (size_t b = 0; b < branches.size(); ++b) {
+        if (alive[b]) out.branch_rows[b].push_back(result.rows.size());
+      }
+      result.rows.push_back(std::move(row_out));
       result.row_ids.push_back(current);
       return;
     }
@@ -182,26 +263,76 @@ Result<QueryResult> QueryEvaluator::Execute(const SelectQuery& query) {
         break;
       }
     }
+    // IN-list probe: every live branch pins this table with an equality on
+    // an indexed column -> the scan becomes the union of index lookups (how
+    // the merged probe of a batch keeps per-update index access).
+    if (!used_index && !branches.empty()) {
+      // First confirm every live branch has a pin (no lookups yet, so the
+      // work counters never record discarded index probes), then union.
+      std::vector<const RFilter*> pins(branches.size(), nullptr);
+      bool all_pinned = true;
+      for (size_t b = 0; b < branches.size() && all_pinned; ++b) {
+        if (!alive[b]) continue;
+        for (const RFilter& f : branches[b]) {
+          if (static_cast<size_t>(f.t) != k || f.op != CompareOp::kEq) {
+            continue;
+          }
+          const std::string& col_name =
+              table->schema().columns()[static_cast<size_t>(f.c)].name;
+          if (table->HasIndexOn(col_name)) {
+            pins[b] = &f;
+            break;
+          }
+        }
+        if (pins[b] == nullptr) all_pinned = false;
+      }
+      if (all_pinned) {
+        std::vector<RowId> merged_candidates;
+        for (size_t b = 0; b < branches.size(); ++b) {
+          if (pins[b] == nullptr) continue;  // dead branch
+          const std::string& col_name =
+              table->schema().columns()[static_cast<size_t>(pins[b]->c)].name;
+          for (RowId id : table->Find(
+                   {{col_name, CompareOp::kEq, pins[b]->literal}}, stats)) {
+            merged_candidates.push_back(id);
+          }
+        }
+        std::sort(merged_candidates.begin(), merged_candidates.end());
+        merged_candidates.erase(
+            std::unique(merged_candidates.begin(), merged_candidates.end()),
+            merged_candidates.end());
+        candidates = std::move(merged_candidates);
+        used_index = true;
+      }
+    }
     if (!used_index) {
       candidates = table->AllRowIds();
       stats->rows_scanned += candidates.size();
     }
 
+    std::vector<char> next_alive(branches.size());
     for (RowId id : candidates) {
       const Row* r = table->GetRow(id);
       if (r == nullptr) continue;
       rows[k] = r;
       current[k] = id;
-      if (PredsSatisfied(k)) Recurse(k + 1);
+      if (PredsSatisfied(k)) {
+        bool any_alive = branches.empty();
+        for (size_t b = 0; b < branches.size(); ++b) {
+          next_alive[b] = alive[b] && BranchSatisfiedAt(b, k);
+          any_alive |= next_alive[b] != 0;
+        }
+        if (any_alive) Recurse(k + 1, next_alive);
+      }
       rows[k] = nullptr;
       current[k] = -1;
     }
   };
 
   if (!bound.empty()) {
-    Recurse(0);
+    Recurse(0, std::vector<char>(branches.size(), 1));
   }
-  return result;
+  return out;
 }
 
 Status QueryEvaluator::MaterializeInto(const SelectQuery& query,

@@ -68,6 +68,34 @@ struct QueryResult {
   size_t size() const { return rows.size(); }
 };
 
+/// \brief A merged multi-predicate probe: one SPJ base (FROM/joins/shared
+/// filters) plus N predicate *branches*, evaluated as
+/// `base AND (branch_0 OR branch_1 OR ...)`.
+///
+/// This is how U-Filter's CheckBatch folds the per-update probe queries of N
+/// updates that target the same relation chain into a single engine query:
+/// the base is the shared view chain, each branch carries one update's WHERE
+/// conjuncts. A result row belongs to every branch whose conjuncts it
+/// satisfies (demultiplexed in DisjunctiveResult). An empty branch list
+/// degenerates to the plain SelectQuery.
+struct DisjunctiveQuery {
+  SelectQuery base;
+  std::vector<std::vector<FilterPredicate>> branches;
+
+  std::string ToSql() const;
+};
+
+/// \brief Merged probe output: the union result plus the per-branch
+/// demultiplexing map.
+struct DisjunctiveResult {
+  QueryResult merged;
+  /// branch_rows[b] = indexes into merged.rows satisfying branch b.
+  std::vector<std::vector<size_t>> branch_rows;
+
+  /// Extracts branch `b` as a standalone QueryResult (copies its rows).
+  QueryResult Extract(size_t b) const;
+};
+
 /// \brief Evaluates SPJ queries against a Database.
 ///
 /// Join strategy: left-deep in FROM order; each new table is accessed by
@@ -80,12 +108,24 @@ class QueryEvaluator {
 
   Result<QueryResult> Execute(const SelectQuery& query);
 
+  /// Evaluates a merged multi-predicate probe in one pass. Candidate
+  /// generation can still use indexes: when every branch constrains a table
+  /// with an equality on an indexed column, the scan is replaced by the
+  /// union of the branches' index lookups (an IN-list probe).
+  Result<DisjunctiveResult> ExecuteDisjunctive(const DisjunctiveQuery& query);
+
   /// Executes `query` and materializes the full result (all selected
   /// columns) into a temp table named `temp_name` with no indexes.
   Status MaterializeInto(const SelectQuery& query,
                          const std::string& temp_name);
 
  private:
+  /// Shared core: `base` evaluated with an optional OR of predicate
+  /// branches (empty = plain conjunctive query).
+  Result<DisjunctiveResult> ExecuteImpl(
+      const SelectQuery& base,
+      const std::vector<std::vector<FilterPredicate>>& branches);
+
   Database* db_;
 };
 

@@ -1,9 +1,13 @@
 #include "ufilter/checker.h"
 
 #include <chrono>
+#include <map>
+#include <utility>
 
+#include "ufilter/translator.h"
 #include "ufilter/update_binding.h"
 #include "ufilter/validation.h"
+#include "xquery/normalize.h"
 
 namespace ufilter::check {
 
@@ -19,6 +23,8 @@ double Now() {
 
 const char* CheckOutcomeName(CheckOutcome o) {
   switch (o) {
+    case CheckOutcome::kNotRun:
+      return "not run";
     case CheckOutcome::kInvalid:
       return "invalid";
     case CheckOutcome::kUntranslatable:
@@ -33,6 +39,7 @@ const char* CheckOutcomeName(CheckOutcome o) {
 
 std::string CheckReport::Describe() const {
   std::string out = CheckOutcomeName(outcome);
+  if (outcome == CheckOutcome::kNotRun) return out;
   if (outcome == CheckOutcome::kExecuted) {
     out += " (" + std::string(TranslatabilityName(star_class));
     if (!condition.empty()) out += ", condition: " + condition;
@@ -59,102 +66,191 @@ Result<std::unique_ptr<UFilter>> UFilter::Create(
   double t0 = Now();
   UFILTER_RETURN_NOT_OK(MarkViewAsg(uf->gv_.get(), uf->gd_));
   uf->marking_seconds_ = Now() - t0;
+  uf->view_signature_ = uf->view_->Signature();
   return uf;
 }
 
-CheckReport UFilter::Check(const std::string& update_text,
-                           const CheckOptions& options) {
-  auto stmt = xq::ParseUpdate(update_text);
-  if (!stmt.ok()) {
-    CheckReport report;
-    report.outcome = CheckOutcome::kInvalid;
-    report.error = stmt.status();
-    return report;
+// ---------------------------------------------------------------------------
+// Compile phase (steps 1-2, schema-level only)
+// ---------------------------------------------------------------------------
+
+void UFilter::CompileActions(const xq::UpdateStmt& stmt, bool compute_star,
+                             std::vector<PreparedAction>* actions,
+                             double* step1_seconds, double* step2_seconds) {
+  db_->stats().updates_compiled += 1;
+  for (const xq::UpdateAction& action : stmt.actions) {
+    PreparedAction pa;
+
+    // ---- Step 1: update validation --------------------------------------
+    double t0 = Now();
+    auto bound = BindUpdateAction(*view_, *gv_, stmt, action);
+    if (!bound.ok()) {
+      pa.step1_error = bound.status();
+      *step1_seconds += Now() - t0;
+      actions->push_back(std::move(pa));
+      continue;
+    }
+    pa.bound = *bound;
+    Status valid = ValidateUpdate(*gv_, pa.bound);
+    *step1_seconds += Now() - t0;
+    if (!valid.ok()) {
+      pa.step1_error = valid;
+      actions->push_back(std::move(pa));
+      continue;
+    }
+    pa.bound_ok = true;
+
+    // ---- Step 2: schema-driven translatability reasoning (STAR) ---------
+    if (compute_star) {
+      t0 = Now();
+      pa.star = CheckStar(*gv_, pa.bound.target_node, pa.bound.op);
+      pa.star_computed = true;
+      db_->stats().star_checks += 1;
+      *step2_seconds += Now() - t0;
+    }
+    actions->push_back(std::move(pa));
   }
-  return CheckParsed(*stmt, options);
 }
 
-CheckReport UFilter::CheckParsed(const xq::UpdateStmt& stmt,
-                                 const CheckOptions& options) {
-  if (stmt.actions.size() > 1) {
-    // Multi-action UPDATE block: check and apply atomically — every action
-    // must pass or nothing is applied.
-    CheckReport combined;
-    size_t savepoint = db_->Begin();
-    for (const xq::UpdateAction& action : stmt.actions) {
-      CheckOptions per_action = options;
-      per_action.apply = true;  // applied inside the outer savepoint
-      CheckReport r = CheckAction(stmt, action, per_action);
-      combined.step1_seconds += r.step1_seconds;
-      combined.step2_seconds += r.step2_seconds;
-      combined.step3_seconds += r.step3_seconds;
-      if (r.outcome != CheckOutcome::kExecuted) {
-        db_->Rollback(savepoint);
-        r.step1_seconds = combined.step1_seconds;
-        r.step2_seconds = combined.step2_seconds;
-        r.step3_seconds = combined.step3_seconds;
-        return r;
-      }
-      // Keep the weakest classification across actions (conditional beats
-      // unconditional).
-      if (static_cast<int>(r.star_class) <
-          static_cast<int>(combined.star_class)) {
-        combined.star_class = r.star_class;
-      }
-      if (!r.condition.empty()) {
-        if (!combined.condition.empty()) combined.condition += " + ";
-        combined.condition += r.condition;
-      }
-      combined.rows_affected += r.rows_affected;
-      combined.zero_tuple_warning |= r.zero_tuple_warning;
-      for (auto& op : r.translation) combined.translation.push_back(op);
-      for (auto& p : r.probes) combined.probes.push_back(p);
-    }
-    if (options.apply) {
-      db_->Commit(savepoint);
-    } else {
-      db_->Rollback(savepoint);
-    }
-    combined.outcome = CheckOutcome::kExecuted;
-    return combined;
+std::shared_ptr<PreparedUpdate> UFilter::CompileUpdate(
+    const std::string& update_text, const std::string& normalized,
+    bool compute_star) {
+  auto plan = std::shared_ptr<PreparedUpdate>(new PreparedUpdate());
+  plan->normalized_text_ = normalized;
+  plan->owner_ = this;
+  plan->view_signature_ = view_signature_;
+  double t0 = Now();
+  auto stmt = xq::ParseUpdate(update_text);
+  plan->step1_seconds_ = Now() - t0;
+  if (!stmt.ok()) {
+    plan->parse_error_ = stmt.status();
+    return plan;
   }
-  if (stmt.actions.empty()) {
+  plan->stmt_ = std::make_unique<xq::UpdateStmt>(std::move(*stmt));
+  CompileActions(*plan->stmt_, compute_star, &plan->actions_,
+                 &plan->step1_seconds_, &plan->step2_seconds_);
+  return plan;
+}
+
+std::shared_ptr<const PreparedUpdate> UFilter::Prepare(
+    const std::string& update_text, bool* cache_hit) {
+  std::string normalized = xq::NormalizeUpdateText(update_text);
+  if (std::shared_ptr<const PreparedUpdate> hit =
+          plan_cache_.Lookup(normalized)) {
+    db_->stats().plan_cache_hits += 1;
+    if (cache_hit != nullptr) *cache_hit = true;
+    return hit;
+  }
+  db_->stats().plan_cache_misses += 1;
+  if (cache_hit != nullptr) *cache_hit = false;
+  // Cached plans always carry STAR: a later Execute with run_star=true must
+  // be able to consume this plan.
+  std::shared_ptr<PreparedUpdate> plan =
+      CompileUpdate(update_text, normalized, /*compute_star=*/true);
+  plan_cache_.Insert(normalized, plan);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Execute phase (step 3 + translation)
+// ---------------------------------------------------------------------------
+
+CheckReport UFilter::Execute(const PreparedUpdate& prepared,
+                             const CheckOptions& options) {
+  if (prepared.owner() != this ||
+      prepared.view_signature() != view_signature_) {
+    CheckReport report;
+    report.outcome = CheckOutcome::kInvalid;
+    report.error = Status::InvalidUpdate(
+        "prepared update was compiled against a different UFilter/view; "
+        "re-Prepare it against this instance");
+    return report;
+  }
+  if (!prepared.parsed()) {
+    CheckReport report;
+    report.outcome = CheckOutcome::kInvalid;
+    report.error = prepared.parse_error();
+    return report;
+  }
+  return ExecuteActions(prepared.actions(), options);
+}
+
+CheckReport UFilter::ExecuteActions(const std::vector<PreparedAction>& actions,
+                                    const CheckOptions& options) {
+  if (actions.empty()) {
     CheckReport report;
     report.outcome = CheckOutcome::kInvalid;
     report.error = Status::InvalidUpdate("update statement has no action");
     return report;
   }
-  return CheckAction(stmt, stmt.actions[0], options);
+  if (actions.size() == 1) {
+    return ExecuteAction(actions[0], options);
+  }
+  // Multi-action UPDATE block: check and apply atomically — every action
+  // must pass or nothing is applied.
+  CheckReport combined;
+  if (options.run_star) {
+    combined.star_class = Translatability::kUnconditionallyTranslatable;
+  }
+  size_t savepoint = db_->Begin();
+  for (const PreparedAction& action : actions) {
+    CheckOptions per_action = options;
+    per_action.apply = true;  // applied inside the outer savepoint
+    CheckReport r = ExecuteAction(action, per_action);
+    combined.step3_seconds += r.step3_seconds;
+    if (r.outcome != CheckOutcome::kExecuted) {
+      db_->Rollback(savepoint);
+      r.step3_seconds = combined.step3_seconds;
+      return r;
+    }
+    // Keep the weakest classification across actions (conditional beats
+    // unconditional).
+    if (r.star_class != Translatability::kUnclassified &&
+        static_cast<int>(r.star_class) <
+            static_cast<int>(combined.star_class)) {
+      combined.star_class = r.star_class;
+    }
+    if (!r.condition.empty()) {
+      if (!combined.condition.empty()) combined.condition += " + ";
+      combined.condition += r.condition;
+    }
+    combined.rows_affected += r.rows_affected;
+    combined.zero_tuple_warning |= r.zero_tuple_warning;
+    for (auto& op : r.translation) combined.translation.push_back(op);
+    for (auto& p : r.probes) combined.probes.push_back(p);
+  }
+  if (options.apply) {
+    db_->Commit(savepoint);
+  } else {
+    db_->Rollback(savepoint);
+  }
+  combined.outcome = CheckOutcome::kExecuted;
+  return combined;
 }
 
-CheckReport UFilter::CheckAction(const xq::UpdateStmt& stmt,
-                                 const xq::UpdateAction& action,
-                                 const CheckOptions& options) {
+CheckReport UFilter::ExecuteAction(const PreparedAction& action,
+                                   const CheckOptions& options,
+                                   const InjectedProbes* injected) {
   CheckReport report;
-
-  // ---- Step 1: update validation -----------------------------------------
-  double t0 = Now();
-  auto bound = BindUpdateAction(*view_, *gv_, stmt, action);
-  if (!bound.ok()) {
+  if (!action.bound_ok) {
     report.outcome = CheckOutcome::kInvalid;
-    report.error = bound.status();
-    report.step1_seconds = Now() - t0;
-    return report;
-  }
-  Status valid = ValidateUpdate(*gv_, *bound);
-  report.step1_seconds = Now() - t0;
-  if (!valid.ok()) {
-    report.outcome = CheckOutcome::kInvalid;
-    report.error = valid;
+    report.error = action.step1_error;
     return report;
   }
 
-  // ---- Step 2: schema-driven translatability reasoning (STAR) ------------
-  StarVerdict verdict;
+  // Step 2's verdict was precomputed at Prepare; apply its gate here. A
+  // plan compiled without STAR (cache-bypassing run_star=false compile)
+  // that is nevertheless executed with the gate on classifies on the fly.
+  StarVerdict verdict;  // defaults to unconditionally translatable
   if (options.run_star) {
-    t0 = Now();
-    verdict = CheckStar(*gv_, bound->target_node, bound->op);
-    report.step2_seconds = Now() - t0;
+    if (action.star_computed) {
+      verdict = action.star;
+    } else {
+      double t0 = Now();
+      verdict = CheckStar(*gv_, action.bound.target_node, action.bound.op);
+      db_->stats().star_checks += 1;
+      report.step2_seconds += Now() - t0;
+    }
     report.star_class = verdict.result;
     report.condition = verdict.condition;
     if (verdict.result == Translatability::kUntranslatable) {
@@ -169,10 +265,10 @@ CheckReport UFilter::CheckAction(const xq::UpdateStmt& stmt,
   }
 
   // ---- Step 3: data-driven translatability checking + translation --------
-  t0 = Now();
+  double t0 = Now();
   DataChecker checker(db_, view_.get(), gv_.get());
-  auto data = checker.CheckAndExecute(*bound, verdict, options.strategy,
-                                      options.apply);
+  auto data = checker.CheckAndExecute(action.bound, verdict, options.strategy,
+                                      options.apply, injected);
   report.step3_seconds = Now() - t0;
   if (!data.ok()) {
     report.outcome = CheckOutcome::kDataConflict;
@@ -190,6 +286,227 @@ CheckReport UFilter::CheckAction(const xq::UpdateStmt& stmt,
   }
   report.outcome = CheckOutcome::kExecuted;
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Compatibility shim and batch front ends
+// ---------------------------------------------------------------------------
+
+CheckReport UFilter::Check(const std::string& update_text,
+                           const CheckOptions& options) {
+  double t0 = Now();
+  bool hit = false;
+  std::shared_ptr<const PreparedUpdate> plan;
+  if (options.use_plan_cache) {
+    plan = Prepare(update_text, &hit);
+  } else {
+    plan = CompileUpdate(update_text, xq::NormalizeUpdateText(update_text),
+                         options.run_star);
+  }
+  double prepare_seconds = Now() - t0;
+  CheckReport report = Execute(*plan, options);
+  report.prepare_seconds = prepare_seconds;
+  report.from_plan_cache = hit;
+  if (!hit) {
+    // This call actually compiled: attribute the compile cost to steps 1-2.
+    report.step1_seconds += plan->compile_step1_seconds();
+    if (options.run_star) {
+      report.step2_seconds += plan->compile_step2_seconds();
+    }
+  }
+  return report;
+}
+
+CheckReport UFilter::CheckParsed(const xq::UpdateStmt& stmt,
+                                 const CheckOptions& options) {
+  std::vector<PreparedAction> actions;
+  double step1_seconds = 0;
+  double step2_seconds = 0;
+  CompileActions(stmt, options.run_star, &actions, &step1_seconds,
+                 &step2_seconds);
+  CheckReport report = ExecuteActions(actions, options);
+  report.step1_seconds += step1_seconds;
+  if (options.run_star) report.step2_seconds += step2_seconds;
+  return report;
+}
+
+std::vector<CheckReport> UFilter::CheckBatch(
+    const std::vector<std::string>& updates, const CheckOptions& options) {
+  const size_t n = updates.size();
+  std::vector<CheckReport> reports(n);
+
+  // Phase 1: prepare every update (through the plan cache).
+  std::vector<std::shared_ptr<const PreparedUpdate>> plans(n);
+  std::vector<char> hits(n, 0);
+  std::vector<double> prepare_seconds(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    double t0 = Now();
+    if (options.use_plan_cache) {
+      bool hit = false;
+      plans[i] = Prepare(updates[i], &hit);
+      hits[i] = hit ? 1 : 0;
+    } else {
+      plans[i] = CompileUpdate(updates[i], xq::NormalizeUpdateText(updates[i]),
+                               options.run_star);
+    }
+    prepare_seconds[i] = Now() - t0;
+  }
+
+  // Phase 2: classify. Updates that reach step 3 with a single action get
+  // their anchor/victim probes composed (schema work only — no queries yet);
+  // everything else resolves immediately or falls back to Execute.
+  enum class Mode { kDone, kFallback, kPending };
+  struct Pending {
+    size_t index = 0;
+    const PreparedAction* action = nullptr;
+    bool merge_anchor = false;
+    relational::SelectQuery anchor_query;
+    bool merge_victim = false;
+    relational::SelectQuery victim_query;
+    InjectedProbes probes;
+  };
+  std::vector<Mode> modes(n, Mode::kDone);
+  std::vector<Pending> pending;
+  pending.reserve(n);
+  Translator translator(db_, view_.get(), gv_.get());
+  for (size_t i = 0; i < n; ++i) {
+    const PreparedUpdate& plan = *plans[i];
+    if (!plan.parsed()) {
+      reports[i].outcome = CheckOutcome::kInvalid;
+      reports[i].error = plan.parse_error();
+      continue;
+    }
+    if (plan.actions().size() != 1) {
+      // Multi-action blocks keep the atomic savepoint protocol unbatched.
+      modes[i] = Mode::kFallback;
+      continue;
+    }
+    const PreparedAction& action = plan.actions()[0];
+    bool reaches_step3 = action.bound_ok && options.run_data_check &&
+                         !(options.run_star && action.star_computed &&
+                           action.star.result ==
+                               Translatability::kUntranslatable);
+    if (!reaches_step3) {
+      reports[i] = ExecuteAction(action, options);
+      continue;
+    }
+    Pending p;
+    p.index = i;
+    p.action = &action;
+    auto anchor = translator.ComposeAnchorProbe(action.bound);
+    if (!anchor.ok()) {
+      modes[i] = Mode::kFallback;
+      continue;
+    }
+    p.merge_anchor = !anchor->tables.empty();
+    if (p.merge_anchor) p.anchor_query = std::move(*anchor);
+    if (action.bound.op == xq::UpdateOpType::kDelete ||
+        action.bound.op == xq::UpdateOpType::kReplace) {
+      auto victim = translator.ComposeVictimProbe(action.bound);
+      if (!victim.ok()) {
+        modes[i] = Mode::kFallback;
+        continue;
+      }
+      p.merge_victim = true;
+      p.victim_query = std::move(*victim);
+    }
+    modes[i] = Mode::kPending;
+    pending.push_back(std::move(p));
+  }
+
+  // Phase 3: group probes sharing a base shape (selects + tables + joins —
+  // i.e. the same target relation chain) and issue one merged
+  // OR-of-predicates query per group, demultiplexing rows per update.
+  auto ShapeKey = [](const relational::SelectQuery& q) {
+    std::string key;
+    for (const relational::ColRef& s : q.selects) key += s.ToString() + ",";
+    key += "#";
+    for (const auto& t : q.tables) key += t.table + " " + t.alias + ",";
+    key += "#";
+    for (const relational::JoinPredicate& j : q.joins) {
+      key += j.a.ToString() + CompareOpSymbol(j.op) + j.b.ToString() + ",";
+    }
+    return key;
+  };
+  struct Group {
+    relational::SelectQuery base;  // group shape, filters cleared
+    std::vector<std::vector<relational::FilterPredicate>> branches;
+    std::vector<std::pair<Pending*, bool /*is_victim*/>> members;
+  };
+  std::map<std::string, Group> groups;
+  auto AddMember = [&](Pending* p, const relational::SelectQuery& query,
+                       bool is_victim) {
+    std::string key = (is_victim ? "victim:" : "anchor:") + ShapeKey(query);
+    Group& group = groups[key];
+    if (group.members.empty()) {
+      group.base = query;
+      group.base.filters.clear();
+    }
+    group.branches.push_back(query.filters);
+    group.members.push_back({p, is_victim});
+  };
+  for (Pending& p : pending) {
+    if (p.merge_anchor) AddMember(&p, p.anchor_query, false);
+    if (p.merge_victim) AddMember(&p, p.victim_query, true);
+  }
+  relational::QueryEvaluator evaluator(db_);
+  for (auto& [key, group] : groups) {
+    relational::DisjunctiveQuery dq;
+    dq.base = group.base;
+    dq.branches = group.branches;
+    auto merged = evaluator.ExecuteDisjunctive(dq);
+    if (!merged.ok()) {
+      // Engine-level failure: let each member re-probe individually.
+      for (auto& [p, is_victim] : group.members) {
+        modes[p->index] = Mode::kFallback;
+      }
+      continue;
+    }
+    std::string sql = dq.ToSql();
+    for (size_t b = 0; b < group.members.size(); ++b) {
+      auto& [p, is_victim] = group.members[b];
+      if (modes[p->index] != Mode::kPending) continue;
+      if (is_victim) {
+        p->probes.has_victim = true;
+        p->probes.victim_query = p->victim_query;
+        p->probes.victims = merged->Extract(b);
+        p->probes.victim_sql = sql;
+      } else {
+        p->probes.has_anchor = true;
+        p->probes.anchor_query = p->anchor_query;
+        p->probes.anchors = merged->Extract(b);
+        p->probes.anchor_sql = sql;
+      }
+    }
+  }
+
+  // Phase 4: execute every update in batch order against the demultiplexed
+  // probe rows (pending) or through the unbatched path (fallback).
+  std::vector<Pending*> pending_by_index(n, nullptr);
+  for (Pending& p : pending) pending_by_index[p.index] = &p;
+  for (size_t i = 0; i < n; ++i) {
+    switch (modes[i]) {
+      case Mode::kDone:
+        break;
+      case Mode::kFallback:
+        reports[i] = Execute(*plans[i], options);
+        break;
+      case Mode::kPending: {
+        Pending* p = pending_by_index[i];
+        reports[i] = ExecuteAction(*p->action, options, &p->probes);
+        break;
+      }
+    }
+    reports[i].prepare_seconds = prepare_seconds[i];
+    reports[i].from_plan_cache = hits[i] != 0;
+    if (hits[i] == 0) {
+      reports[i].step1_seconds += plans[i]->compile_step1_seconds();
+      if (options.run_star) {
+        reports[i].step2_seconds += plans[i]->compile_step2_seconds();
+      }
+    }
+  }
+  return reports;
 }
 
 Result<xml::NodePtr> UFilter::MaterializeView() {

@@ -1,13 +1,27 @@
-// U-Filter pipeline facade (Fig. 5): compile a view once (parse, analyze,
-// build + mark the ASGs), then check any number of updates through the three
-// steps, feeding translatable ones to the translation engine.
+// U-Filter pipeline facade (Fig. 5), split into an explicit two-phase
+// lifecycle. Compile a view once (parse, analyze, build + mark the ASGs),
+// then *prepare* each distinct update template once (parse, bind, validate,
+// STAR-classify) and *execute* it any number of times — execution pays only
+// step 3 (data-driven checking) and translation. A bounded LRU plan cache
+// keyed by the normalized update text makes Prepare free for repeated
+// templates, and CheckBatch merges the step-3 probes of many updates into
+// OR-of-predicates queries against the database.
 //
 // This is the library's primary public entry point:
 //
 //   auto db = ...;                      // relational::Database
 //   auto uf = UFilter::Create(db.get(), kBookViewQuery).value();
+//
+//   // One-shot (compatibility shim over Prepare + Execute):
 //   CheckReport r = uf->Check("FOR $b IN document(...)...", {});
 //   if (r.outcome == CheckOutcome::kExecuted) { ... }
+//
+//   // Prepared-statement style:
+//   auto plan = uf->Prepare("FOR $b IN document(...)...");
+//   for (...) { CheckReport r = uf->Execute(*plan); ... }
+//
+//   // Batch style (merged probe queries):
+//   std::vector<CheckReport> rs = uf->CheckBatch({u1, u2, ...});
 #ifndef UFILTER_UFILTER_CHECKER_H_
 #define UFILTER_UFILTER_CHECKER_H_
 
@@ -19,6 +33,8 @@
 #include "common/result.h"
 #include "relational/database.h"
 #include "ufilter/datacheck.h"
+#include "ufilter/plan_cache.h"
+#include "ufilter/prepared.h"
 #include "ufilter/star.h"
 #include "view/analyzed_view.h"
 #include "view/materializer.h"
@@ -29,6 +45,7 @@ namespace ufilter::check {
 
 /// Where the pipeline ended for an update.
 enum class CheckOutcome {
+  kNotRun,          ///< no step has run (a fresh report's explicit state)
   kInvalid,         ///< rejected by step 1 (update validation)
   kUntranslatable,  ///< rejected by step 2 (STAR)
   kDataConflict,    ///< rejected by step 3 (data-driven check)
@@ -48,15 +65,19 @@ struct CheckOptions {
   /// unconditionally translatable — the "Update" (no checking) baseline of
   /// Figs. 13/14. Default on.
   bool run_star = true;
+  /// When false, Check/CheckBatch compile from scratch without consulting or
+  /// populating the plan cache (cold-path benchmarking).
+  bool use_plan_cache = true;
 };
 
-/// Full pipeline report for one update.
+/// Full pipeline report for one update. Starts in the explicit not-run /
+/// unclassified state so a half-run report can never read as success.
 struct CheckReport {
-  CheckOutcome outcome = CheckOutcome::kExecuted;
+  CheckOutcome outcome = CheckOutcome::kNotRun;
   /// Rejection reason (invalid / untranslatable / data conflict).
   Status error;
-  /// STAR classification (valid once past step 2).
-  Translatability star_class = Translatability::kUnconditionallyTranslatable;
+  /// STAR classification (valid once past step 2; kUnclassified before).
+  Translatability star_class = Translatability::kUnclassified;
   /// Condition attached by STAR for conditionally translatable updates.
   std::string condition;
   /// Executed relational update sequence.
@@ -64,10 +85,15 @@ struct CheckReport {
   int64_t rows_affected = 0;
   bool zero_tuple_warning = false;
   std::vector<std::string> probes;
-  /// Wall-clock seconds spent per step.
+  /// Wall-clock seconds spent per step. On a plan-cache hit steps 1-2 cost
+  /// nothing; on a miss they carry the compile cost of this call.
   double step1_seconds = 0;
   double step2_seconds = 0;
   double step3_seconds = 0;
+  /// Seconds spent in Prepare (normalization + cache lookup + any compile).
+  double prepare_seconds = 0;
+  /// The plan came from the cache — this call did zero parse/bind/STAR work.
+  bool from_plan_cache = false;
 
   /// One-paragraph human-readable summary.
   std::string Describe() const;
@@ -81,11 +107,46 @@ class UFilter {
   static Result<std::unique_ptr<UFilter>> Create(
       relational::Database* db, const std::string& view_query);
 
-  /// Checks (and by default executes) one update statement.
+  /// Compiles `update_text` into a reusable plan: parse, bind, validate
+  /// (step 1) and STAR-classify (step 2) every action. Never returns null;
+  /// compile failures travel inside the plan and surface when executed.
+  /// Consults the plan cache first (key: normalized text); `cache_hit`, when
+  /// non-null, reports whether the plan was served from the cache.
+  std::shared_ptr<const PreparedUpdate> Prepare(const std::string& update_text,
+                                                bool* cache_hit = nullptr);
+
+  /// Runs step 3 + translation for a prepared plan against current data.
+  /// Rejects plans prepared against a different UFilter or view definition.
+  CheckReport Execute(const PreparedUpdate& prepared,
+                      const CheckOptions& options = {});
+
+  /// One-shot check: Prepare (through the plan cache) + Execute.
   CheckReport Check(const std::string& update_text,
                     const CheckOptions& options = {});
+
+  /// Checks a caller-parsed statement (compiles it transiently; the plan
+  /// cache is not consulted since there is no source text to key on).
   CheckReport CheckParsed(const xq::UpdateStmt& stmt,
                           const CheckOptions& options = {});
+
+  /// Checks N updates, merging the step-3 anchor/victim probes of updates
+  /// that share a probe shape (same target relation chain) into single
+  /// OR-of-predicates queries with per-update result demultiplexing.
+  /// Reports align positionally with `updates`; updates are executed in
+  /// order. Multi-action statements fall back to the unbatched path.
+  ///
+  /// Snapshot semantics: all merged probes run against the batch-entry
+  /// state, *before* any update of the batch executes. Insert key conflicts
+  /// introduced within the batch are still caught at execute time (engine
+  /// constraints / duplication consistency), but anchor existence and
+  /// delete/replace victim sets are judged against the entry snapshot — if
+  /// an earlier update of the same batch moves rows into or out of a later
+  /// update's predicate scope, the later translation acts on the stale
+  /// victim set instead of re-probing. Batches whose members may interfere
+  /// through overlapping predicates should be checked sequentially with
+  /// Check, or validated with apply=false first.
+  std::vector<CheckReport> CheckBatch(const std::vector<std::string>& updates,
+                                      const CheckOptions& options = {});
 
   /// Materializes the current view content.
   Result<xml::NodePtr> MaterializeView();
@@ -97,13 +158,37 @@ class UFilter {
   /// Seconds the STAR marking procedure took at Create time.
   double marking_seconds() const { return marking_seconds_; }
 
+  /// The prepared-plan cache (tests tune capacity / observe LRU order).
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   UFilter() = default;
 
-  /// Runs the three steps for one action of a statement.
-  CheckReport CheckAction(const xq::UpdateStmt& stmt,
-                          const xq::UpdateAction& action,
-                          const CheckOptions& options);
+  /// Compiles all actions of `stmt` (steps 1-2); fills per-action verdicts
+  /// and the step-1/2 compile timings. With `compute_star` false step 2 is
+  /// skipped (the run_star=false baseline must not pay STAR anywhere) —
+  /// only cache-bypassing callers may skip it, since a cached plan must
+  /// serve later run_star=true executions.
+  void CompileActions(const xq::UpdateStmt& stmt, bool compute_star,
+                      std::vector<PreparedAction>* actions,
+                      double* step1_seconds, double* step2_seconds);
+
+  /// Full compile of one update text into a fresh plan (no cache).
+  std::shared_ptr<PreparedUpdate> CompileUpdate(
+      const std::string& update_text, const std::string& normalized,
+      bool compute_star);
+
+  /// Replays precompiled actions: the per-action step-1/2 verdict gates plus
+  /// step 3, with the multi-action atomic savepoint protocol.
+  CheckReport ExecuteActions(const std::vector<PreparedAction>& actions,
+                             const CheckOptions& options);
+
+  /// Runs one precompiled action (gates + step 3). `injected`, when
+  /// non-null, supplies batch-merged probe results to the data checker.
+  CheckReport ExecuteAction(const PreparedAction& action,
+                            const CheckOptions& options,
+                            const InjectedProbes* injected = nullptr);
 
   relational::Database* db_ = nullptr;
   xq::ViewQuery query_;
@@ -111,6 +196,9 @@ class UFilter {
   std::unique_ptr<asg::ViewAsg> gv_;
   asg::BaseAsg gd_;
   double marking_seconds_ = 0;
+  /// view_->Signature(), cached at Create (checked on every Execute).
+  uint64_t view_signature_ = 0;
+  PlanCache plan_cache_;
 };
 
 }  // namespace ufilter::check

@@ -25,7 +25,18 @@ const char* DataCheckStrategyName(DataCheckStrategy s) {
 
 Result<QueryResult> DataChecker::CheckContext(const BoundUpdate& update,
                                               SelectQuery* query_out,
-                                              DataCheckReport* report) {
+                                              DataCheckReport* report,
+                                              const InjectedProbes* injected) {
+  if (injected != nullptr && injected->has_anchor) {
+    *query_out = injected->anchor_query;
+    report->probes.push_back(injected->anchor_sql);
+    if (injected->anchors.empty()) {
+      return Status::DataConflict(
+          "update context <" + update.context->tag +
+          "> matches nothing in the view (probe returned no rows)");
+    }
+    return injected->anchors;
+  }
   UFILTER_ASSIGN_OR_RETURN(SelectQuery query,
                            translator_.ComposeAnchorProbe(update));
   *query_out = query;
@@ -42,6 +53,23 @@ Result<QueryResult> DataChecker::CheckContext(const BoundUpdate& update,
         "> matches nothing in the view (probe returned no rows)");
   }
   return result;
+}
+
+Result<QueryResult> DataChecker::FetchVictims(const BoundUpdate& update,
+                                              SelectQuery* query_out,
+                                              DataCheckReport* report,
+                                              const InjectedProbes* injected) {
+  if (injected != nullptr && injected->has_victim) {
+    *query_out = injected->victim_query;
+    report->probes.push_back(injected->victim_sql);
+    return injected->victims;
+  }
+  UFILTER_ASSIGN_OR_RETURN(SelectQuery query,
+                           translator_.ComposeVictimProbe(update));
+  *query_out = query;
+  report->probes.push_back(query.ToSql());
+  QueryEvaluator evaluator(db_);
+  return evaluator.Execute(query);
 }
 
 Status DataChecker::ExecuteOps(const std::vector<UpdateOp>& ops,
@@ -107,16 +135,19 @@ Status DataChecker::ProbeInsertConflicts(const std::vector<UpdateOp>& ops,
 
 Result<DataCheckReport> DataChecker::RunDelete(const BoundUpdate& update,
                                                const StarVerdict& verdict,
-                                               DataCheckStrategy strategy) {
+                                               DataCheckStrategy strategy,
+                                               const InjectedProbes* injected) {
   DataCheckReport report;
   SelectQuery anchor_query;
-  UFILTER_ASSIGN_OR_RETURN(QueryResult anchors,
-                           CheckContext(update, &anchor_query, &report));
+  UFILTER_ASSIGN_OR_RETURN(
+      QueryResult anchors,
+      CheckContext(update, &anchor_query, &report, injected));
   (void)anchors;
 
-  UFILTER_ASSIGN_OR_RETURN(SelectQuery victim_query,
-                           translator_.ComposeVictimProbe(update));
-  report.probes.push_back(victim_query.ToSql());
+  SelectQuery victim_query;
+  UFILTER_ASSIGN_OR_RETURN(
+      QueryResult victims,
+      FetchVictims(update, &victim_query, &report, injected));
   QueryEvaluator evaluator(db_);
   if (strategy == DataCheckStrategy::kInternal) {
     // The internal strategy would delete through the flat relational view:
@@ -128,8 +159,6 @@ Result<DataCheckReport> DataChecker::RunDelete(const BoundUpdate& update,
                              evaluator.Execute(wide));
     (void)wide_result;
   }
-  UFILTER_ASSIGN_OR_RETURN(QueryResult victims,
-                           evaluator.Execute(victim_query));
   if (victims.empty()) {
     // The paper's u12: the relational engine would answer "zero tuples
     // deleted"; the outside strategy detects it before issuing any delete.
@@ -152,11 +181,13 @@ Result<DataCheckReport> DataChecker::RunDelete(const BoundUpdate& update,
 
 Result<DataCheckReport> DataChecker::RunInsert(const BoundUpdate& update,
                                                const StarVerdict& verdict,
-                                               DataCheckStrategy strategy) {
+                                               DataCheckStrategy strategy,
+                                               const InjectedProbes* injected) {
   DataCheckReport report;
   SelectQuery anchor_query;
-  UFILTER_ASSIGN_OR_RETURN(QueryResult anchors,
-                           CheckContext(update, &anchor_query, &report));
+  UFILTER_ASSIGN_OR_RETURN(
+      QueryResult anchors,
+      CheckContext(update, &anchor_query, &report, injected));
 
   if (strategy == DataCheckStrategy::kInternal) {
     // Build the complete relational-view tuple: wide probe over the chain
@@ -205,24 +236,23 @@ Result<DataCheckReport> DataChecker::RunInsert(const BoundUpdate& update,
   return report;
 }
 
-Result<DataCheckReport> DataChecker::RunReplace(const BoundUpdate& update,
-                                                const StarVerdict& verdict,
-                                                // Replace rewrites one bound leaf in place, so the probe and the
-                                                // translation coincide for every strategy: there is no wide tuple to
-                                                // assemble (internal) and no conflict set to pre-probe (outside).
-                                                DataCheckStrategy /*strategy*/) {
+Result<DataCheckReport> DataChecker::RunReplace(
+    const BoundUpdate& update, const StarVerdict& verdict,
+    // Replace rewrites one bound leaf in place, so the probe and the
+    // translation coincide for every strategy: there is no wide tuple to
+    // assemble (internal) and no conflict set to pre-probe (outside).
+    DataCheckStrategy /*strategy*/, const InjectedProbes* injected) {
   DataCheckReport report;
   SelectQuery anchor_query;
-  UFILTER_ASSIGN_OR_RETURN(QueryResult anchors,
-                           CheckContext(update, &anchor_query, &report));
+  UFILTER_ASSIGN_OR_RETURN(
+      QueryResult anchors,
+      CheckContext(update, &anchor_query, &report, injected));
 
   const asg::ViewNode& target = gv_->node(update.target_node);
-  QueryEvaluator evaluator(db_);
-  UFILTER_ASSIGN_OR_RETURN(SelectQuery victim_query,
-                           translator_.ComposeVictimProbe(update));
-  report.probes.push_back(victim_query.ToSql());
-  UFILTER_ASSIGN_OR_RETURN(QueryResult victims,
-                           evaluator.Execute(victim_query));
+  SelectQuery victim_query;
+  UFILTER_ASSIGN_OR_RETURN(
+      QueryResult victims,
+      FetchVictims(update, &victim_query, &report, injected));
   if (victims.empty()) {
     report.passed = true;
     report.zero_tuple_warning = true;
@@ -298,16 +328,16 @@ Result<DataCheckReport> DataChecker::RunReplace(const BoundUpdate& update,
 
 Result<DataCheckReport> DataChecker::CheckAndExecute(
     const BoundUpdate& update, const StarVerdict& verdict,
-    DataCheckStrategy strategy, bool apply) {
+    DataCheckStrategy strategy, bool apply, const InjectedProbes* injected) {
   size_t savepoint = db_->Begin();
   Result<DataCheckReport> result = [&]() -> Result<DataCheckReport> {
     switch (update.op) {
       case xq::UpdateOpType::kDelete:
-        return RunDelete(update, verdict, strategy);
+        return RunDelete(update, verdict, strategy, injected);
       case xq::UpdateOpType::kInsert:
-        return RunInsert(update, verdict, strategy);
+        return RunInsert(update, verdict, strategy, injected);
       case xq::UpdateOpType::kReplace:
-        return RunReplace(update, verdict, strategy);
+        return RunReplace(update, verdict, strategy, injected);
     }
     return Status::Internal("unknown update op");
   }();

@@ -27,6 +27,21 @@ enum class DataCheckStrategy { kInternal, kHybrid, kOutside };
 
 const char* DataCheckStrategyName(DataCheckStrategy s);
 
+/// Step-3 probe results computed externally — UFilter::CheckBatch merges
+/// the anchor/victim probes of several updates into OR-of-predicates
+/// queries and injects each update's demultiplexed slice here, so the
+/// checker consumes them instead of issuing its own probe queries.
+struct InjectedProbes {
+  bool has_anchor = false;
+  relational::SelectQuery anchor_query;  ///< per-update probe (alias layout)
+  relational::QueryResult anchors;
+  std::string anchor_sql;  ///< SQL of the merged query actually issued
+  bool has_victim = false;
+  relational::SelectQuery victim_query;
+  relational::QueryResult victims;
+  std::string victim_sql;
+};
+
 /// Outcome of step 3 plus translation/execution.
 struct DataCheckReport {
   bool passed = false;
@@ -50,28 +65,40 @@ class DataChecker {
   /// Checks and executes `update` (which already passed steps 1 and 2 with
   /// `verdict`). With `apply` false the database is rolled back to its
   /// initial state afterwards (dry run). On failure the database is always
-  /// left unchanged.
+  /// left unchanged. When `injected` is non-null its probe results replace
+  /// the checker's own anchor/victim queries (batch mode); the internal
+  /// strategy's wide probe is always issued locally.
   Result<DataCheckReport> CheckAndExecute(const BoundUpdate& update,
                                           const StarVerdict& verdict,
                                           DataCheckStrategy strategy,
-                                          bool apply);
+                                          bool apply,
+                                          const InjectedProbes* injected =
+                                              nullptr);
 
  private:
   Result<DataCheckReport> RunDelete(const BoundUpdate& update,
                                     const StarVerdict& verdict,
-                                    DataCheckStrategy strategy);
+                                    DataCheckStrategy strategy,
+                                    const InjectedProbes* injected);
   Result<DataCheckReport> RunInsert(const BoundUpdate& update,
                                     const StarVerdict& verdict,
-                                    DataCheckStrategy strategy);
+                                    DataCheckStrategy strategy,
+                                    const InjectedProbes* injected);
   Result<DataCheckReport> RunReplace(const BoundUpdate& update,
                                      const StarVerdict& verdict,
-                                     DataCheckStrategy strategy);
+                                     DataCheckStrategy strategy,
+                                     const InjectedProbes* injected);
 
   /// Context check (6.1): returns the anchor probe result; DataConflict when
   /// the context element does not exist in the view.
   Result<relational::QueryResult> CheckContext(
       const BoundUpdate& update, relational::SelectQuery* query_out,
-      DataCheckReport* report);
+      DataCheckReport* report, const InjectedProbes* injected);
+
+  /// Victim probe (query + rows), honoring an injected result.
+  Result<relational::QueryResult> FetchVictims(
+      const BoundUpdate& update, relational::SelectQuery* query_out,
+      DataCheckReport* report, const InjectedProbes* injected);
 
   /// Executes translated ops; fills rows_affected.
   Status ExecuteOps(const std::vector<relational::UpdateOp>& ops,

@@ -1,0 +1,93 @@
+// LRU cache of prepared update plans, keyed by the normalized update
+// template text. A hit means a repeated update string pays zero parse /
+// bind / validate / STAR work — the compile-once half of the prepared-
+// statement architecture. Hit/miss counts are surfaced through the
+// database's work-counter mechanism (EngineStats) by UFilter.
+#ifndef UFILTER_UFILTER_PLAN_CACHE_H_
+#define UFILTER_UFILTER_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ufilter/prepared.h"
+
+namespace ufilter::check {
+
+/// \brief Bounded LRU map: normalized template -> shared prepared plan.
+class PlanCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// Returns the cached plan and marks it most-recently-used; null on miss.
+  std::shared_ptr<const PreparedUpdate> Lookup(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts (or replaces) a plan, evicting the least-recently-used entries
+  /// beyond capacity. A zero-capacity cache stores nothing.
+  void Insert(const std::string& key,
+              std::shared_ptr<const PreparedUpdate> plan) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(plan);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(plan));
+    index_[key] = lru_.begin();
+    EvictOverCapacity();
+  }
+
+  void Clear() {
+    lru_.clear();
+    index_.clear();
+  }
+
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity) {
+    capacity_ = capacity;
+    EvictOverCapacity();
+  }
+
+  /// Keys most-recently-used first (tests observe eviction order).
+  std::vector<std::string> KeysByRecency() const {
+    std::vector<std::string> keys;
+    keys.reserve(lru_.size());
+    for (const auto& [key, plan] : lru_) keys.push_back(key);
+    return keys;
+  }
+
+ private:
+  void EvictOverCapacity() {
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+
+  size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::pair<std::string, std::shared_ptr<const PreparedUpdate>>>
+      lru_;
+  std::unordered_map<
+      std::string,
+      std::list<std::pair<std::string,
+                          std::shared_ptr<const PreparedUpdate>>>::iterator>
+      index_;
+};
+
+}  // namespace ufilter::check
+
+#endif  // UFILTER_UFILTER_PLAN_CACHE_H_

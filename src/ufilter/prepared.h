@@ -1,0 +1,101 @@
+// The compile-time half of the U-Filter pipeline (Fig. 5, left of the
+// per-update loop): a PreparedUpdate owns the parsed AST of one update
+// template plus everything that depends only on the view schema — the
+// step-1 binding/validation verdict and the STAR classification of every
+// action. UFilter::Prepare produces it once; UFilter::Execute replays it
+// against current data any number of times, paying only step 3.
+#ifndef UFILTER_UFILTER_PREPARED_H_
+#define UFILTER_UFILTER_PREPARED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ufilter/star.h"
+#include "ufilter/update_binding.h"
+#include "xquery/ast.h"
+#include "xquery/normalize.h"
+
+namespace ufilter::check {
+
+class UFilter;
+
+/// One action of the statement after compile. When step 1 failed, `bound`
+/// is unusable and `step1_error` carries the rejection; STAR only runs for
+/// actions that passed step 1.
+struct PreparedAction {
+  BoundUpdate bound;
+  Status step1_error;
+  bool bound_ok = false;
+  StarVerdict star;
+  bool star_computed = false;
+};
+
+/// \brief A compiled update template, bound to one UFilter instance.
+///
+/// Immutable after Prepare; the plan cache shares instances across calls, so
+/// Execute never mutates a plan. The BoundUpdates point into `stmt_` (owned
+/// here) and into the owner's analyzed view, hence the owner/signature
+/// checks in UFilter::Execute.
+class PreparedUpdate {
+ public:
+  /// Canonical template text (the plan-cache key).
+  const std::string& normalized_text() const { return normalized_text_; }
+  /// Hash of the template, computed on demand (cross-process plan
+  /// identification, e.g. future shard routing; the in-process cache keys
+  /// on the text itself).
+  uint64_t template_hash() const {
+    return xq::HashUpdateTemplate(normalized_text_);
+  }
+
+  /// Parse failure for the whole statement; when set, `actions()` is empty.
+  const Status& parse_error() const { return parse_error_; }
+  bool parsed() const { return parse_error_.ok(); }
+
+  /// The owned AST (valid only when parsed()).
+  const xq::UpdateStmt& stmt() const { return *stmt_; }
+  const std::vector<PreparedAction>& actions() const { return actions_; }
+
+  /// Weakest STAR classification across classified actions; kUnclassified
+  /// when no action was classified (e.g. step-1 rejection).
+  Translatability star_class() const {
+    Translatability weakest = Translatability::kUnclassified;
+    for (const PreparedAction& a : actions_) {
+      if (!a.star_computed) continue;
+      if (weakest == Translatability::kUnclassified ||
+          static_cast<int>(a.star.result) < static_cast<int>(weakest)) {
+        weakest = a.star.result;
+      }
+    }
+    return weakest;
+  }
+
+  /// Seconds the compile spent in step 1 (parse + bind + validate) and in
+  /// step 2 (STAR), summed over actions.
+  double compile_step1_seconds() const { return step1_seconds_; }
+  double compile_step2_seconds() const { return step2_seconds_; }
+
+  /// The UFilter this plan was prepared against and the structural signature
+  /// of its view at compile time.
+  const UFilter* owner() const { return owner_; }
+  uint64_t view_signature() const { return view_signature_; }
+
+ private:
+  friend class UFilter;
+  PreparedUpdate() = default;
+
+  std::string normalized_text_;
+  Status parse_error_;
+  std::unique_ptr<xq::UpdateStmt> stmt_;
+  std::vector<PreparedAction> actions_;
+  double step1_seconds_ = 0;
+  double step2_seconds_ = 0;
+  const UFilter* owner_ = nullptr;
+  uint64_t view_signature_ = 0;
+};
+
+}  // namespace ufilter::check
+
+#endif  // UFILTER_UFILTER_PREPARED_H_

@@ -355,6 +355,8 @@ std::string PrimaryVariable(const ViewAsg& gv, int node_id) {
 
 const char* TranslatabilityName(Translatability t) {
   switch (t) {
+    case Translatability::kUnclassified:
+      return "unclassified";
     case Translatability::kUntranslatable:
       return "untranslatable";
     case Translatability::kConditionallyTranslatable:

@@ -29,9 +29,14 @@ namespace ufilter::check {
 /// Idempotent; call once after ViewAsg::Build.
 Status MarkViewAsg(asg::ViewAsg* gv, const asg::BaseAsg& gd);
 
-/// Translatability classes of Fig. 6 (for valid updates).
+/// Translatability classes of Fig. 6 (for valid updates), plus the explicit
+/// "STAR has not run" state a fresh CheckReport starts in (so a half-run
+/// report can never read as unconditionally translatable). Order is
+/// meaningful: larger = stronger guarantee; kUnclassified is outside the
+/// scale.
 enum class Translatability {
-  kUntranslatable,
+  kUnclassified = -1,  ///< step 2 has not run for this report
+  kUntranslatable = 0,
   kConditionallyTranslatable,
   kUnconditionallyTranslatable,
 };

@@ -273,6 +273,38 @@ std::vector<std::string> AnalyzedView::Relations() const {
   return {out.begin(), out.end()};
 }
 
+namespace {
+
+uint64_t HashNode(uint64_t h, const AvNode& node) {
+  h = Fnv1aMix(h, std::to_string(static_cast<int>(node.kind)));
+  h = Fnv1aMix(h, node.tag);
+  h = Fnv1aMix(h, node.variable);
+  h = Fnv1aMix(h, node.relation);
+  h = Fnv1aMix(h, node.attr);
+  if (node.kind == AvNode::Kind::kGroup && node.scope != nullptr) {
+    h = Fnv1aMix(h, std::to_string(node.scope->vars.size()));
+    for (const auto& [var, rel] : node.scope->vars) {
+      h = Fnv1aMix(h, var);
+      h = Fnv1aMix(h, rel);
+    }
+    for (const ResolvedCondition& c : node.scope->conditions) {
+      h = Fnv1aMix(h, c.ToString());
+    }
+  }
+  // Open/close sentinels disambiguate tree shape: <A<B>> vs. <A><B> must
+  // hash differently.
+  h = Fnv1aMix(h, "(");
+  for (const auto& child : node.children) h = HashNode(h, *child);
+  h = Fnv1aMix(h, ")");
+  return h;
+}
+
+}  // namespace
+
+uint64_t AnalyzedView::Signature() const {
+  return HashNode(kFnv1aOffsetBasis, *root_);
+}
+
 Result<const AvNode*> AnalyzedView::ResolveElementPath(
     const std::vector<std::string>& steps) const {
   const AvNode* current = root_.get();

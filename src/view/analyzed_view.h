@@ -13,6 +13,7 @@
 #ifndef UFILTER_VIEW_ANALYZED_VIEW_H_
 #define UFILTER_VIEW_ANALYZED_VIEW_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -105,6 +106,12 @@ class AnalyzedView {
 
   /// rel(DEFv): all relations referenced by the view query.
   std::vector<std::string> Relations() const;
+
+  /// Structural fingerprint of the analyzed view (tags, bindings, resolved
+  /// conditions). Prepared update plans carry the signature of the view they
+  /// were compiled against so a plan can never execute against a different
+  /// view definition.
+  uint64_t Signature() const;
 
   /// Resolves a path of element tags from the root (e.g. {"book",
   /// "publisher"}) to the **first** matching element node, document order.

@@ -1,0 +1,39 @@
+#include "xquery/normalize.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ufilter::xq {
+
+std::string NormalizeUpdateText(const std::string& source) {
+  std::string out;
+  out.reserve(source.size());
+  char in_string = 0;  // the open quote character ('"' or '\''), or 0
+  bool pending_space = false;
+  for (char c : source) {
+    if (in_string != 0) {
+      out.push_back(c);
+      if (c == in_string) in_string = 0;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      // Collapse the run; emit one space only if content follows.
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+    if (c == '"' || c == '\'') in_string = c;
+  }
+  return out;
+}
+
+uint64_t HashUpdateTemplate(const std::string& normalized) {
+  return Fnv1a(normalized);
+}
+
+}  // namespace ufilter::xq

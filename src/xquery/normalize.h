@@ -1,0 +1,27 @@
+// Update-template normalization: the canonical text form used as the
+// U-Filter plan-cache key. Two update strings that differ only in
+// insignificant whitespace (indentation, line breaks, runs of spaces outside
+// string literals) normalize to the same template and therefore share one
+// prepared plan.
+#ifndef UFILTER_XQUERY_NORMALIZE_H_
+#define UFILTER_XQUERY_NORMALIZE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ufilter::xq {
+
+/// Canonicalizes `source`: trims the ends and collapses every run of
+/// whitespace outside string literals (double- or single-quoted, matching
+/// the lexer) to a single space. Quoted literals are preserved
+/// byte-for-byte, so two distinct updates can never collide through
+/// normalization. Never fails; unlexable text is simply canonicalized as-is
+/// (it will fail in the parser with the original error text).
+std::string NormalizeUpdateText(const std::string& source);
+
+/// FNV-1a hash of a normalized template, for cheap cache bucketing.
+uint64_t HashUpdateTemplate(const std::string& normalized);
+
+}  // namespace ufilter::xq
+
+#endif  // UFILTER_XQUERY_NORMALIZE_H_

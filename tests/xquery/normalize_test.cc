@@ -1,0 +1,64 @@
+// Update-template normalization: the plan-cache key must be insensitive to
+// insignificant whitespace and nothing else.
+#include "xquery/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace ufilter::xq {
+namespace {
+
+TEST(NormalizeTest, CollapsesWhitespaceRuns) {
+  EXPECT_EQ(NormalizeUpdateText("FOR   $b \t IN\n\n  doc"),
+            "FOR $b IN doc");
+}
+
+TEST(NormalizeTest, TrimsEnds) {
+  EXPECT_EQ(NormalizeUpdateText("  \n DELETE $b \n  "), "DELETE $b");
+}
+
+TEST(NormalizeTest, WhitespaceVariantsShareOneTemplate) {
+  const std::string compact =
+      "FOR $book IN document(\"BookView.xml\")/book "
+      "WHERE $book/price < 40.00 UPDATE $book { DELETE $book/review }";
+  const std::string sprawling =
+      "FOR $book IN document(\"BookView.xml\")/book\n"
+      "WHERE   $book/price < 40.00\n"
+      "UPDATE $book {\n  DELETE $book/review\n}";
+  EXPECT_EQ(NormalizeUpdateText(compact), NormalizeUpdateText(sprawling));
+  EXPECT_EQ(HashUpdateTemplate(NormalizeUpdateText(compact)),
+            HashUpdateTemplate(NormalizeUpdateText(sprawling)));
+}
+
+TEST(NormalizeTest, StringLiteralsArePreservedByteForByte) {
+  // Whitespace inside quotes is significant; two updates differing only
+  // there must not collide.
+  const std::string a = "WHERE $b/title/text() = \"Data on the Web\"";
+  const std::string b = "WHERE $b/title/text() = \"Data on  the Web\"";
+  EXPECT_NE(NormalizeUpdateText(a), NormalizeUpdateText(b));
+  EXPECT_EQ(NormalizeUpdateText(a), a);  // already canonical
+}
+
+TEST(NormalizeTest, SingleQuotedLiteralsArePreservedToo) {
+  const std::string a = "WHERE $b/title/text() = 'Data on the Web'";
+  const std::string b = "WHERE $b/title/text() = 'Data on  the Web'";
+  EXPECT_NE(NormalizeUpdateText(a), NormalizeUpdateText(b));
+  EXPECT_EQ(NormalizeUpdateText(a), a);
+  // A double quote inside a single-quoted literal does not open a string.
+  EXPECT_EQ(NormalizeUpdateText("WHERE $b/t = 'say \"hi\"'   DELETE  $b"),
+            "WHERE $b/t = 'say \"hi\"' DELETE $b");
+}
+
+TEST(NormalizeTest, DifferentLiteralsDiffer) {
+  EXPECT_NE(NormalizeUpdateText("WHERE $b/k = 1"),
+            NormalizeUpdateText("WHERE $b/k = 2"));
+  EXPECT_NE(HashUpdateTemplate("WHERE $b/k = 1"),
+            HashUpdateTemplate("WHERE $b/k = 2"));
+}
+
+TEST(NormalizeTest, HashIsStable) {
+  const std::string text = NormalizeUpdateText("DELETE $b");
+  EXPECT_EQ(HashUpdateTemplate(text), HashUpdateTemplate(text));
+}
+
+}  // namespace
+}  // namespace ufilter::xq
