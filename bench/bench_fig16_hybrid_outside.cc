@@ -75,6 +75,14 @@ void ReportWork(benchmark::State& state,
       static_cast<double>(stats.queries_executed) / iters;
   state.counters["rows_scanned_per_iter"] =
       static_cast<double>(stats.rows_scanned) / iters;
+  // The planner's temp-table rescue: probes against the unindexed
+  // materialization show up here instead of as O(n*m) scans.
+  state.counters["hash_join_builds_per_iter"] =
+      static_cast<double>(stats.hash_join_builds) / iters;
+  state.counters["hash_join_probes_per_iter"] =
+      static_cast<double>(stats.hash_join_probes) / iters;
+  state.counters["index_lookups_per_iter"] =
+      static_cast<double>(stats.index_lookups) / iters;
 }
 
 /// Hybrid: translate via indexed base-table probes and execute directly.

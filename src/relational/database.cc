@@ -8,6 +8,10 @@ namespace ufilter::relational {
 
 namespace {
 
+size_t HashOneValue(const Value& v) {
+  return static_cast<size_t>(0x345678) * 1000003 ^ v.Hash();
+}
+
 size_t HashValues(const Row& row, const std::vector<int>& cols) {
   size_t h = 0x345678;
   for (int c : cols) {
@@ -87,44 +91,92 @@ std::vector<RowId> Table::AllRowIds() const {
 }
 
 const Table::Index* Table::FindIndexFor(const std::string& column) const {
-  int target = schema_->ColumnIndex(column);
-  if (target < 0) return nullptr;
+  return FindIndexForColumn(schema_->ColumnIndex(column));
+}
+
+const Table::Index* Table::FindIndexForColumn(int column_idx) const {
+  if (column_idx < 0) return nullptr;
+  const Index* found = nullptr;
   for (const Index& idx : indexes_) {
-    if (idx.column_idx.size() == 1 && idx.column_idx[0] == target) {
-      return &idx;
+    if (idx.column_idx.size() != 1 || idx.column_idx[0] != column_idx) {
+      continue;
     }
+    // Prefer unique indexes (most selective).
+    if (idx.unique) return &idx;
+    if (found == nullptr) found = &idx;
   }
-  return nullptr;
+  return found;
 }
 
 bool Table::HasIndexOn(const std::string& column) const {
   return FindIndexFor(column) != nullptr;
 }
 
+bool Table::HasIndexOnColumn(int column_idx) const {
+  return FindIndexForColumn(column_idx) != nullptr;
+}
+
+bool Table::HasUniqueIndexOnColumn(int column_idx) const {
+  const Index* idx = FindIndexForColumn(column_idx);
+  return idx != nullptr && idx->unique;
+}
+
+double Table::EstimateEqMatches(int column_idx) const {
+  const Index* idx = FindIndexForColumn(column_idx);
+  if (idx == nullptr) return static_cast<double>(live_count_);
+  if (idx->unique) return 1.0;
+  if (idx->distinct_keys == 0) return 0.0;
+  return static_cast<double>(idx->map.size()) /
+         static_cast<double>(idx->distinct_keys);
+}
+
+double Table::EstimateEqMatches(int column_idx, const Value& literal) const {
+  const Index* idx = FindIndexForColumn(column_idx);
+  if (idx == nullptr) return static_cast<double>(live_count_);
+  return static_cast<double>(idx->map.count(HashOneValue(literal)));
+}
+
+void Table::ProbeIndexEq(int column_idx, const Value& v,
+                         std::vector<RowId>* out, EngineStats* stats) const {
+  const Index* idx = FindIndexForColumn(column_idx);
+  if (idx == nullptr) return;
+  if (stats != nullptr) stats->index_lookups++;
+  auto range = idx->map.equal_range(HashOneValue(v));
+  for (auto it = range.first; it != range.second; ++it) {
+    const Row* row = GetRow(it->second);
+    if (row != nullptr && (*row)[static_cast<size_t>(column_idx)] == v) {
+      out->push_back(it->second);
+    }
+  }
+}
+
 std::vector<RowId> Table::Find(const std::vector<ColumnPredicate>& preds,
                                EngineStats* stats) const {
-  // Try to drive with a single-column index on an equality predicate.
+  // Drive with a single-column index on an equality predicate, preferring a
+  // unique index (most selective: at most one candidate) over the first
+  // non-unique hit.
   const Index* driver = nullptr;
   const ColumnPredicate* driver_pred = nullptr;
   for (const ColumnPredicate& p : preds) {
     if (p.op != CompareOp::kEq) continue;
-    if (const Index* idx = FindIndexFor(p.column)) {
+    const Index* idx = FindIndexFor(p.column);
+    if (idx == nullptr) continue;
+    if (driver == nullptr || (idx->unique && !driver->unique)) {
       driver = idx;
       driver_pred = &p;
-      break;
+      if (driver->unique) break;
     }
   }
 
   std::vector<RowId> candidates;
   if (driver != nullptr) {
     if (stats != nullptr) stats->index_lookups++;
-    Row probe(schema_->columns().size());
-    probe[static_cast<size_t>(driver->column_idx[0])] = driver_pred->literal;
-    size_t h = HashValues(probe, driver->column_idx);
-    auto range = driver->map.equal_range(h);
+    // Single-column driver: hash the literal directly, no probe-row alloc.
+    const size_t col = static_cast<size_t>(driver->column_idx[0]);
+    auto range = driver->map.equal_range(HashOneValue(driver_pred->literal));
     for (auto it = range.first; it != range.second; ++it) {
       const Row* row = GetRow(it->second);
-      if (row != nullptr && ValuesEqual(*row, probe, driver->column_idx)) {
+      if (row != nullptr && (*row)[col] == driver_pred->literal) {
         candidates.push_back(it->second);
       }
     }
@@ -148,8 +200,20 @@ std::vector<RowId> Table::Find(const std::vector<ColumnPredicate>& preds,
     }
     if (match) out.push_back(id);
   }
-  std::sort(out.begin(), out.end());
+  // A unique driver yields at most one candidate — already in order.
+  if (!(driver != nullptr && driver->unique && out.size() <= 1)) {
+    std::sort(out.begin(), out.end());
+  }
   return out;
+}
+
+void Table::BulkLoad(std::vector<Row> rows, std::vector<RowId>* ids) {
+  rows_.reserve(rows_.size() + rows.size());
+  if (ids != nullptr) ids->reserve(ids->size() + rows.size());
+  for (Row& row : rows) {
+    RowId id = AppendRow(std::move(row));
+    if (ids != nullptr) ids->push_back(id);
+  }
 }
 
 RowId Table::AppendRow(Row row) {
@@ -188,18 +252,24 @@ size_t Table::IndexKeyHash(const Index& index, const Row& row) const {
 
 void Table::IndexInsert(RowId id, const Row& row) {
   for (Index& idx : indexes_) {
-    idx.map.emplace(IndexKeyHash(idx, row), id);
+    size_t h = IndexKeyHash(idx, row);
+    if (idx.map.find(h) == idx.map.end()) ++idx.distinct_keys;
+    idx.map.emplace(h, id);
   }
 }
 
 void Table::IndexErase(RowId id, const Row& row) {
   for (Index& idx : indexes_) {
-    auto range = idx.map.equal_range(IndexKeyHash(idx, row));
+    size_t h = IndexKeyHash(idx, row);
+    auto range = idx.map.equal_range(h);
     for (auto it = range.first; it != range.second; ++it) {
       if (it->second == id) {
         idx.map.erase(it);
         break;
       }
+    }
+    if (idx.map.find(h) == idx.map.end() && idx.distinct_keys > 0) {
+      --idx.distinct_keys;
     }
   }
 }
@@ -554,6 +624,32 @@ Result<Table*> Database::CreateTempTable(TableSchema schema) {
   Table* raw = table.get();
   temp_tables_[name] = std::move(table);
   return raw;
+}
+
+Status Database::BulkLoadTemp(const std::string& name, std::vector<Row> rows) {
+  if (!IsTempTable(name)) {
+    return Status::InvalidArgument("'" + name +
+                                   "' is not a temp table (BulkLoadTemp "
+                                   "bypasses constraint checking)");
+  }
+  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(name));
+  const size_t arity = t->schema().columns().size();
+  for (const Row& row : rows) {
+    if (row.size() != arity) {
+      return Status::InvalidArgument(
+          "row arity mismatch for temp table '" + name + "': got " +
+          std::to_string(row.size()) + ", want " + std::to_string(arity));
+    }
+  }
+  std::vector<RowId> ids;
+  t->BulkLoad(std::move(rows), &ids);
+  undo_log_.reserve(undo_log_.size() + ids.size());
+  for (RowId id : ids) {
+    undo_log_.push_back({UndoKind::kInsert, name, id, {}});
+  }
+  stats_.rows_inserted += ids.size();
+  stats_.undo_records += ids.size();
+  return Status::OK();
 }
 
 Status Database::DropTempTable(const std::string& name) {

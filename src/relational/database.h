@@ -51,6 +51,15 @@ struct ColumnPredicate {
 struct EngineStats {
   uint64_t rows_scanned = 0;
   uint64_t index_lookups = 0;
+  /// Physical plans compiled by the cost-based planner (one per ad-hoc
+  /// Execute; prepared probes compile once and then only replay).
+  uint64_t plans_compiled = 0;
+  /// Executions of an already-compiled plan (zero name resolution).
+  uint64_t plan_replays = 0;
+  /// One-shot hash tables built for unindexed equi-join sides.
+  uint64_t hash_join_builds = 0;
+  /// Probes served by those hash tables (replaces per-outer-row scans).
+  uint64_t hash_join_probes = 0;
   uint64_t rows_inserted = 0;
   uint64_t rows_deleted = 0;
   uint64_t rows_updated = 0;
@@ -78,6 +87,10 @@ struct EngineStats {
     EngineStats d = *this;
     d.rows_scanned -= baseline.rows_scanned;
     d.index_lookups -= baseline.index_lookups;
+    d.plans_compiled -= baseline.plans_compiled;
+    d.plan_replays -= baseline.plan_replays;
+    d.hash_join_builds -= baseline.hash_join_builds;
+    d.hash_join_probes -= baseline.hash_join_probes;
     d.rows_inserted -= baseline.rows_inserted;
     d.rows_deleted -= baseline.rows_deleted;
     d.rows_updated -= baseline.rows_updated;
@@ -114,12 +127,40 @@ class Table {
   std::vector<RowId> AllRowIds() const;
 
   /// Row ids matching all `preds` (conjunction). Uses a unique/non-unique
-  /// index when one covers an equality predicate; otherwise scans.
+  /// index when one covers an equality predicate (unique indexes preferred —
+  /// most selective); otherwise scans. Results are sorted, except that the
+  /// sort is skipped when a unique index yields at most one candidate.
   std::vector<RowId> Find(const std::vector<ColumnPredicate>& preds,
                           EngineStats* stats) const;
 
   /// True if an index exists whose leading column is `column`.
   bool HasIndexOn(const std::string& column) const;
+
+  // --- Planner / compiled-executor API (slot-addressed, no name lookups) ---
+
+  /// True if a single-column index covers column `column_idx`.
+  bool HasIndexOnColumn(int column_idx) const;
+  /// True if a single-column *unique* index covers column `column_idx`.
+  bool HasUniqueIndexOnColumn(int column_idx) const;
+
+  /// Planner cardinality estimate for an equality on `column_idx`: a unique
+  /// index gives 1, a non-unique index gives the average bucket size
+  /// (live rows / distinct keys), no index gives live_row_count().
+  double EstimateEqMatches(int column_idx) const;
+  /// Same, but with the literal known: the exact hash-bucket occupancy.
+  double EstimateEqMatches(int column_idx, const Value& literal) const;
+
+  /// Hash-index equality probe addressed by column index. Appends verified
+  /// matches to `out` *unsorted* (the plan executor orders final results
+  /// itself) and allocates no probe row. Requires HasIndexOnColumn.
+  void ProbeIndexEq(int column_idx, const Value& v, std::vector<RowId>* out,
+                    EngineStats* stats) const;
+
+  /// Appends `rows` without per-row constraint machinery (storage +
+  /// index maintenance only) after one up-front reserve. Callers are
+  /// responsible for constraint checking and undo logging; the intended
+  /// user is Database::BulkLoadTemp for index-free temp tables.
+  void BulkLoad(std::vector<Row> rows, std::vector<RowId>* ids);
 
  private:
   friend class Database;
@@ -128,6 +169,9 @@ class Table {
     std::vector<int> column_idx;
     bool unique = false;
     std::unordered_multimap<size_t, RowId> map;
+    /// Distinct key hashes currently present (maintained incrementally);
+    /// the planner's bucket estimate is live rows / distinct keys.
+    size_t distinct_keys = 0;
   };
 
   // Storage-level mutation; constraint checks live in Database.
@@ -142,6 +186,7 @@ class Table {
   /// Finds a unique-index collision for `row` (other than `self`), or -1.
   RowId FindUniqueConflict(const Row& row, RowId self) const;
   const Index* FindIndexFor(const std::string& column) const;
+  const Index* FindIndexForColumn(int column_idx) const;
 
   const TableSchema* schema_;
   std::vector<std::optional<Row>> rows_;
@@ -226,6 +271,12 @@ class Database {
   /// Creates an index-free scratch table (materialized probe results; the
   /// paper's "TAB_book"). The table lives until DropTempTable.
   Result<Table*> CreateTempTable(TableSchema schema);
+
+  /// Bulk-loads materialized probe rows into temp table `name`: one arity
+  /// check per row, no FK/unique/domain machinery (index-free temp tables
+  /// can never trip either), one storage reserve. Rows are still undo-logged
+  /// so savepoint rollback removes them while the table is alive.
+  Status BulkLoadTemp(const std::string& name, std::vector<Row> rows);
   Status DropTempTable(const std::string& name);
   bool IsTempTable(const std::string& name) const {
     return temp_tables_.count(name) > 0;
@@ -254,9 +305,12 @@ class Database {
 
   DatabaseSchema schema_;
   std::vector<Table> tables_;                       // aligned with schema_
-  std::map<std::string, size_t> table_index_;
-  std::map<std::string, std::unique_ptr<Table>> temp_tables_;
-  std::map<std::string, TableSchema> temp_schemas_;
+  // GetTable sits on every probe's hot path: hashed lookups, not tree walks.
+  // unordered_map also guarantees reference stability for the temp schemas
+  // the Table objects point into.
+  std::unordered_map<std::string, size_t> table_index_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> temp_tables_;
+  std::unordered_map<std::string, TableSchema> temp_schemas_;
   std::vector<UndoRecord> undo_log_;
   EngineStats stats_;
 };

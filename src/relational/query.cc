@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <numeric>
+#include <unordered_map>
 
 #include "common/strings.h"
+#include "relational/planner.h"
 
 namespace ufilter::relational {
 
@@ -62,15 +65,6 @@ QueryResult DisjunctiveResult::Extract(size_t b) const {
   return out;
 }
 
-namespace {
-
-struct BoundTable {
-  const Table* table;
-  std::string alias;
-};
-
-}  // namespace
-
 Result<QueryResult> QueryEvaluator::Execute(const SelectQuery& query) {
   UFILTER_ASSIGN_OR_RETURN(DisjunctiveResult result, ExecuteImpl(query, {}));
   return std::move(result.merged);
@@ -82,6 +76,265 @@ Result<DisjunctiveResult> QueryEvaluator::ExecuteDisjunctive(
 }
 
 Result<DisjunctiveResult> QueryEvaluator::ExecuteImpl(
+    const SelectQuery& query,
+    const std::vector<std::vector<FilterPredicate>>& branches) {
+  Planner planner(db_);
+  UFILTER_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                           planner.CompileDisjunctive(query, branches));
+  return RunPlan(plan);
+}
+
+Result<DisjunctiveResult> QueryEvaluator::ExecutePlan(
+    const PhysicalPlan& plan) {
+  db_->stats().plan_replays += 1;
+  return RunPlan(plan);
+}
+
+// ---------------------------------------------------------------------------
+// Iterative compiled-plan executor
+// ---------------------------------------------------------------------------
+
+Result<DisjunctiveResult> QueryEvaluator::RunPlan(const PhysicalPlan& plan) {
+  EngineStats* stats = &db_->stats();
+  stats->queries_executed += 1;
+  if (plan.branch_count > 0) {
+    stats->batch_queries_executed += 1;
+    stats->batch_branches_merged += plan.branch_count;
+  }
+
+  DisjunctiveResult out;
+  out.branch_rows.resize(plan.branch_count);
+  out.merged.column_names = plan.column_names;
+
+  // Re-resolve tables by name once per execution (plans outlive temp-table
+  // re-creations); the arity check rejects structurally stale plans.
+  const size_t from_count = plan.table_names.size();
+  std::vector<const Table*> tables(from_count);
+  for (size_t i = 0; i < from_count; ++i) {
+    UFILTER_ASSIGN_OR_RETURN(const Table* t,
+                             db_->GetTable(plan.table_names[i]));
+    if (t->schema().columns().size() != plan.table_arities[i]) {
+      return Status::InvalidArgument(
+          "stale plan: table '" + plan.table_names[i] +
+          "' was recreated with a different shape; recompile the query");
+    }
+    tables[i] = t;
+  }
+  const size_t depth = plan.levels.size();
+  if (depth == 0) return out;
+
+  // Per-level runtime state of the backtracking loop.
+  struct LevelRt {
+    std::vector<RowId> candidates;
+    size_t cursor = 0;
+    std::vector<char> alive;       ///< branch aliveness entering this level
+    std::vector<char> next_alive;  ///< scratch for the current candidate
+    bool hash_built = false;
+    /// kHashJoin: one-shot build over this level's table, keyed by
+    /// Value::Hash of the join column (built lazily, once per execution).
+    std::unordered_multimap<size_t, RowId> hash;
+  };
+  std::vector<LevelRt> rt(depth);
+  for (LevelRt& level : rt) {
+    level.alive.assign(plan.branch_count, 1);
+    level.next_alive.assign(plan.branch_count, 0);
+  }
+
+  std::vector<const Row*> rows(from_count, nullptr);
+  std::vector<RowId> current(from_count, -1);
+  // Per emitted row: which branches it satisfies (only with branches).
+  std::vector<std::vector<char>> emitted_alive;
+
+  // Fills rt[k].candidates for the current outer binding; rt[k].alive must
+  // already hold the aliveness entering the level.
+  auto EnterLevel = [&](size_t k) {
+    const PlanLevel& spec = plan.levels[k];
+    LevelRt& level = rt[k];
+    level.cursor = 0;
+    level.candidates.clear();
+    const Table* table = tables[static_cast<size_t>(spec.table_pos)];
+    switch (spec.path) {
+      case AccessPath::kScan:
+        level.candidates = table->AllRowIds();
+        stats->rows_scanned += level.candidates.size();
+        break;
+      case AccessPath::kUniqueLookup:
+      case AccessPath::kIndexLookup: {
+        const Value& key =
+            spec.key_is_literal
+                ? spec.key_literal
+                : (*rows[static_cast<size_t>(spec.key_src_table)])
+                      [static_cast<size_t>(spec.key_src_column)];
+        if (!key.is_null()) {  // NULL never joins or matches
+          table->ProbeIndexEq(spec.key_column, key, &level.candidates, stats);
+        }
+        break;
+      }
+      case AccessPath::kInListUnion: {
+        for (size_t b = 0; b < plan.branch_count; ++b) {
+          if (!level.alive[b]) continue;  // dead branch: skip its lookup
+          const CompiledFilter& pin = spec.branch_pins[b];
+          if (pin.literal.is_null()) continue;
+          table->ProbeIndexEq(pin.column, pin.literal, &level.candidates,
+                              stats);
+        }
+        // Union, not concatenation: a row matching several branches must
+        // appear once.
+        std::sort(level.candidates.begin(), level.candidates.end());
+        level.candidates.erase(
+            std::unique(level.candidates.begin(), level.candidates.end()),
+            level.candidates.end());
+        break;
+      }
+      case AccessPath::kHashJoin: {
+        if (!level.hash_built) {
+          level.hash_built = true;
+          stats->hash_join_builds += 1;
+          stats->rows_scanned += table->live_row_count();  // the build pass
+          level.hash.reserve(table->live_row_count());
+          for (RowId id : table->AllRowIds()) {
+            const Row* r = table->GetRow(id);
+            if (r == nullptr) continue;
+            const Value& v = (*r)[static_cast<size_t>(spec.key_column)];
+            if (v.is_null()) continue;  // NULL never joins
+            level.hash.emplace(v.Hash(), id);
+          }
+        }
+        const Value& probe = (*rows[static_cast<size_t>(spec.key_src_table)])
+                                 [static_cast<size_t>(spec.key_src_column)];
+        if (!probe.is_null()) {
+          stats->hash_join_probes += 1;
+          auto range = level.hash.equal_range(probe.Hash());
+          for (auto it = range.first; it != range.second; ++it) {
+            level.candidates.push_back(it->second);
+          }
+        }
+        break;
+      }
+    }
+  };
+
+  // All predicates fully bound once level k's table binds. Joins assigned
+  // to a level have both sides bound by construction; the hash-join driver
+  // is rechecked here (hash matches by Value::Hash, collisions possible).
+  auto ResidualsOk = [&](size_t k) {
+    const PlanLevel& spec = plan.levels[k];
+    for (const CompiledFilter& f : spec.filters) {
+      if (!EvalCompare((*rows[static_cast<size_t>(f.table)])
+                           [static_cast<size_t>(f.column)],
+                       f.op, f.literal)) {
+        return false;
+      }
+    }
+    for (const CompiledJoin& j : spec.joins) {
+      if (!EvalCompare((*rows[static_cast<size_t>(j.table_a)])
+                           [static_cast<size_t>(j.column_a)],
+                       j.op,
+                       (*rows[static_cast<size_t>(j.table_b)])
+                           [static_cast<size_t>(j.column_b)])) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  EnterLevel(0);
+  size_t k = 0;
+  while (true) {
+    LevelRt& level = rt[k];
+    const PlanLevel& spec = plan.levels[k];
+    if (level.cursor >= level.candidates.size()) {
+      rows[static_cast<size_t>(spec.table_pos)] = nullptr;
+      current[static_cast<size_t>(spec.table_pos)] = -1;
+      if (k == 0) break;
+      --k;
+      continue;
+    }
+    RowId id = level.candidates[level.cursor++];
+    const Row* r = tables[static_cast<size_t>(spec.table_pos)]->GetRow(id);
+    if (r == nullptr) continue;
+    rows[static_cast<size_t>(spec.table_pos)] = r;
+    current[static_cast<size_t>(spec.table_pos)] = id;
+    if (!ResidualsOk(k)) continue;
+    bool any_alive = plan.branch_count == 0;
+    for (size_t b = 0; b < plan.branch_count; ++b) {
+      char a = level.alive[b];
+      if (a) {
+        for (const CompiledFilter& f : spec.branch_filters[b]) {
+          if (!EvalCompare((*rows[static_cast<size_t>(f.table)])
+                               [static_cast<size_t>(f.column)],
+                           f.op, f.literal)) {
+            a = 0;
+            break;
+          }
+        }
+      }
+      level.next_alive[b] = a;
+      any_alive |= a != 0;
+    }
+    if (!any_alive) continue;  // no live branch can produce a result row
+    if (k + 1 == depth) {
+      Row row_out;
+      row_out.reserve(plan.selects.size());
+      for (auto [t, c] : plan.selects) {
+        row_out.push_back(
+            (*rows[static_cast<size_t>(t)])[static_cast<size_t>(c)]);
+      }
+      out.merged.rows.push_back(std::move(row_out));
+      out.merged.row_ids.push_back(current);
+      if (plan.branch_count > 0) emitted_alive.push_back(level.next_alive);
+      continue;
+    }
+    rt[k + 1].alive = level.next_alive;
+    ++k;
+    EnterLevel(k);
+  }
+
+  // Restore the reference interpreter's deterministic output order:
+  // lexicographic by contributing row ids in FROM order. (The reference
+  // enumerates sorted candidate lists in FROM order, which produces exactly
+  // this order; the compiled join order and unsorted index probes do not.)
+  const size_t result_count = out.merged.rows.size();
+  auto ids_less = [&](size_t a, size_t b) {
+    return out.merged.row_ids[a] < out.merged.row_ids[b];
+  };
+  std::vector<size_t> perm(result_count);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (!std::is_sorted(perm.begin(), perm.end(), ids_less)) {
+    std::sort(perm.begin(), perm.end(), ids_less);
+    std::vector<Row> sorted_rows;
+    std::vector<std::vector<RowId>> sorted_ids;
+    sorted_rows.reserve(result_count);
+    sorted_ids.reserve(result_count);
+    for (size_t i : perm) {
+      sorted_rows.push_back(std::move(out.merged.rows[i]));
+      sorted_ids.push_back(std::move(out.merged.row_ids[i]));
+    }
+    out.merged.rows = std::move(sorted_rows);
+    out.merged.row_ids = std::move(sorted_ids);
+  }
+  for (size_t b = 0; b < plan.branch_count; ++b) {
+    for (size_t i = 0; i < result_count; ++i) {
+      if (emitted_alive[perm[i]][b]) out.branch_rows[b].push_back(i);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reference interpreter (pre-planner recursive evaluator)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct BoundTable {
+  const Table* table;
+  std::string alias;
+};
+
+}  // namespace
+
+Result<DisjunctiveResult> QueryEvaluator::ExecuteReference(
     const SelectQuery& query,
     const std::vector<std::vector<FilterPredicate>>& query_branches) {
   // Resolve tables.
@@ -338,37 +591,40 @@ Result<DisjunctiveResult> QueryEvaluator::ExecuteImpl(
 Status QueryEvaluator::MaterializeInto(const SelectQuery& query,
                                        const std::string& temp_name) {
   UFILTER_ASSIGN_OR_RETURN(QueryResult res, Execute(query));
-  TableSchema schema(temp_name);
+  const size_t cols = query.selects.size();
   // Column names keep only the column part; duplicate names get suffixes.
+  std::vector<std::string> names;
+  names.reserve(cols);
   std::map<std::string, int> seen;
   for (const ColRef& s : query.selects) {
     std::string name = s.column;
     int n = seen[name]++;
     if (n > 0) name += "_" + std::to_string(n);
-    schema.AddColumn(name, ValueType::kString);
+    names.push_back(std::move(name));
   }
-  // Infer column types from the first non-NULL value per column (fall back
-  // to string).
-  if (!res.rows.empty()) {
-    TableSchema typed(temp_name);
-    for (size_t i = 0; i < schema.columns().size(); ++i) {
-      ValueType t = ValueType::kString;
-      for (const Row& row : res.rows) {
-        if (!row[i].is_null()) {
-          t = row[i].type();
-          break;
-        }
-      }
-      typed.AddColumn(schema.columns()[i].name, t);
+  // One pass over the result: each column's type is its first non-NULL
+  // value's (fall back to string); resolved columns stop being examined.
+  std::vector<ValueType> types(cols, ValueType::kString);
+  std::vector<char> known(cols, 0);
+  size_t unknown = cols;
+  for (const Row& row : res.rows) {
+    if (unknown == 0) break;
+    for (size_t i = 0; i < cols; ++i) {
+      if (known[i] || row[i].is_null()) continue;
+      types[i] = row[i].type();
+      known[i] = 1;
+      --unknown;
     }
-    schema = typed;
+  }
+  TableSchema schema(temp_name);
+  for (size_t i = 0; i < cols; ++i) {
+    schema.AddColumn(names[i], types[i]);
   }
   UFILTER_ASSIGN_OR_RETURN(Table * temp, db_->CreateTempTable(schema));
   (void)temp;
-  for (Row& row : res.rows) {
-    UFILTER_RETURN_NOT_OK(db_->Insert(temp_name, std::move(row)).status());
-  }
-  return Status::OK();
+  // Temp tables are index-free and unconstrained: bulk-load with one
+  // reserve instead of row-by-row FK/unique checking that can never trip.
+  return db_->BulkLoadTemp(temp_name, std::move(res.rows));
 }
 
 }  // namespace ufilter::relational

@@ -96,12 +96,18 @@ struct DisjunctiveResult {
   QueryResult Extract(size_t b) const;
 };
 
+struct PhysicalPlan;  // relational/planner.h
+
 /// \brief Evaluates SPJ queries against a Database.
 ///
-/// Join strategy: left-deep in FROM order; each new table is accessed by
-/// hash-index lookup when an equality join/filter binds an indexed column,
-/// and by scan-and-filter otherwise (temp tables are always scanned). This
-/// matches the cost model the paper's Figures 15-17 rely on.
+/// Every query is compiled by the cost-based Planner (relational/planner.h)
+/// into a PhysicalPlan — names resolved to slots, join order chosen by
+/// estimated cardinality, per-level access paths picked from
+/// {unique/non-unique index lookup, IN-list union, hash join, scan} — and
+/// run by an iterative executor. Callers holding a long-lived query replay
+/// a cached plan through ExecutePlan with zero name resolution. Result rows
+/// are ordered lexicographically by contributing row ids in FROM order
+/// (identical to the retained reference interpreter).
 class QueryEvaluator {
  public:
   explicit QueryEvaluator(Database* db) : db_(db) {}
@@ -114,17 +120,35 @@ class QueryEvaluator {
   /// union of the branches' index lookups (an IN-list probe).
   Result<DisjunctiveResult> ExecuteDisjunctive(const DisjunctiveQuery& query);
 
+  /// Replays a previously compiled plan (counts as a plan replay: zero
+  /// name resolution or planning happens here). Tables are re-resolved by
+  /// name, so a plan stays valid across temp-table re-creations as long as
+  /// the arities still match.
+  Result<DisjunctiveResult> ExecutePlan(const PhysicalPlan& plan);
+
+  /// The pre-planner recursive interpreter (left-deep in FROM order),
+  /// retained as the semantic reference for differential testing and as
+  /// the interpreted baseline in bench_planner. Produces identical rows /
+  /// row_ids / branch demux as the compiled executor.
+  Result<DisjunctiveResult> ExecuteReference(
+      const SelectQuery& base,
+      const std::vector<std::vector<FilterPredicate>>& branches);
+
   /// Executes `query` and materializes the full result (all selected
-  /// columns) into a temp table named `temp_name` with no indexes.
+  /// columns) into a temp table named `temp_name` with no indexes. Column
+  /// types are inferred in one pass over the result; rows are bulk-loaded.
   Status MaterializeInto(const SelectQuery& query,
                          const std::string& temp_name);
 
  private:
-  /// Shared core: `base` evaluated with an optional OR of predicate
-  /// branches (empty = plain conjunctive query).
+  /// Shared core: compile `base` (+ optional OR of predicate branches)
+  /// into a PhysicalPlan and run it.
   Result<DisjunctiveResult> ExecuteImpl(
       const SelectQuery& base,
       const std::vector<std::vector<FilterPredicate>>& branches);
+
+  /// The iterative compiled-plan executor (no replay counting).
+  Result<DisjunctiveResult> RunPlan(const PhysicalPlan& plan);
 
   Database* db_;
 };

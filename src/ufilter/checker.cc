@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "relational/planner.h"
 #include "ufilter/translator.h"
 #include "ufilter/update_binding.h"
 #include "ufilter/validation.h"
@@ -78,6 +79,25 @@ void UFilter::CompileActions(const xq::UpdateStmt& stmt, bool compute_star,
                              std::vector<PreparedAction>* actions,
                              double* step1_seconds, double* step2_seconds) {
   db_->stats().updates_compiled += 1;
+  Translator translator(db_, view_.get(), gv_.get());
+  relational::Planner planner(db_);
+  // Composes one step-3 probe and compiles it to a physical plan. A compose
+  // failure leaves the slot absent (the checker recomposes — and surfaces
+  // the same error — at execute time); a planning failure keeps the query
+  // but no plan (the checker plans on demand).
+  auto compile_probe = [&](Result<relational::SelectQuery> query,
+                           CompiledProbe* out) {
+    if (!query.ok()) return;
+    out->present = true;
+    out->query = std::move(*query);
+    out->sql = out->query.ToSql();
+    if (out->query.tables.empty()) return;  // trivial probe, nothing to plan
+    auto plan = planner.Compile(out->query);
+    if (plan.ok()) {
+      out->plan = std::make_shared<const relational::PhysicalPlan>(
+          std::move(*plan));
+    }
+  };
   for (const xq::UpdateAction& action : stmt.actions) {
     PreparedAction pa;
 
@@ -107,6 +127,21 @@ void UFilter::CompileActions(const xq::UpdateStmt& stmt, bool compute_star,
       pa.star_computed = true;
       db_->stats().star_checks += 1;
       *step2_seconds += Now() - t0;
+    }
+
+    // ---- Physical probe plans (replayed by step 3, zero name lookups) ----
+    // Composed even for STAR-untranslatable actions: a run_star=false
+    // execution of this plan still reaches step 3. The cost lands in the
+    // caller's prepare_seconds, not the step-1 (validation) bucket.
+    compile_probe(translator.ComposeAnchorProbe(pa.bound), &pa.probes.anchor);
+    if (pa.bound.op == xq::UpdateOpType::kDelete ||
+        pa.bound.op == xq::UpdateOpType::kReplace) {
+      compile_probe(translator.ComposeVictimProbe(pa.bound),
+                    &pa.probes.victim);
+    }
+    if (pa.bound.op == xq::UpdateOpType::kDelete ||
+        pa.bound.op == xq::UpdateOpType::kInsert) {
+      compile_probe(translator.ComposeWideProbe(pa.bound), &pa.probes.wide);
     }
     actions->push_back(std::move(pa));
   }
@@ -268,7 +303,8 @@ CheckReport UFilter::ExecuteAction(const PreparedAction& action,
   double t0 = Now();
   DataChecker checker(db_, view_.get(), gv_.get());
   auto data = checker.CheckAndExecute(action.bound, verdict, options.strategy,
-                                      options.apply, injected);
+                                      options.apply, injected,
+                                      &action.probes);
   report.step3_seconds = Now() - t0;
   if (!data.ok()) {
     report.outcome = CheckOutcome::kDataConflict;
@@ -368,7 +404,6 @@ std::vector<CheckReport> UFilter::CheckBatch(
   std::vector<Mode> modes(n, Mode::kDone);
   std::vector<Pending> pending;
   pending.reserve(n);
-  Translator translator(db_, view_.get(), gv_.get());
   for (size_t i = 0; i < n; ++i) {
     const PreparedUpdate& plan = *plans[i];
     if (!plan.parsed()) {
@@ -390,25 +425,26 @@ std::vector<CheckReport> UFilter::CheckBatch(
       reports[i] = ExecuteAction(action, options);
       continue;
     }
+    // The probe queries were composed (and physically compiled) at Prepare
+    // time; an absent slot means composition failed there, and the
+    // unbatched path will surface the same error.
     Pending p;
     p.index = i;
     p.action = &action;
-    auto anchor = translator.ComposeAnchorProbe(action.bound);
-    if (!anchor.ok()) {
+    if (!action.probes.anchor.present) {
       modes[i] = Mode::kFallback;
       continue;
     }
-    p.merge_anchor = !anchor->tables.empty();
-    if (p.merge_anchor) p.anchor_query = std::move(*anchor);
+    p.merge_anchor = !action.probes.anchor.query.tables.empty();
+    if (p.merge_anchor) p.anchor_query = action.probes.anchor.query;
     if (action.bound.op == xq::UpdateOpType::kDelete ||
         action.bound.op == xq::UpdateOpType::kReplace) {
-      auto victim = translator.ComposeVictimProbe(action.bound);
-      if (!victim.ok()) {
+      if (!action.probes.victim.present) {
         modes[i] = Mode::kFallback;
         continue;
       }
       p.merge_victim = true;
-      p.victim_query = std::move(*victim);
+      p.victim_query = action.probes.victim.query;
     }
     modes[i] = Mode::kPending;
     pending.push_back(std::move(p));

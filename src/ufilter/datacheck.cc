@@ -23,10 +23,29 @@ const char* DataCheckStrategyName(DataCheckStrategy s) {
   return "?";
 }
 
+namespace {
+
+/// Runs a probe, replaying a compiled plan when one is attached.
+Result<QueryResult> RunProbe(relational::Database* db,
+                             const SelectQuery& query,
+                             const std::shared_ptr<
+                                 const relational::PhysicalPlan>& plan) {
+  QueryEvaluator evaluator(db);
+  if (plan != nullptr) {
+    UFILTER_ASSIGN_OR_RETURN(relational::DisjunctiveResult merged,
+                             evaluator.ExecutePlan(*plan));
+    return std::move(merged.merged);
+  }
+  return evaluator.Execute(query);
+}
+
+}  // namespace
+
 Result<QueryResult> DataChecker::CheckContext(const BoundUpdate& update,
                                               SelectQuery* query_out,
                                               DataCheckReport* report,
-                                              const InjectedProbes* injected) {
+                                              const InjectedProbes* injected,
+                                              const CompiledProbeSet* compiled) {
   if (injected != nullptr && injected->has_anchor) {
     *query_out = injected->anchor_query;
     report->probes.push_back(injected->anchor_sql);
@@ -37,16 +56,24 @@ Result<QueryResult> DataChecker::CheckContext(const BoundUpdate& update,
     }
     return injected->anchors;
   }
-  UFILTER_ASSIGN_OR_RETURN(SelectQuery query,
-                           translator_.ComposeAnchorProbe(update));
+  SelectQuery query;
+  std::string sql;
+  std::shared_ptr<const relational::PhysicalPlan> plan;
+  if (compiled != nullptr && compiled->anchor.present) {
+    query = compiled->anchor.query;
+    sql = compiled->anchor.sql;
+    plan = compiled->anchor.plan;
+  } else {
+    UFILTER_ASSIGN_OR_RETURN(query, translator_.ComposeAnchorProbe(update));
+    sql = query.ToSql();
+  }
   *query_out = query;
   if (query.tables.empty()) {
     // Root-anchored update: the context trivially exists.
     return QueryResult{};
   }
-  report->probes.push_back(query.ToSql());
-  QueryEvaluator evaluator(db_);
-  UFILTER_ASSIGN_OR_RETURN(QueryResult result, evaluator.Execute(query));
+  report->probes.push_back(sql);
+  UFILTER_ASSIGN_OR_RETURN(QueryResult result, RunProbe(db_, query, plan));
   if (result.empty()) {
     return Status::DataConflict(
         "update context <" + update.context->tag +
@@ -58,18 +85,47 @@ Result<QueryResult> DataChecker::CheckContext(const BoundUpdate& update,
 Result<QueryResult> DataChecker::FetchVictims(const BoundUpdate& update,
                                               SelectQuery* query_out,
                                               DataCheckReport* report,
-                                              const InjectedProbes* injected) {
+                                              const InjectedProbes* injected,
+                                              const CompiledProbeSet* compiled) {
   if (injected != nullptr && injected->has_victim) {
     *query_out = injected->victim_query;
     report->probes.push_back(injected->victim_sql);
     return injected->victims;
   }
-  UFILTER_ASSIGN_OR_RETURN(SelectQuery query,
-                           translator_.ComposeVictimProbe(update));
+  SelectQuery query;
+  std::string sql;
+  std::shared_ptr<const relational::PhysicalPlan> plan;
+  if (compiled != nullptr && compiled->victim.present) {
+    query = compiled->victim.query;
+    sql = compiled->victim.sql;
+    plan = compiled->victim.plan;
+  } else {
+    UFILTER_ASSIGN_OR_RETURN(query, translator_.ComposeVictimProbe(update));
+    sql = query.ToSql();
+  }
   *query_out = query;
-  report->probes.push_back(query.ToSql());
-  QueryEvaluator evaluator(db_);
-  return evaluator.Execute(query);
+  report->probes.push_back(sql);
+  return RunProbe(db_, query, plan);
+}
+
+Status DataChecker::RunWideProbe(const BoundUpdate& update,
+                                 DataCheckReport* report,
+                                 const CompiledProbeSet* compiled) {
+  SelectQuery query;
+  std::string sql;
+  std::shared_ptr<const relational::PhysicalPlan> plan;
+  if (compiled != nullptr && compiled->wide.present) {
+    query = compiled->wide.query;
+    sql = compiled->wide.sql;
+    plan = compiled->wide.plan;
+  } else {
+    UFILTER_ASSIGN_OR_RETURN(query, translator_.ComposeWideProbe(update));
+    sql = query.ToSql();
+  }
+  report->probes.push_back(sql);
+  UFILTER_ASSIGN_OR_RETURN(QueryResult result, RunProbe(db_, query, plan));
+  (void)result;
+  return Status::OK();
 }
 
 Status DataChecker::ExecuteOps(const std::vector<UpdateOp>& ops,
@@ -136,28 +192,23 @@ Status DataChecker::ProbeInsertConflicts(const std::vector<UpdateOp>& ops,
 Result<DataCheckReport> DataChecker::RunDelete(const BoundUpdate& update,
                                                const StarVerdict& verdict,
                                                DataCheckStrategy strategy,
-                                               const InjectedProbes* injected) {
+                                               const InjectedProbes* injected,
+                                               const CompiledProbeSet* compiled) {
   DataCheckReport report;
   SelectQuery anchor_query;
   UFILTER_ASSIGN_OR_RETURN(
       QueryResult anchors,
-      CheckContext(update, &anchor_query, &report, injected));
+      CheckContext(update, &anchor_query, &report, injected, compiled));
   (void)anchors;
 
   SelectQuery victim_query;
   UFILTER_ASSIGN_OR_RETURN(
       QueryResult victims,
-      FetchVictims(update, &victim_query, &report, injected));
-  QueryEvaluator evaluator(db_);
+      FetchVictims(update, &victim_query, &report, injected, compiled));
   if (strategy == DataCheckStrategy::kInternal) {
     // The internal strategy would delete through the flat relational view:
     // fetch the full-width tuples first.
-    UFILTER_ASSIGN_OR_RETURN(SelectQuery wide,
-                             translator_.ComposeWideProbe(update));
-    report.probes.push_back(wide.ToSql());
-    UFILTER_ASSIGN_OR_RETURN(QueryResult wide_result,
-                             evaluator.Execute(wide));
-    (void)wide_result;
+    UFILTER_RETURN_NOT_OK(RunWideProbe(update, &report, compiled));
   }
   if (victims.empty()) {
     // The paper's u12: the relational engine would answer "zero tuples
@@ -182,23 +233,18 @@ Result<DataCheckReport> DataChecker::RunDelete(const BoundUpdate& update,
 Result<DataCheckReport> DataChecker::RunInsert(const BoundUpdate& update,
                                                const StarVerdict& verdict,
                                                DataCheckStrategy strategy,
-                                               const InjectedProbes* injected) {
+                                               const InjectedProbes* injected,
+                                               const CompiledProbeSet* compiled) {
   DataCheckReport report;
   SelectQuery anchor_query;
   UFILTER_ASSIGN_OR_RETURN(
       QueryResult anchors,
-      CheckContext(update, &anchor_query, &report, injected));
+      CheckContext(update, &anchor_query, &report, injected, compiled));
 
   if (strategy == DataCheckStrategy::kInternal) {
     // Build the complete relational-view tuple: wide probe over the chain
     // (this is the extra cost Fig. 15 shows).
-    UFILTER_ASSIGN_OR_RETURN(SelectQuery wide,
-                             translator_.ComposeWideProbe(update));
-    report.probes.push_back(wide.ToSql());
-    QueryEvaluator evaluator(db_);
-    UFILTER_ASSIGN_OR_RETURN(QueryResult wide_result,
-                             evaluator.Execute(wide));
-    (void)wide_result;
+    UFILTER_RETURN_NOT_OK(RunWideProbe(update, &report, compiled));
   }
 
   UFILTER_ASSIGN_OR_RETURN(
@@ -241,18 +287,19 @@ Result<DataCheckReport> DataChecker::RunReplace(
     // Replace rewrites one bound leaf in place, so the probe and the
     // translation coincide for every strategy: there is no wide tuple to
     // assemble (internal) and no conflict set to pre-probe (outside).
-    DataCheckStrategy /*strategy*/, const InjectedProbes* injected) {
+    DataCheckStrategy /*strategy*/, const InjectedProbes* injected,
+    const CompiledProbeSet* compiled) {
   DataCheckReport report;
   SelectQuery anchor_query;
   UFILTER_ASSIGN_OR_RETURN(
       QueryResult anchors,
-      CheckContext(update, &anchor_query, &report, injected));
+      CheckContext(update, &anchor_query, &report, injected, compiled));
 
   const asg::ViewNode& target = gv_->node(update.target_node);
   SelectQuery victim_query;
   UFILTER_ASSIGN_OR_RETURN(
       QueryResult victims,
-      FetchVictims(update, &victim_query, &report, injected));
+      FetchVictims(update, &victim_query, &report, injected, compiled));
   if (victims.empty()) {
     report.passed = true;
     report.zero_tuple_warning = true;
@@ -328,16 +375,17 @@ Result<DataCheckReport> DataChecker::RunReplace(
 
 Result<DataCheckReport> DataChecker::CheckAndExecute(
     const BoundUpdate& update, const StarVerdict& verdict,
-    DataCheckStrategy strategy, bool apply, const InjectedProbes* injected) {
+    DataCheckStrategy strategy, bool apply, const InjectedProbes* injected,
+    const CompiledProbeSet* compiled) {
   size_t savepoint = db_->Begin();
   Result<DataCheckReport> result = [&]() -> Result<DataCheckReport> {
     switch (update.op) {
       case xq::UpdateOpType::kDelete:
-        return RunDelete(update, verdict, strategy, injected);
+        return RunDelete(update, verdict, strategy, injected, compiled);
       case xq::UpdateOpType::kInsert:
-        return RunInsert(update, verdict, strategy, injected);
+        return RunInsert(update, verdict, strategy, injected, compiled);
       case xq::UpdateOpType::kReplace:
-        return RunReplace(update, verdict, strategy, injected);
+        return RunReplace(update, verdict, strategy, injected, compiled);
     }
     return Status::Internal("unknown update op");
   }();

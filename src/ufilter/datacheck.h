@@ -11,9 +11,11 @@
 #ifndef UFILTER_UFILTER_DATACHECK_H_
 #define UFILTER_UFILTER_DATACHECK_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "relational/planner.h"
 #include "relational/query.h"
 #include "relational/sqlgen.h"
 #include "ufilter/star.h"
@@ -26,6 +28,25 @@ namespace ufilter::check {
 enum class DataCheckStrategy { kInternal, kHybrid, kOutside };
 
 const char* DataCheckStrategyName(DataCheckStrategy s);
+
+/// One step-3 probe, composed and physically compiled at Prepare time. The
+/// query (alias layout) and its SQL rendering are frozen; `plan` is the
+/// cost-based planner's output, replayed by Execute/CheckBatch with zero
+/// name resolution. A null `plan` with `present` set means planning was
+/// deferred (e.g. an empty FROM list) — the checker compiles on demand.
+struct CompiledProbe {
+  bool present = false;
+  relational::SelectQuery query;
+  std::string sql;
+  std::shared_ptr<const relational::PhysicalPlan> plan;
+};
+
+/// The compiled probe plans of one prepared action (see PreparedAction).
+struct CompiledProbeSet {
+  CompiledProbe anchor;  ///< context probe (6.1)
+  CompiledProbe victim;  ///< delete/replace victim enumeration
+  CompiledProbe wide;    ///< internal strategy's full-width tuple probe
+};
 
 /// Step-3 probe results computed externally — UFilter::CheckBatch merges
 /// the anchor/victim probes of several updates into OR-of-predicates
@@ -67,38 +88,52 @@ class DataChecker {
   /// initial state afterwards (dry run). On failure the database is always
   /// left unchanged. When `injected` is non-null its probe results replace
   /// the checker's own anchor/victim queries (batch mode); the internal
-  /// strategy's wide probe is always issued locally.
+  /// strategy's wide probe is always issued locally. When `compiled` is
+  /// non-null its prepared plans are replayed instead of composing and
+  /// planning the probe queries from scratch.
   Result<DataCheckReport> CheckAndExecute(const BoundUpdate& update,
                                           const StarVerdict& verdict,
                                           DataCheckStrategy strategy,
                                           bool apply,
                                           const InjectedProbes* injected =
+                                              nullptr,
+                                          const CompiledProbeSet* compiled =
                                               nullptr);
 
  private:
   Result<DataCheckReport> RunDelete(const BoundUpdate& update,
                                     const StarVerdict& verdict,
                                     DataCheckStrategy strategy,
-                                    const InjectedProbes* injected);
+                                    const InjectedProbes* injected,
+                                    const CompiledProbeSet* compiled);
   Result<DataCheckReport> RunInsert(const BoundUpdate& update,
                                     const StarVerdict& verdict,
                                     DataCheckStrategy strategy,
-                                    const InjectedProbes* injected);
+                                    const InjectedProbes* injected,
+                                    const CompiledProbeSet* compiled);
   Result<DataCheckReport> RunReplace(const BoundUpdate& update,
                                      const StarVerdict& verdict,
                                      DataCheckStrategy strategy,
-                                     const InjectedProbes* injected);
+                                     const InjectedProbes* injected,
+                                     const CompiledProbeSet* compiled);
 
   /// Context check (6.1): returns the anchor probe result; DataConflict when
   /// the context element does not exist in the view.
   Result<relational::QueryResult> CheckContext(
       const BoundUpdate& update, relational::SelectQuery* query_out,
-      DataCheckReport* report, const InjectedProbes* injected);
+      DataCheckReport* report, const InjectedProbes* injected,
+      const CompiledProbeSet* compiled);
 
   /// Victim probe (query + rows), honoring an injected result.
   Result<relational::QueryResult> FetchVictims(
       const BoundUpdate& update, relational::SelectQuery* query_out,
-      DataCheckReport* report, const InjectedProbes* injected);
+      DataCheckReport* report, const InjectedProbes* injected,
+      const CompiledProbeSet* compiled);
+
+  /// Internal strategy's wide probe (full-width relational-view tuple):
+  /// replays the compiled plan when available, else composes + plans.
+  Status RunWideProbe(const BoundUpdate& update, DataCheckReport* report,
+                      const CompiledProbeSet* compiled);
 
   /// Executes translated ops; fills rows_affected.
   Status ExecuteOps(const std::vector<relational::UpdateOp>& ops,

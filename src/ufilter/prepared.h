@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "ufilter/datacheck.h"
 #include "ufilter/star.h"
 #include "ufilter/update_binding.h"
 #include "xquery/ast.h"
@@ -24,13 +25,16 @@ class UFilter;
 
 /// One action of the statement after compile. When step 1 failed, `bound`
 /// is unusable and `step1_error` carries the rejection; STAR only runs for
-/// actions that passed step 1.
+/// actions that passed step 1. `probes` holds the step-3 probe queries
+/// composed and physically compiled (cost-based plan) at Prepare time, so
+/// Execute/CheckBatch replay them with zero name resolution.
 struct PreparedAction {
   BoundUpdate bound;
   Status step1_error;
   bool bound_ok = false;
   StarVerdict star;
   bool star_computed = false;
+  CompiledProbeSet probes;
 };
 
 /// \brief A compiled update template, bound to one UFilter instance.
