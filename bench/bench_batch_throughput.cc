@@ -63,6 +63,10 @@ void ReportCounters(benchmark::State& state, const Setup& setup,
       static_cast<double>(stats.plan_cache_hits);
   state.counters["updates_compiled"] =
       static_cast<double>(stats.updates_compiled);
+  ufilter::check::PlanCacheCounters cache = setup.uf->plan_cache().counters();
+  state.counters["plan_cache_misses"] = static_cast<double>(cache.misses);
+  state.counters["plan_cache_evictions"] =
+      static_cast<double>(cache.evictions);
   state.SetItemsProcessed(updates_checked);
 }
 
@@ -73,6 +77,7 @@ void BM_Cold(benchmark::State& state) {
   options.use_plan_cache = false;
   // Scenario isolation: counters start at zero for this series.
   setup.db->ResetWorkCounters();
+  setup.uf->plan_cache().ResetCounters();
   int64_t checked = 0;
   size_t next = 0;
   for (auto _ : state) {
@@ -99,6 +104,7 @@ void BM_Cached(benchmark::State& state) {
     (void)setup.uf->Prepare(update);
   }
   setup.db->ResetWorkCounters();
+  setup.uf->plan_cache().ResetCounters();
   int64_t checked = 0;
   size_t next = 0;
   for (auto _ : state) {
@@ -124,6 +130,7 @@ void BM_Batched(benchmark::State& state) {
     (void)setup.uf->Prepare(update);
   }
   setup.db->ResetWorkCounters();
+  setup.uf->plan_cache().ResetCounters();
   int64_t checked = 0;
   for (auto _ : state) {
     std::vector<CheckReport> reports =

@@ -1,0 +1,133 @@
+// Thread scaling of the concurrent check service: checks/sec for the PR 2
+// cached-plan batch workload (64 distinct leaf deletes over a depth-4
+// chain view, apply=false) pushed through a CheckService with 1 / 2 / 4 / 8
+// worker threads. Check-only traffic runs on the service's read-only fast
+// path under a shared reader lock, so on a multi-core machine items/sec
+// should scale close to linearly until the core count is exhausted; on a
+// single core all thread counts land within noise of each other (the
+// headline ratio ConcurrentChecks/threads:8 / threads:1 is only meaningful
+// with >= 8 cores). Counters attached per run: fast-path vs. writer-lane
+// requests and plan-cache hits, so a scaling regression can be told apart
+// from an escalation regression.
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fixtures/synthetic.h"
+#include "service/check_service.h"
+
+namespace {
+
+using ufilter::check::CheckOptions;
+using ufilter::check::CheckOutcome;
+using ufilter::check::CheckReport;
+using ufilter::check::UFilter;
+using ufilter::service::CheckService;
+using ufilter::service::CheckServiceOptions;
+using ufilter::service::CheckServiceStats;
+using ufilter::service::Session;
+
+constexpr int kDepth = 4;
+constexpr int kRowsPerLevel = 200;
+constexpr int kBatchSize = 64;     // the PR 2 batch workload
+constexpr int kChecksPerIter = 512;
+
+struct Setup {
+  std::unique_ptr<ufilter::relational::Database> db;
+  std::unique_ptr<UFilter> uf;
+  std::vector<std::string> updates;
+};
+
+Setup& SharedSetup() {
+  static Setup setup = [] {
+    Setup s;
+    auto db = ufilter::fixtures::MakeChainDatabase(kDepth, kRowsPerLevel);
+    if (db.ok()) s.db = std::move(*db);
+    auto uf = UFilter::Create(s.db.get(),
+                              ufilter::fixtures::ChainViewQuery(kDepth));
+    if (uf.ok()) s.uf = std::move(*uf);
+    for (int k = 0; k < kBatchSize; ++k) {
+      s.updates.push_back(ufilter::fixtures::ChainDeleteUpdate(kDepth - 1, k));
+    }
+    return s;
+  }();
+  return setup;
+}
+
+void BM_ConcurrentChecks(benchmark::State& state) {
+  Setup& setup = SharedSetup();
+  const int threads = static_cast<int>(state.range(0));
+  CheckOptions dry;
+  dry.apply = false;
+
+  CheckServiceOptions options;
+  options.worker_threads = threads;
+  options.queue_capacity = kChecksPerIter;
+  CheckService svc(setup.uf.get(), options);
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int t = 0; t < threads; ++t) sessions.push_back(svc.OpenSession());
+
+  // Warm the plan cache outside the timed region (cached-plan workload).
+  for (const std::string& update : setup.updates) {
+    (void)setup.uf->Prepare(update);
+  }
+
+  CheckServiceStats before = svc.Snapshot();
+  int64_t checked = 0;
+  std::vector<std::future<CheckReport>> futures;
+  futures.reserve(kChecksPerIter);
+  for (auto _ : state) {
+    futures.clear();
+    for (int i = 0; i < kChecksPerIter; ++i) {
+      const std::string& update =
+          setup.updates[static_cast<size_t>(i) % setup.updates.size()];
+      futures.push_back(svc.Submit(
+          sessions[static_cast<size_t>(i) % sessions.size()], update, dry));
+    }
+    for (auto& f : futures) {
+      CheckReport r = f.get();
+      if (r.outcome != CheckOutcome::kExecuted) {
+        state.SkipWithError(r.Describe().c_str());
+        return;
+      }
+      ++checked;
+    }
+  }
+  CheckServiceStats after = svc.Snapshot();
+  state.SetItemsProcessed(checked);
+  state.counters["worker_threads"] = threads;
+  state.counters["fast_path"] =
+      static_cast<double>(after.fast_path - before.fast_path);
+  state.counters["writer_lane"] =
+      static_cast<double>(after.writer_lane - before.writer_lane);
+  state.counters["plan_cache_hits"] =
+      static_cast<double>(after.plan_cache.hits - before.plan_cache.hits);
+  state.counters["queue_high_water"] =
+      static_cast<double>(after.queue_high_water);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Concurrent check service: thread scaling ===\n"
+      "Workload: %d cached leaf-delete templates over a depth-%d chain view\n"
+      "(apply=false), %d checks per iteration through a CheckService with\n"
+      "1/2/4/8 workers. Check-only traffic runs read-only under a shared\n"
+      "lock; items_per_second should scale with cores (flat on 1 core).\n\n",
+      kBatchSize, kDepth, kChecksPerIter);
+  benchmark::RegisterBenchmark("ConcurrentChecks", BM_ConcurrentChecks)
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4)
+      ->Arg(8)
+      ->UseRealTime()
+      ->MeasureProcessCPUTime();
+  return ufilter::bench::RunWithJson(argc, argv, "concurrency");
+}

@@ -12,7 +12,9 @@ size_t HashOneValue(const Value& v) {
   return static_cast<size_t>(0x345678) * 1000003 ^ v.Hash();
 }
 
-size_t HashValues(const Row& row, const std::vector<int>& cols) {
+}  // namespace
+
+size_t Table::HashRowValues(const Row& row, const std::vector<int>& cols) {
   size_t h = 0x345678;
   for (int c : cols) {
     h = h * 1000003 ^ row[static_cast<size_t>(c)].Hash();
@@ -20,7 +22,8 @@ size_t HashValues(const Row& row, const std::vector<int>& cols) {
   return h;
 }
 
-bool ValuesEqual(const Row& a, const Row& b, const std::vector<int>& cols) {
+bool Table::RowValuesEqual(const Row& a, const Row& b,
+                           const std::vector<int>& cols) {
   for (int c : cols) {
     if (!(a[static_cast<size_t>(c)] == b[static_cast<size_t>(c)])) {
       return false;
@@ -29,14 +32,12 @@ bool ValuesEqual(const Row& a, const Row& b, const std::vector<int>& cols) {
   return true;
 }
 
-bool AnyNull(const Row& row, const std::vector<int>& cols) {
+bool Table::AnyValueNull(const Row& row, const std::vector<int>& cols) {
   for (int c : cols) {
     if (row[static_cast<size_t>(c)].is_null()) return true;
   }
   return false;
 }
-
-}  // namespace
 
 // ---------------------------------------------------------------- Table ---
 
@@ -137,7 +138,8 @@ double Table::EstimateEqMatches(int column_idx, const Value& literal) const {
 }
 
 void Table::ProbeIndexEq(int column_idx, const Value& v,
-                         std::vector<RowId>* out, EngineStats* stats) const {
+                         std::vector<RowId>* out,
+                         AtomicEngineStats* stats) const {
   const Index* idx = FindIndexForColumn(column_idx);
   if (idx == nullptr) return;
   if (stats != nullptr) stats->index_lookups++;
@@ -151,7 +153,7 @@ void Table::ProbeIndexEq(int column_idx, const Value& v,
 }
 
 std::vector<RowId> Table::Find(const std::vector<ColumnPredicate>& preds,
-                               EngineStats* stats) const {
+                               AtomicEngineStats* stats) const {
   // Drive with a single-column index on an equality predicate, preferring a
   // unique index (most selective: at most one candidate) over the first
   // non-unique hit.
@@ -247,7 +249,7 @@ void Table::OverwriteRow(RowId id, Row row) {
 }
 
 size_t Table::IndexKeyHash(const Index& index, const Row& row) const {
-  return HashValues(row, index.column_idx);
+  return HashRowValues(row, index.column_idx);
 }
 
 void Table::IndexInsert(RowId id, const Row& row) {
@@ -277,12 +279,12 @@ void Table::IndexErase(RowId id, const Row& row) {
 RowId Table::FindUniqueConflict(const Row& row, RowId self) const {
   for (const Index& idx : indexes_) {
     if (!idx.unique) continue;
-    if (AnyNull(row, idx.column_idx)) continue;  // NULL never conflicts
-    auto range = idx.map.equal_range(HashValues(row, idx.column_idx));
+    if (AnyValueNull(row, idx.column_idx)) continue;  // NULL never conflicts
+    auto range = idx.map.equal_range(HashRowValues(row, idx.column_idx));
     for (auto it = range.first; it != range.second; ++it) {
       if (it->second == self) continue;
       const Row* other = GetRow(it->second);
-      if (other != nullptr && ValuesEqual(*other, row, idx.column_idx)) {
+      if (other != nullptr && RowValuesEqual(*other, row, idx.column_idx)) {
         return it->second;
       }
     }
@@ -293,6 +295,7 @@ RowId Table::FindUniqueConflict(const Row& row, RowId self) const {
 // ------------------------------------------------------------- Database ---
 
 Database::Database(DatabaseSchema schema) : schema_(std::move(schema)) {
+  root_context_ = std::make_unique<ExecutionContext>(this);
   tables_.reserve(schema_.tables().size());
   for (size_t i = 0; i < schema_.tables().size(); ++i) {
     tables_.emplace_back(&schema_.tables()[i]);
@@ -305,22 +308,33 @@ Result<std::unique_ptr<Database>> Database::Create(DatabaseSchema schema) {
   return std::unique_ptr<Database>(new Database(std::move(schema)));
 }
 
-Table* Database::TableByName(const std::string& name) {
+Table* Database::TableByName(const ExecutionContext* ctx,
+                             const std::string& name) {
   auto it = table_index_.find(name);
   if (it != table_index_.end()) return &tables_[it->second];
-  auto tt = temp_tables_.find(name);
-  if (tt != temp_tables_.end()) return tt->second.get();
+  if (ctx != nullptr) {
+    // Sessions only read their own temp tables; the const_cast hands the
+    // session back mutable access to a table it created itself.
+    return const_cast<Table*>(ctx->FindTempTable(name));
+  }
   return nullptr;
 }
 
-Result<Table*> Database::GetTable(const std::string& name) {
-  Table* t = TableByName(name);
+const Table* Database::TableByName(const ExecutionContext* ctx,
+                                   const std::string& name) const {
+  return const_cast<Database*>(this)->TableByName(ctx, name);
+}
+
+Result<Table*> Database::GetTable(const ExecutionContext* ctx,
+                                  const std::string& name) {
+  Table* t = TableByName(ctx, name);
   if (t == nullptr) return Status::NotFound("no table '" + name + "'");
   return t;
 }
 
-Result<const Table*> Database::GetTable(const std::string& name) const {
-  const Table* t = const_cast<Database*>(this)->TableByName(name);
+Result<const Table*> Database::GetTable(const ExecutionContext* ctx,
+                                        const std::string& name) const {
+  const Table* t = TableByName(ctx, name);
   if (t == nullptr) return Status::NotFound("no table '" + name + "'");
   return t;
 }
@@ -377,7 +391,7 @@ Status Database::CheckRowConstraints(const TableSchema& schema,
 }
 
 Status Database::CheckForeignKeysExist(const TableSchema& schema,
-                                       const Row& row) {
+                                       const Row& row) const {
   for (const ForeignKey& fk : schema.foreign_keys()) {
     std::vector<ColumnPredicate> preds;
     bool any_null = false;
@@ -391,7 +405,7 @@ Status Database::CheckForeignKeysExist(const TableSchema& schema,
       preds.push_back({fk.ref_columns[i], CompareOp::kEq, v});
     }
     if (any_null) continue;  // NULL FKs reference nothing
-    UFILTER_ASSIGN_OR_RETURN(Table * ref, GetTable(fk.ref_table));
+    UFILTER_ASSIGN_OR_RETURN(const Table* ref, GetTable(fk.ref_table));
     if (ref->Find(preds, &stats_).empty()) {
       std::vector<std::string> vals;
       for (const auto& p : preds) vals.push_back(p.literal.ToSqlLiteral());
@@ -403,10 +417,11 @@ Status Database::CheckForeignKeysExist(const TableSchema& schema,
   return Status::OK();
 }
 
-Result<RowId> Database::Insert(const std::string& table, Row row) {
-  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+Result<RowId> Database::Insert(ExecutionContext* ctx,
+                               const std::string& table, Row row) {
+  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(ctx, table));
   UFILTER_RETURN_NOT_OK(CheckRowConstraints(t->schema(), row));
-  if (!IsTempTable(table)) {
+  if (!ctx->IsTempTable(table)) {
     UFILTER_RETURN_NOT_OK(CheckForeignKeysExist(t->schema(), row));
   }
   RowId conflict = t->FindUniqueConflict(row, -1);
@@ -415,15 +430,17 @@ Result<RowId> Database::Insert(const std::string& table, Row row) {
                                        table + "'");
   }
   RowId id = t->AppendRow(std::move(row));
-  undo_log_.push_back({UndoKind::kInsert, table, id, {}});
+  ctx->undo_log_.push_back(
+      {ExecutionContext::UndoKind::kInsert, table, id, {}});
   stats_.rows_inserted++;
   stats_.undo_records++;
   return id;
 }
 
 Result<RowId> Database::InsertValues(
-    const std::string& table, const std::map<std::string, Value>& values) {
-  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+    ExecutionContext* ctx, const std::string& table,
+    const std::map<std::string, Value>& values) {
+  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(ctx, table));
   Row row(t->schema().columns().size());
   for (const auto& [name, value] : values) {
     int c = t->schema().ColumnIndex(name);
@@ -432,11 +449,11 @@ Result<RowId> Database::InsertValues(
     }
     row[static_cast<size_t>(c)] = value;
   }
-  return Insert(table, std::move(row));
+  return Insert(ctx, table, std::move(row));
 }
 
-Status Database::DeleteRowInternal(Table* table, RowId id,
-                                   DeleteOutcome* outcome) {
+Status Database::DeleteRowInternal(ExecutionContext* ctx, Table* table,
+                                   RowId id, DeleteOutcome* outcome) {
   const Row* row_ptr = table->GetRow(id);
   if (row_ptr == nullptr) return Status::OK();
   Row row = *row_ptr;  // copy before erasing
@@ -455,7 +472,8 @@ Status Database::DeleteRowInternal(Table* table, RowId id,
         preds.push_back({fk.columns[i], CompareOp::kEq, v});
       }
       if (any_null) continue;
-      UFILTER_ASSIGN_OR_RETURN(Table * ref_table, GetTable(other.name()));
+      UFILTER_ASSIGN_OR_RETURN(Table * ref_table,
+                               GetTable(ctx, other.name()));
       std::vector<RowId> referencing = ref_table->Find(preds, &stats_);
       if (referencing.empty()) continue;
       switch (fk.on_delete) {
@@ -465,7 +483,8 @@ Status Database::DeleteRowInternal(Table* table, RowId id,
               other.name() + "'");
         case DeletePolicy::kCascade:
           for (RowId rid : referencing) {
-            UFILTER_RETURN_NOT_OK(DeleteRowInternal(ref_table, rid, outcome));
+            UFILTER_RETURN_NOT_OK(
+                DeleteRowInternal(ctx, ref_table, rid, outcome));
           }
           break;
         case DeletePolicy::kSetNull: {
@@ -485,11 +504,12 @@ Status Database::DeleteRowInternal(Table* table, RowId id,
               // SET NULL impossible on NOT NULL FK; fall back to cascade to
               // preserve integrity.
               UFILTER_RETURN_NOT_OK(
-                  DeleteRowInternal(ref_table, rid, outcome));
+                  DeleteRowInternal(ctx, ref_table, rid, outcome));
               continue;
             }
-            undo_log_.push_back(
-                {UndoKind::kUpdate, other.name(), rid, *old});
+            ctx->undo_log_.push_back(
+                {ExecutionContext::UndoKind::kUpdate, other.name(), rid,
+                 *old});
             stats_.undo_records++;
             ref_table->OverwriteRow(rid, std::move(updated));
             stats_.rows_updated++;
@@ -503,7 +523,8 @@ Status Database::DeleteRowInternal(Table* table, RowId id,
 
   // The row may have been cascade-deleted through a cycle; re-check.
   if (table->GetRow(id) == nullptr) return Status::OK();
-  undo_log_.push_back({UndoKind::kDelete, table_name, id, row});
+  ctx->undo_log_.push_back(
+      {ExecutionContext::UndoKind::kDelete, table_name, id, row});
   stats_.undo_records++;
   table->EraseRow(id);
   stats_.rows_deleted++;
@@ -513,38 +534,41 @@ Status Database::DeleteRowInternal(Table* table, RowId id,
 }
 
 Result<DeleteOutcome> Database::DeleteWhere(
-    const std::string& table, const std::vector<ColumnPredicate>& preds) {
-  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+    ExecutionContext* ctx, const std::string& table,
+    const std::vector<ColumnPredicate>& preds) {
+  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(ctx, table));
   DeleteOutcome outcome;
-  size_t mark = Begin();
+  size_t mark = ctx->Begin();
   for (RowId id : t->Find(preds, &stats_)) {
-    Status st = DeleteRowInternal(t, id, &outcome);
+    Status st = DeleteRowInternal(ctx, t, id, &outcome);
     if (!st.ok()) {
-      Rollback(mark);
+      ctx->Rollback(mark);
       return st;
     }
   }
-  Commit(mark);
+  ctx->Commit(mark);
   return outcome;
 }
 
-Result<DeleteOutcome> Database::DeleteRow(const std::string& table, RowId id) {
-  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+Result<DeleteOutcome> Database::DeleteRow(ExecutionContext* ctx,
+                                          const std::string& table, RowId id) {
+  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(ctx, table));
   DeleteOutcome outcome;
-  size_t mark = Begin();
-  Status st = DeleteRowInternal(t, id, &outcome);
+  size_t mark = ctx->Begin();
+  Status st = DeleteRowInternal(ctx, t, id, &outcome);
   if (!st.ok()) {
-    Rollback(mark);
+    ctx->Rollback(mark);
     return st;
   }
-  Commit(mark);
+  ctx->Commit(mark);
   return outcome;
 }
 
 Result<int64_t> Database::UpdateWhere(
-    const std::string& table, const std::map<std::string, Value>& assignments,
+    ExecutionContext* ctx, const std::string& table,
+    const std::map<std::string, Value>& assignments,
     const std::vector<ColumnPredicate>& preds) {
-  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(ctx, table));
   const TableSchema& schema = t->schema();
   for (const auto& [name, value] : assignments) {
     (void)value;
@@ -553,7 +577,7 @@ Result<int64_t> Database::UpdateWhere(
     }
   }
   int64_t updated = 0;
-  size_t mark = Begin();
+  size_t mark = ctx->Begin();
   for (RowId id : t->Find(preds, &stats_)) {
     const Row* old = t->GetRow(id);
     if (old == nullptr) continue;
@@ -562,7 +586,7 @@ Result<int64_t> Database::UpdateWhere(
       next[static_cast<size_t>(schema.ColumnIndex(name))] = value;
     }
     Status st = CheckRowConstraints(schema, next);
-    if (st.ok() && !IsTempTable(table)) {
+    if (st.ok() && !ctx->IsTempTable(table)) {
       st = CheckForeignKeysExist(schema, next);
     }
     if (st.ok()) {
@@ -573,32 +597,25 @@ Result<int64_t> Database::UpdateWhere(
       }
     }
     if (!st.ok()) {
-      Rollback(mark);
+      ctx->Rollback(mark);
       return st;
     }
-    undo_log_.push_back({UndoKind::kUpdate, table, id, *old});
+    ctx->undo_log_.push_back(
+        {ExecutionContext::UndoKind::kUpdate, table, id, *old});
     stats_.undo_records++;
     t->OverwriteRow(id, std::move(next));
     stats_.rows_updated++;
     ++updated;
   }
-  Commit(mark);
+  ctx->Commit(mark);
   return updated;
 }
 
-size_t Database::Begin() { return undo_log_.size(); }
-
-void Database::Commit(size_t mark) {
-  // Committing keeps the undo records so an outer savepoint can still undo
-  // them; only an explicit Checkpoint truncates the log.
-  (void)mark;
-}
-
-void Database::Rollback(size_t mark) {
+void ExecutionContext::Rollback(size_t mark) {
   while (undo_log_.size() > mark) {
     UndoRecord rec = std::move(undo_log_.back());
     undo_log_.pop_back();
-    Table* t = TableByName(rec.table);
+    Table* t = db_->TableByName(this, rec.table);
     if (t == nullptr) continue;  // temp table dropped meanwhile
     switch (rec.kind) {
       case UndoKind::kInsert:
@@ -614,9 +631,9 @@ void Database::Rollback(size_t mark) {
   }
 }
 
-Result<Table*> Database::CreateTempTable(TableSchema schema) {
+Result<Table*> ExecutionContext::CreateTempTable(TableSchema schema) {
   std::string name = schema.name();
-  if (table_index_.count(name) > 0 || temp_tables_.count(name) > 0) {
+  if (db_->table_index_.count(name) > 0 || temp_tables_.count(name) > 0) {
     return Status::InvalidArgument("table '" + name + "' already exists");
   }
   temp_schemas_[name] = std::move(schema);
@@ -626,13 +643,14 @@ Result<Table*> Database::CreateTempTable(TableSchema schema) {
   return raw;
 }
 
-Status Database::BulkLoadTemp(const std::string& name, std::vector<Row> rows) {
-  if (!IsTempTable(name)) {
+Status ExecutionContext::BulkLoadTemp(const std::string& name,
+                                      std::vector<Row> rows) {
+  Table* t = FindTempTable(name);
+  if (t == nullptr) {
     return Status::InvalidArgument("'" + name +
                                    "' is not a temp table (BulkLoadTemp "
                                    "bypasses constraint checking)");
   }
-  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(name));
   const size_t arity = t->schema().columns().size();
   for (const Row& row : rows) {
     if (row.size() != arity) {
@@ -647,12 +665,12 @@ Status Database::BulkLoadTemp(const std::string& name, std::vector<Row> rows) {
   for (RowId id : ids) {
     undo_log_.push_back({UndoKind::kInsert, name, id, {}});
   }
-  stats_.rows_inserted += ids.size();
-  stats_.undo_records += ids.size();
+  db_->stats_.rows_inserted += ids.size();
+  db_->stats_.undo_records += ids.size();
   return Status::OK();
 }
 
-Status Database::DropTempTable(const std::string& name) {
+Status ExecutionContext::DropTempTable(const std::string& name) {
   if (temp_tables_.erase(name) == 0) {
     return Status::NotFound("no temp table '" + name + "'");
   }

@@ -4,11 +4,21 @@
 //
 // This is the "data storage / Oracle" box of Fig. 5: the substrate U-Filter
 // issues probe queries and translated SQL updates against.
+//
+// Concurrency model (see docs/ARCHITECTURE.md): the Database itself carries
+// no lock. Base-table storage is shared; all *mutable scratch* — temp tables
+// and the undo log — lives in an ExecutionContext, one per client session,
+// so concurrent read-only probes over the shared tables never touch shared
+// mutable state. Work counters are relaxed atomics, safe to bump from any
+// thread. Callers (the service layer) are responsible for reader/writer
+// exclusion on the base tables themselves.
 #ifndef UFILTER_RELATIONAL_DATABASE_H_
 #define UFILTER_RELATIONAL_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -37,17 +47,47 @@ struct ColumnPredicate {
   }
 };
 
+/// A monotonically increasing work counter bumped from concurrent check
+/// workers. All operations are relaxed: the counters are statistics, not
+/// synchronization — the only guarantee needed is that concurrent `++` /
+/// `+=` never lose increments (the read-modify-write races the old plain
+/// uint64_t fields had).
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(uint64_t v) : v_(v) {}  // NOLINT: implicit by design
+
+  uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return load(); }
+
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) { return v_.fetch_add(1, std::memory_order_relaxed); }
+  RelaxedCounter& operator+=(uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  /// Undoes a premature increment (e.g. a submission counted before an
+  /// admission-queue push that was then refused).
+  RelaxedCounter& operator-=(uint64_t d) {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+    return *this;
+  }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
 /// Cumulative work counters; benchmarks and tests read these to observe the
 /// cost asymmetries the paper's figures rely on (index lookups vs. scans).
 ///
-/// The struct doubles as the *snapshot* type of the work-counter mechanism:
-/// `Database::SnapshotWorkCounters()` returns a copy, `DiffSince` subtracts a
-/// baseline, and `Database::ResetWorkCounters()` zeroes the live counters so
-/// benchmark scenarios stop accumulating into each other.
-///
-/// The compile-side counters (queries, plan cache, prepares, STAR runs) are
-/// incremented by the layers above (QueryEvaluator, UFilter); they live here
-/// so one snapshot captures the whole pipeline's work.
+/// This plain struct is the *snapshot* type of the work-counter mechanism:
+/// `Database::SnapshotWorkCounters()` returns one, `DiffSince` subtracts a
+/// baseline. The live counters are an AtomicEngineStats (below) so that
+/// concurrent check workers can bump them without data races.
 struct EngineStats {
   uint64_t rows_scanned = 0;
   uint64_t index_lookups = 0;
@@ -106,6 +146,71 @@ struct EngineStats {
   }
 };
 
+/// The live counters: same fields as EngineStats but each one a relaxed
+/// atomic. Every `stats.field++` / `+= n` call site compiles unchanged; a
+/// consistent plain-value copy is taken with Snapshot().
+struct AtomicEngineStats {
+  RelaxedCounter rows_scanned;
+  RelaxedCounter index_lookups;
+  RelaxedCounter plans_compiled;
+  RelaxedCounter plan_replays;
+  RelaxedCounter hash_join_builds;
+  RelaxedCounter hash_join_probes;
+  RelaxedCounter rows_inserted;
+  RelaxedCounter rows_deleted;
+  RelaxedCounter rows_updated;
+  RelaxedCounter undo_records;
+  RelaxedCounter queries_executed;
+  RelaxedCounter batch_queries_executed;
+  RelaxedCounter batch_branches_merged;
+  RelaxedCounter plan_cache_hits;
+  RelaxedCounter plan_cache_misses;
+  RelaxedCounter updates_compiled;
+  RelaxedCounter star_checks;
+
+  EngineStats Snapshot() const {
+    EngineStats s;
+    s.rows_scanned = rows_scanned;
+    s.index_lookups = index_lookups;
+    s.plans_compiled = plans_compiled;
+    s.plan_replays = plan_replays;
+    s.hash_join_builds = hash_join_builds;
+    s.hash_join_probes = hash_join_probes;
+    s.rows_inserted = rows_inserted;
+    s.rows_deleted = rows_deleted;
+    s.rows_updated = rows_updated;
+    s.undo_records = undo_records;
+    s.queries_executed = queries_executed;
+    s.batch_queries_executed = batch_queries_executed;
+    s.batch_branches_merged = batch_branches_merged;
+    s.plan_cache_hits = plan_cache_hits;
+    s.plan_cache_misses = plan_cache_misses;
+    s.updates_compiled = updates_compiled;
+    s.star_checks = star_checks;
+    return s;
+  }
+
+  void Reset() {
+    rows_scanned.Reset();
+    index_lookups.Reset();
+    plans_compiled.Reset();
+    plan_replays.Reset();
+    hash_join_builds.Reset();
+    hash_join_probes.Reset();
+    rows_inserted.Reset();
+    rows_deleted.Reset();
+    rows_updated.Reset();
+    undo_records.Reset();
+    queries_executed.Reset();
+    batch_queries_executed.Reset();
+    batch_branches_merged.Reset();
+    plan_cache_hits.Reset();
+    plan_cache_misses.Reset();
+    updates_compiled.Reset();
+    star_checks.Reset();
+  }
+};
+
 /// \brief One table's storage: tombstoned row slots plus hash indexes.
 ///
 /// An index is built over the primary key (unique), over every UNIQUE column
@@ -131,7 +236,7 @@ class Table {
   /// most selective); otherwise scans. Results are sorted, except that the
   /// sort is skipped when a unique index yields at most one candidate.
   std::vector<RowId> Find(const std::vector<ColumnPredicate>& preds,
-                          EngineStats* stats) const;
+                          AtomicEngineStats* stats) const;
 
   /// True if an index exists whose leading column is `column`.
   bool HasIndexOn(const std::string& column) const;
@@ -154,16 +259,18 @@ class Table {
   /// matches to `out` *unsorted* (the plan executor orders final results
   /// itself) and allocates no probe row. Requires HasIndexOnColumn.
   void ProbeIndexEq(int column_idx, const Value& v, std::vector<RowId>* out,
-                    EngineStats* stats) const;
+                    AtomicEngineStats* stats) const;
 
   /// Appends `rows` without per-row constraint machinery (storage +
   /// index maintenance only) after one up-front reserve. Callers are
   /// responsible for constraint checking and undo logging; the intended
-  /// user is Database::BulkLoadTemp for index-free temp tables.
+  /// user is ExecutionContext::BulkLoadTemp for index-free temp tables.
   void BulkLoad(std::vector<Row> rows, std::vector<RowId>* ids);
 
  private:
   friend class Database;
+  friend class ExecutionContext;
+  friend class OpDryRunner;
 
   struct Index {
     std::vector<int> column_idx;
@@ -179,6 +286,14 @@ class Table {
   void EraseRow(RowId id);
   void RestoreRow(RowId id, Row row);
   void OverwriteRow(RowId id, Row row);
+
+  // Index-key helpers, shared with the read-only op validator
+  // (relational/dryrun.cc) so overlay probes hash into exactly the same
+  // buckets as the live indexes.
+  static size_t HashRowValues(const Row& row, const std::vector<int>& cols);
+  static bool RowValuesEqual(const Row& a, const Row& b,
+                             const std::vector<int>& cols);
+  static bool AnyValueNull(const Row& row, const std::vector<int>& cols);
 
   size_t IndexKeyHash(const Index& index, const Row& row) const;
   void IndexInsert(RowId id, const Row& row);
@@ -208,58 +323,35 @@ struct DeleteOutcome {
   std::vector<AffectedRow> affected;
 };
 
-/// \brief The database: schema + tables + transaction log.
+class Database;
+
+/// \brief Per-session mutable scratch: temp tables and the undo log.
 ///
-/// All mutating calls are recorded in the active transaction's undo log (a
-/// transaction is always active; `Begin` marks a savepoint, `Rollback`
-/// rewinds to the latest savepoint). This mirrors what the Fig. 14 baseline
-/// needs: blind translation, side-effect detection, rollback.
-class Database {
+/// Everything a check session may create or rewind lives here, not in the
+/// shared Database: materialized probe results (the paper's "TAB_book"),
+/// savepoints, undo records. Two sessions holding separate contexts can
+/// probe the same Database concurrently without sharing any mutable state;
+/// one session's temp tables are invisible to another's queries.
+///
+/// The context is NOT internally synchronized: a session must not run two
+/// mutating operations on its own context concurrently (the service layer's
+/// writer lane guarantees this).
+class ExecutionContext {
  public:
-  /// Validates and adopts the schema, creating empty tables.
-  static Result<std::unique_ptr<Database>> Create(DatabaseSchema schema);
+  explicit ExecutionContext(Database* db) : db_(db) {}
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
 
-  const DatabaseSchema& schema() const { return schema_; }
-  EngineStats& stats() { return stats_; }
+  Database* database() const { return db_; }
 
-  /// Copy of the live work counters (see EngineStats for diffing).
-  EngineStats SnapshotWorkCounters() const { return stats_; }
-  /// Zeroes all work counters; benchmarks call this between scenarios.
-  void ResetWorkCounters() { stats_.Reset(); }
-
-  Result<Table*> GetTable(const std::string& name);
-  Result<const Table*> GetTable(const std::string& name) const;
-
-  /// Inserts a row, enforcing NOT NULL, CHECK, PK/UNIQUE and FK existence.
-  Result<RowId> Insert(const std::string& table, Row row);
-
-  /// Inserts from a column-name/value mapping; missing columns become NULL.
-  Result<RowId> InsertValues(const std::string& table,
-                             const std::map<std::string, Value>& values);
-
-  /// Deletes all rows matching `preds`, honoring FK delete policies
-  /// transitively. kRestrict aborts the whole delete with
-  /// ConstraintViolation (nothing is applied thanks to the undo log).
-  Result<DeleteOutcome> DeleteWhere(const std::string& table,
-                                    const std::vector<ColumnPredicate>& preds);
-
-  /// Deletes one row by id (same policy handling).
-  Result<DeleteOutcome> DeleteRow(const std::string& table, RowId id);
-
-  /// Sets `assignments` on all rows matching `preds`; enforces the same
-  /// constraints as Insert. Returns the number of rows updated.
-  Result<int64_t> UpdateWhere(const std::string& table,
-                              const std::map<std::string, Value>& assignments,
-                              const std::vector<ColumnPredicate>& preds);
-
-  // --- Transactions (single-writer, nested savepoints) ---
+  // --- Transactions (per-context undo log, nested savepoints) ---
 
   /// Marks a savepoint; returns its handle.
-  size_t Begin();
+  size_t Begin() { return undo_log_.size(); }
   /// Releases savepoint `mark`, keeping the changes. Undo records are
   /// retained so an *outer* savepoint can still roll them back; call
   /// `Checkpoint` to discard the log once no savepoint is outstanding.
-  void Commit(size_t mark);
+  void Commit(size_t mark) { (void)mark; }
   /// Undoes everything back to savepoint `mark`.
   void Rollback(size_t mark);
   /// Declares the current state durable: clears the whole undo log.
@@ -268,8 +360,11 @@ class Database {
   /// Number of undo records currently held (for tests).
   size_t undo_log_size() const { return undo_log_.size(); }
 
-  /// Creates an index-free scratch table (materialized probe results; the
-  /// paper's "TAB_book"). The table lives until DropTempTable.
+  // --- Temp tables (session-local, index-free scratch) ---
+
+  /// Creates an index-free scratch table (materialized probe results). The
+  /// name must not collide with a base table or another temp table of this
+  /// context; other contexts' temp tables do not conflict.
   Result<Table*> CreateTempTable(TableSchema schema);
 
   /// Bulk-loads materialized probe rows into temp table `name`: one arity
@@ -282,11 +377,9 @@ class Database {
     return temp_tables_.count(name) > 0;
   }
 
-  /// Total live rows over all permanent tables (scale reporting in benches).
-  size_t TotalRows() const;
-
  private:
-  explicit Database(DatabaseSchema schema);
+  friend class Database;
+  friend class OpDryRunner;
 
   enum class UndoKind { kInsert, kDelete, kUpdate };
   struct UndoRecord {
@@ -296,23 +389,159 @@ class Database {
     Row old_row;  // for kDelete / kUpdate
   };
 
-  Status CheckRowConstraints(const TableSchema& schema, const Row& row) const;
-  Status CheckForeignKeysExist(const TableSchema& schema, const Row& row);
-  // Recursive policy-driven delete. Appends to outcome.
-  Status DeleteRowInternal(Table* table, RowId id, DeleteOutcome* outcome);
+  Table* FindTempTable(const std::string& name) {
+    auto it = temp_tables_.find(name);
+    return it == temp_tables_.end() ? nullptr : it->second.get();
+  }
+  const Table* FindTempTable(const std::string& name) const {
+    auto it = temp_tables_.find(name);
+    return it == temp_tables_.end() ? nullptr : it->second.get();
+  }
 
-  Table* TableByName(const std::string& name);
+  Database* db_;
+  // Reference stability matters: Table objects point into temp_schemas_.
+  std::unordered_map<std::string, std::unique_ptr<Table>> temp_tables_;
+  std::unordered_map<std::string, TableSchema> temp_schemas_;
+  std::vector<UndoRecord> undo_log_;
+};
+
+/// \brief The database: schema + shared base tables + work counters.
+///
+/// All mutating calls are recorded in an ExecutionContext's undo log (the
+/// context passed explicitly, or the database's built-in root context for
+/// the single-session convenience API — every legacy call site keeps
+/// working). This mirrors what the Fig. 14 baseline needs: blind
+/// translation, side-effect detection, rollback.
+class Database {
+ public:
+  /// Validates and adopts the schema, creating empty tables.
+  static Result<std::unique_ptr<Database>> Create(DatabaseSchema schema);
+
+  const DatabaseSchema& schema() const { return schema_; }
+  AtomicEngineStats& stats() const { return stats_; }
+
+  /// Copy of the live work counters (see EngineStats for diffing).
+  EngineStats SnapshotWorkCounters() const { return stats_.Snapshot(); }
+  /// Zeroes all work counters; benchmarks call this between scenarios.
+  void ResetWorkCounters() { stats_.Reset(); }
+
+  /// The built-in context the single-session convenience API runs against.
+  ExecutionContext* root_context() { return root_context_.get(); }
+  /// A fresh context for a new session. The Database must outlive it.
+  std::unique_ptr<ExecutionContext> CreateContext() {
+    return std::make_unique<ExecutionContext>(this);
+  }
+
+  /// Resolves `name` among base tables and `ctx`'s temp tables (null ctx =
+  /// base tables only).
+  Result<Table*> GetTable(const ExecutionContext* ctx,
+                          const std::string& name);
+  Result<const Table*> GetTable(const ExecutionContext* ctx,
+                                const std::string& name) const;
+  Result<Table*> GetTable(const std::string& name) {
+    return GetTable(root_context_.get(), name);
+  }
+  Result<const Table*> GetTable(const std::string& name) const {
+    return GetTable(root_context_.get(), name);
+  }
+
+  // --- Mutations (undo-logged into the given context) ---
+
+  /// Inserts a row, enforcing NOT NULL, CHECK, PK/UNIQUE and FK existence.
+  Result<RowId> Insert(ExecutionContext* ctx, const std::string& table,
+                       Row row);
+  Result<RowId> Insert(const std::string& table, Row row) {
+    return Insert(root_context_.get(), table, std::move(row));
+  }
+
+  /// Inserts from a column-name/value mapping; missing columns become NULL.
+  Result<RowId> InsertValues(ExecutionContext* ctx, const std::string& table,
+                             const std::map<std::string, Value>& values);
+  Result<RowId> InsertValues(const std::string& table,
+                             const std::map<std::string, Value>& values) {
+    return InsertValues(root_context_.get(), table, values);
+  }
+
+  /// Deletes all rows matching `preds`, honoring FK delete policies
+  /// transitively. kRestrict aborts the whole delete with
+  /// ConstraintViolation (nothing is applied thanks to the undo log).
+  Result<DeleteOutcome> DeleteWhere(ExecutionContext* ctx,
+                                    const std::string& table,
+                                    const std::vector<ColumnPredicate>& preds);
+  Result<DeleteOutcome> DeleteWhere(
+      const std::string& table, const std::vector<ColumnPredicate>& preds) {
+    return DeleteWhere(root_context_.get(), table, preds);
+  }
+
+  /// Deletes one row by id (same policy handling).
+  Result<DeleteOutcome> DeleteRow(ExecutionContext* ctx,
+                                  const std::string& table, RowId id);
+  Result<DeleteOutcome> DeleteRow(const std::string& table, RowId id) {
+    return DeleteRow(root_context_.get(), table, id);
+  }
+
+  /// Sets `assignments` on all rows matching `preds`; enforces the same
+  /// constraints as Insert. Returns the number of rows updated.
+  Result<int64_t> UpdateWhere(ExecutionContext* ctx, const std::string& table,
+                              const std::map<std::string, Value>& assignments,
+                              const std::vector<ColumnPredicate>& preds);
+  Result<int64_t> UpdateWhere(const std::string& table,
+                              const std::map<std::string, Value>& assignments,
+                              const std::vector<ColumnPredicate>& preds) {
+    return UpdateWhere(root_context_.get(), table, assignments, preds);
+  }
+
+  // --- Transactions on the root context (single-session convenience) ---
+
+  size_t Begin() { return root_context_->Begin(); }
+  void Commit(size_t mark) { root_context_->Commit(mark); }
+  void Rollback(size_t mark) { root_context_->Rollback(mark); }
+  void Checkpoint() { root_context_->Checkpoint(); }
+  size_t undo_log_size() const { return root_context_->undo_log_size(); }
+
+  // --- Temp tables on the root context (single-session convenience) ---
+
+  Result<Table*> CreateTempTable(TableSchema schema) {
+    return root_context_->CreateTempTable(std::move(schema));
+  }
+  Status BulkLoadTemp(const std::string& name, std::vector<Row> rows) {
+    return root_context_->BulkLoadTemp(name, std::move(rows));
+  }
+  Status DropTempTable(const std::string& name) {
+    return root_context_->DropTempTable(name);
+  }
+  bool IsTempTable(const std::string& name) const {
+    return root_context_->IsTempTable(name);
+  }
+
+  /// Total live rows over all permanent tables (scale reporting in benches).
+  size_t TotalRows() const;
+
+ private:
+  friend class ExecutionContext;
+  friend class OpDryRunner;
+
+  explicit Database(DatabaseSchema schema);
+
+  Status CheckRowConstraints(const TableSchema& schema, const Row& row) const;
+  Status CheckForeignKeysExist(const TableSchema& schema,
+                               const Row& row) const;
+  // Recursive policy-driven delete. Appends to outcome.
+  Status DeleteRowInternal(ExecutionContext* ctx, Table* table, RowId id,
+                           DeleteOutcome* outcome);
+
+  Table* TableByName(const ExecutionContext* ctx, const std::string& name);
+  const Table* TableByName(const ExecutionContext* ctx,
+                           const std::string& name) const;
 
   DatabaseSchema schema_;
   std::vector<Table> tables_;                       // aligned with schema_
   // GetTable sits on every probe's hot path: hashed lookups, not tree walks.
-  // unordered_map also guarantees reference stability for the temp schemas
-  // the Table objects point into.
   std::unordered_map<std::string, size_t> table_index_;
-  std::unordered_map<std::string, std::unique_ptr<Table>> temp_tables_;
-  std::unordered_map<std::string, TableSchema> temp_schemas_;
-  std::vector<UndoRecord> undo_log_;
-  EngineStats stats_;
+  std::unique_ptr<ExecutionContext> root_context_;
+  /// Bumped from concurrent workers; mutable so the whole read path stays
+  /// const while still accounting its work.
+  mutable AtomicEngineStats stats_;
 };
 
 }  // namespace ufilter::relational

@@ -1,0 +1,48 @@
+// Read-only validation of a translated update sequence: simulates the ops
+// against current data (plus a local overlay for intra-sequence effects)
+// without touching the database, and reports whether executing them would
+// succeed and how many rows they would affect.
+//
+// This is what lets check-only traffic run concurrently: a dry-run check
+// (apply=false, outside strategy) validates its translation here under a
+// shared reader lock instead of executing ops and rolling back under an
+// exclusive one. The simulation mirrors the engine's own constraint
+// machinery (NOT NULL / CHECK / domain, FK existence, unique keys, FK
+// delete policies) and produces the same failure statuses; sequences whose
+// effects it cannot reproduce faithfully read-only are reported as
+// *undecided*, and the caller falls back to execute-plus-rollback in the
+// writer lane. Verdict equivalence with real execution is pinned by
+// tests/service/concurrency_test.cc.
+#ifndef UFILTER_RELATIONAL_DRYRUN_H_
+#define UFILTER_RELATIONAL_DRYRUN_H_
+
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/sqlgen.h"
+
+namespace ufilter::relational {
+
+/// Outcome of a read-only op-sequence validation.
+struct DryRunOutcome {
+  /// False: the simulation could not guarantee equivalence with real
+  /// execution (e.g. a delete/update following an insert in the same
+  /// sequence); the caller must execute-and-rollback instead. The other
+  /// fields are meaningless.
+  bool decided = false;
+  /// When decided: OK means executing the ops would succeed; otherwise the
+  /// status real execution would have failed with.
+  Status failure = Status::OK();
+  /// When decided and OK: rows the ops would affect (cascades included),
+  /// matching what ExecuteOps would have reported.
+  int64_t rows_affected = 0;
+};
+
+/// Validates `ops` read-only against `db` (base tables) and `ctx` (temp
+/// tables). Never mutates either.
+DryRunOutcome DryRunOps(const Database& db, const ExecutionContext* ctx,
+                        const std::vector<UpdateOp>& ops);
+
+}  // namespace ufilter::relational
+
+#endif  // UFILTER_RELATIONAL_DRYRUN_H_

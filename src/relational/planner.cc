@@ -55,7 +55,8 @@ Result<PhysicalPlan> Planner::CompileDisjunctive(
     if (alias_pos.count(tref.alias) > 0) {
       return Status::InvalidArgument("duplicate alias '" + tref.alias + "'");
     }
-    UFILTER_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(tref.table));
+    UFILTER_ASSIGN_OR_RETURN(const Table* t,
+                             db_->GetTable(ctx_, tref.table));
     alias_pos[tref.alias] = static_cast<int>(tables.size());
     tables.push_back(t);
     plan.table_names.push_back(tref.table);

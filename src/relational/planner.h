@@ -114,7 +114,10 @@ struct PhysicalPlan {
 /// index on this side), then scan.
 class Planner {
  public:
-  explicit Planner(Database* db) : db_(db) {}
+  /// Plans against `db`'s base tables plus `ctx`'s temp tables; a null
+  /// `ctx` means the database's root context.
+  explicit Planner(Database* db, ExecutionContext* ctx = nullptr)
+      : db_(db), ctx_(ctx != nullptr ? ctx : db->root_context()) {}
 
   /// Compiles a conjunctive query.
   Result<PhysicalPlan> Compile(const SelectQuery& query);
@@ -126,6 +129,7 @@ class Planner {
 
  private:
   Database* db_;
+  ExecutionContext* ctx_;
 };
 
 }  // namespace ufilter::relational

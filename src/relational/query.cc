@@ -78,7 +78,7 @@ Result<DisjunctiveResult> QueryEvaluator::ExecuteDisjunctive(
 Result<DisjunctiveResult> QueryEvaluator::ExecuteImpl(
     const SelectQuery& query,
     const std::vector<std::vector<FilterPredicate>>& branches) {
-  Planner planner(db_);
+  Planner planner(db_, ctx_);
   UFILTER_ASSIGN_OR_RETURN(PhysicalPlan plan,
                            planner.CompileDisjunctive(query, branches));
   return RunPlan(plan);
@@ -95,7 +95,7 @@ Result<DisjunctiveResult> QueryEvaluator::ExecutePlan(
 // ---------------------------------------------------------------------------
 
 Result<DisjunctiveResult> QueryEvaluator::RunPlan(const PhysicalPlan& plan) {
-  EngineStats* stats = &db_->stats();
+  AtomicEngineStats* stats = &db_->stats();
   stats->queries_executed += 1;
   if (plan.branch_count > 0) {
     stats->batch_queries_executed += 1;
@@ -112,7 +112,7 @@ Result<DisjunctiveResult> QueryEvaluator::RunPlan(const PhysicalPlan& plan) {
   std::vector<const Table*> tables(from_count);
   for (size_t i = 0; i < from_count; ++i) {
     UFILTER_ASSIGN_OR_RETURN(const Table* t,
-                             db_->GetTable(plan.table_names[i]));
+                             db_->GetTable(ctx_, plan.table_names[i]));
     if (t->schema().columns().size() != plan.table_arities[i]) {
       return Status::InvalidArgument(
           "stale plan: table '" + plan.table_names[i] +
@@ -344,7 +344,8 @@ Result<DisjunctiveResult> QueryEvaluator::ExecuteReference(
     if (alias_pos.count(tref.alias) > 0) {
       return Status::InvalidArgument("duplicate alias '" + tref.alias + "'");
     }
-    UFILTER_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(tref.table));
+    UFILTER_ASSIGN_OR_RETURN(const Table* t,
+                             db_->GetTable(ctx_, tref.table));
     alias_pos[tref.alias] = static_cast<int>(bound.size());
     bound.push_back({t, tref.alias});
   }
@@ -407,7 +408,7 @@ Result<DisjunctiveResult> QueryEvaluator::ExecuteReference(
     result.column_names.push_back(s.ToString());
   }
 
-  EngineStats* stats = &db_->stats();
+  AtomicEngineStats* stats = &db_->stats();
   stats->queries_executed += 1;
   if (!branches.empty()) {
     stats->batch_queries_executed += 1;
@@ -620,11 +621,11 @@ Status QueryEvaluator::MaterializeInto(const SelectQuery& query,
   for (size_t i = 0; i < cols; ++i) {
     schema.AddColumn(names[i], types[i]);
   }
-  UFILTER_ASSIGN_OR_RETURN(Table * temp, db_->CreateTempTable(schema));
+  UFILTER_ASSIGN_OR_RETURN(Table * temp, ctx_->CreateTempTable(schema));
   (void)temp;
   // Temp tables are index-free and unconstrained: bulk-load with one
   // reserve instead of row-by-row FK/unique checking that can never trip.
-  return db_->BulkLoadTemp(temp_name, std::move(res.rows));
+  return ctx_->BulkLoadTemp(temp_name, std::move(res.rows));
 }
 
 }  // namespace ufilter::relational

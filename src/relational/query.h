@@ -110,7 +110,11 @@ struct PhysicalPlan;  // relational/planner.h
 /// (identical to the retained reference interpreter).
 class QueryEvaluator {
  public:
-  explicit QueryEvaluator(Database* db) : db_(db) {}
+  /// Evaluates against `db`'s base tables plus `ctx`'s temp tables; a null
+  /// `ctx` means the database's root context (single-session convenience).
+  /// Temp tables created by MaterializeInto land in that context.
+  explicit QueryEvaluator(Database* db, ExecutionContext* ctx = nullptr)
+      : db_(db), ctx_(ctx != nullptr ? ctx : db->root_context()) {}
 
   Result<QueryResult> Execute(const SelectQuery& query);
 
@@ -151,6 +155,7 @@ class QueryEvaluator {
   Result<DisjunctiveResult> RunPlan(const PhysicalPlan& plan);
 
   Database* db_;
+  ExecutionContext* ctx_;
 };
 
 }  // namespace ufilter::relational

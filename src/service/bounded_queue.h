@@ -1,0 +1,95 @@
+// A bounded MPMC (multi-producer / multi-consumer) queue: the admission
+// queue of the check service. Bounded on purpose — when clients outrun the
+// worker pool, Push blocks (backpressure) instead of letting the queue grow
+// without limit; TryPush refuses instead, for callers that prefer shedding
+// load. Close() drains: producers are refused, consumers keep popping until
+// the queue is empty, then Pop returns false and workers exit.
+#ifndef UFILTER_SERVICE_BOUNDED_QUEUE_H_
+#define UFILTER_SERVICE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace ufilter::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks until there is room (or the queue is closed). Returns false —
+  /// and drops `item` — only when the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking variant: false when full or closed (load shedding).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives. False when the queue is closed *and*
+  /// drained — the consumer's exit signal.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Refuses further pushes; consumers drain what is queued, then stop.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  /// Deepest the queue has been (how close clients came to backpressure).
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ufilter::service
+
+#endif  // UFILTER_SERVICE_BOUNDED_QUEUE_H_

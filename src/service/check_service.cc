@@ -1,0 +1,157 @@
+#include "service/check_service.h"
+
+#include <utility>
+
+namespace ufilter::service {
+
+using check::CheckOptions;
+using check::CheckOutcome;
+using check::CheckReport;
+
+CheckService::CheckService(check::UFilter* filter, CheckServiceOptions options)
+    : filter_(filter),
+      db_(filter->database()),
+      queue_(options.queue_capacity) {
+  int threads = options.worker_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CheckService::~CheckService() { Shutdown(); }
+
+void CheckService::Shutdown() {
+  queue_.Close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::shared_ptr<Session> CheckService::OpenSession(std::string name) {
+  uint64_t id = next_session_id_++;
+  if (name.empty()) name = "session-" + std::to_string(id);
+  return std::make_shared<Session>(id, std::move(name), db_->CreateContext());
+}
+
+std::future<CheckReport> CheckService::Submit(std::shared_ptr<Session> session,
+                                              std::string update_text,
+                                              CheckOptions options) {
+  // Keep a reference across the Push: once the queue owns the request, a
+  // worker may finish it (and drop the request's Session reference) at any
+  // moment.
+  std::shared_ptr<Session> s = session;
+  auto req = std::make_unique<Request>();
+  req->session = std::move(session);
+  req->update_text = std::move(update_text);
+  req->options = options;
+  std::future<CheckReport> future = req->promise.get_future();
+  // Counted only once actually admitted, so submitted == completed holds
+  // after a drain (a rejected push below is neither).
+  ++submitted_;
+  s->counters().submitted++;
+  if (!queue_.Push(std::move(req))) {
+    // Shut down: resolve immediately instead of hanging the caller. (Push
+    // moved the request out; rebuild the rejection inline.)
+    ++completed_;
+    std::promise<CheckReport> rejected;
+    CheckReport report;
+    report.outcome = CheckOutcome::kInvalid;
+    report.error =
+        Status::InvalidArgument("check service is shut down");
+    rejected.set_value(std::move(report));
+    s->counters().rejected++;
+    return rejected.get_future();
+  }
+  return future;
+}
+
+bool CheckService::TrySubmit(std::shared_ptr<Session> session,
+                             std::string update_text, CheckOptions options,
+                             std::future<CheckReport>* out) {
+  std::shared_ptr<Session> s = session;  // see Submit
+  auto req = std::make_unique<Request>();
+  req->session = std::move(session);
+  req->update_text = std::move(update_text);
+  req->options = options;
+  std::future<CheckReport> future = req->promise.get_future();
+  // Count before the push: once the queue owns the request a worker may
+  // finish it immediately, and completed must never overtake submitted.
+  ++submitted_;
+  s->counters().submitted++;
+  if (!queue_.TryPush(std::move(req))) {
+    submitted_ -= 1;
+    s->counters().submitted -= 1;
+    ++shed_;
+    return false;
+  }
+  *out = std::move(future);
+  return true;
+}
+
+void CheckService::WorkerLoop() {
+  std::unique_ptr<Request> req;
+  while (queue_.Pop(&req)) {
+    CheckReport report = Process(req.get());
+    SessionCounters& counters = req->session->counters();
+    switch (report.outcome) {
+      case CheckOutcome::kExecuted:
+        counters.executed++;
+        break;
+      case CheckOutcome::kDataConflict:
+        counters.data_conflicts++;
+        break;
+      default:
+        counters.rejected++;
+        break;
+    }
+    ++completed_;
+    req->promise.set_value(std::move(report));
+    req.reset();
+  }
+}
+
+CheckReport CheckService::Process(Request* req) {
+  relational::ExecutionContext* ctx = req->session->context();
+  std::shared_ptr<const check::PreparedUpdate> plan;
+  bool tried_fast_path = false;
+  {
+    // Fast path: prepare (thread-safe sharded plan cache) and attempt the
+    // whole check read-only. Concurrent with every other reader; excluded
+    // only by a writer-lane occupant.
+    std::shared_lock<std::shared_mutex> read_lock(data_mu_);
+    plan = filter_->Prepare(req->update_text);
+    tried_fast_path = !req->options.apply;
+    std::optional<CheckReport> fast =
+        filter_->TryCheckReadOnly(*plan, req->options, ctx);
+    if (fast.has_value()) {
+      ++fast_path_;
+      return *std::move(fast);
+    }
+  }
+  // Writer lane: one occupant at a time; the classic execute / rollback
+  // protocol runs against a quiescent database.
+  std::unique_lock<std::shared_mutex> write_lock(data_mu_);
+  ++writer_lane_;
+  if (tried_fast_path) ++escalations_;
+  return filter_->Execute(*plan, req->options, ctx);
+}
+
+CheckServiceStats CheckService::Snapshot() const {
+  CheckServiceStats s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.fast_path = fast_path_;
+  s.writer_lane = writer_lane_;
+  s.escalations = escalations_;
+  s.shed = shed_;
+  s.queue_high_water = queue_.high_water();
+  s.plan_cache = filter_->plan_cache().counters();
+  return s;
+}
+
+}  // namespace ufilter::service

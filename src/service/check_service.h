@@ -1,0 +1,137 @@
+// The concurrent check service: multiplexes many client sessions over one
+// shared Database + compiled UFilter (Fig. 5 deployed as middleware, the
+// way XPERANTO / SilkRoute front multiple clients).
+//
+// Architecture:
+//   - a fixed pool of worker threads drains a *bounded* MPMC admission
+//     queue (Submit blocks when it is full — backpressure — and TrySubmit
+//     sheds load instead);
+//   - check-only traffic (apply=false, outside strategy) runs on the *fast
+//     path*: plan-cache prepare + probes + read-only translation validation
+//     under a shared reader lock, so N workers check concurrently and never
+//     block each other;
+//   - everything that must mutate the base tables — apply=true requests,
+//     hybrid/internal strategies, multi-action statements, and the rare
+//     sequences the read-only validator punts on — is serialized through
+//     the single *writer lane* (the exclusive side of the same lock), where
+//     the classic execute / rollback protocol runs unchanged.
+//
+// Shared vs. per-session state: the Database's base tables, the compiled
+// view and the sharded plan cache are shared; each Session owns an
+// ExecutionContext (temp tables, undo log) plus its outcome counters. Work
+// counters everywhere are relaxed atomics. See docs/ARCHITECTURE.md,
+// "Concurrency model".
+#ifndef UFILTER_SERVICE_CHECK_SERVICE_H_
+#define UFILTER_SERVICE_CHECK_SERVICE_H_
+
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/bounded_queue.h"
+#include "service/session.h"
+#include "ufilter/checker.h"
+#include "ufilter/plan_cache.h"
+
+namespace ufilter::service {
+
+struct CheckServiceOptions {
+  /// Worker pool size; 0 means std::thread::hardware_concurrency().
+  int worker_threads = 0;
+  /// Admission queue bound (backpressure threshold).
+  size_t queue_capacity = 256;
+};
+
+/// Point-in-time service counters.
+struct CheckServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  /// Served read-only under the shared lock (concurrent with each other).
+  uint64_t fast_path = 0;
+  /// Serialized through the exclusive writer lane.
+  uint64_t writer_lane = 0;
+  /// Writer-lane subset that *tried* the fast path first and was punted
+  /// (read-only validator undecided / multi-action / wrong strategy).
+  uint64_t escalations = 0;
+  /// TrySubmit refusals (queue full).
+  uint64_t shed = 0;
+  /// Deepest the admission queue has been.
+  uint64_t queue_high_water = 0;
+  /// The shared plan cache's counters (hits/misses/insertions/evictions).
+  check::PlanCacheCounters plan_cache;
+};
+
+class CheckService {
+ public:
+  /// Starts the worker pool immediately. `filter` (and its database) must
+  /// outlive the service.
+  explicit CheckService(check::UFilter* filter,
+                        CheckServiceOptions options = {});
+  /// Drains and joins (see Shutdown).
+  ~CheckService();
+
+  CheckService(const CheckService&) = delete;
+  CheckService& operator=(const CheckService&) = delete;
+
+  /// Opens a new session (thread-safe). The session is valid until the
+  /// service is destroyed; closing is just dropping the shared_ptr.
+  std::shared_ptr<Session> OpenSession(std::string name = "");
+
+  /// Enqueues one check; blocks while the queue is full (backpressure).
+  /// The future resolves when a worker finishes the check. After Shutdown
+  /// the future resolves immediately with an InvalidArgument report.
+  std::future<check::CheckReport> Submit(std::shared_ptr<Session> session,
+                                         std::string update_text,
+                                         check::CheckOptions options = {});
+
+  /// Non-blocking Submit: false (and no future) when the queue is full.
+  bool TrySubmit(std::shared_ptr<Session> session, std::string update_text,
+                 check::CheckOptions options,
+                 std::future<check::CheckReport>* out);
+
+  /// Refuses new submissions, drains everything queued, joins the workers.
+  /// Idempotent.
+  void Shutdown();
+
+  CheckServiceStats Snapshot() const;
+
+  int worker_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+  check::UFilter* filter() { return filter_; }
+
+ private:
+  struct Request {
+    std::shared_ptr<Session> session;
+    std::string update_text;
+    check::CheckOptions options;
+    std::promise<check::CheckReport> promise;
+  };
+
+  void WorkerLoop();
+  check::CheckReport Process(Request* req);
+
+  check::UFilter* filter_;
+  relational::Database* db_;
+  BoundedQueue<std::unique_ptr<Request>> queue_;
+  std::vector<std::thread> workers_;
+
+  /// Readers = concurrent fast-path checks; the exclusive side is the
+  /// writer lane.
+  std::shared_mutex data_mu_;
+
+  relational::RelaxedCounter next_session_id_{1};
+  relational::RelaxedCounter submitted_;
+  relational::RelaxedCounter completed_;
+  relational::RelaxedCounter fast_path_;
+  relational::RelaxedCounter writer_lane_;
+  relational::RelaxedCounter escalations_;
+  relational::RelaxedCounter shed_;
+};
+
+}  // namespace ufilter::service
+
+#endif  // UFILTER_SERVICE_CHECK_SERVICE_H_

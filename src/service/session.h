@@ -1,0 +1,53 @@
+// One client of the check service. A session owns the per-client mutable
+// scratch — its relational::ExecutionContext (temp tables, undo log) — plus
+// its own outcome counters. Everything heavyweight (the compiled view, the
+// plan cache, the base tables) is shared across sessions; a session is
+// cheap enough to open per connection.
+#ifndef UFILTER_SERVICE_SESSION_H_
+#define UFILTER_SERVICE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "relational/database.h"
+
+namespace ufilter::service {
+
+/// Per-session outcome tallies (relaxed atomics: any thread may read them
+/// while the service runs).
+struct SessionCounters {
+  relational::RelaxedCounter submitted;
+  relational::RelaxedCounter executed;        ///< outcome kExecuted
+  relational::RelaxedCounter rejected;        ///< invalid / untranslatable
+  relational::RelaxedCounter data_conflicts;  ///< outcome kDataConflict
+};
+
+class Session {
+ public:
+  Session(uint64_t id, std::string name,
+          std::unique_ptr<relational::ExecutionContext> ctx)
+      : id_(id), name_(std::move(name)), ctx_(std::move(ctx)) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// The session's scratch. Mutating operations on it (temp tables, undo)
+  /// are serialized by the service's writer lane; direct use outside the
+  /// service must be externally synchronized.
+  relational::ExecutionContext* context() { return ctx_.get(); }
+
+  SessionCounters& counters() { return counters_; }
+  const SessionCounters& counters() const { return counters_; }
+
+ private:
+  const uint64_t id_;
+  const std::string name_;
+  std::unique_ptr<relational::ExecutionContext> ctx_;
+  SessionCounters counters_;
+};
+
+}  // namespace ufilter::service
+
+#endif  // UFILTER_SERVICE_SESSION_H_

@@ -20,6 +20,16 @@ double Now() {
       .count();
 }
 
+/// Whether executing `action` under `options` would run step 3 (the only
+/// phase that touches data). Shared by TryCheckReadOnly's punt decision and
+/// CheckBatch's probe-merge planning so neither can drift from
+/// ExecuteAction's actual gating.
+bool ReachesStep3(const PreparedAction& action, const CheckOptions& options) {
+  return action.bound_ok && options.run_data_check &&
+         !(options.run_star && action.star_computed &&
+           action.star.result == Translatability::kUntranslatable);
+}
+
 }  // namespace
 
 const char* CheckOutcomeName(CheckOutcome o) {
@@ -190,11 +200,11 @@ std::shared_ptr<const PreparedUpdate> UFilter::Prepare(
 // Execute phase (step 3 + translation)
 // ---------------------------------------------------------------------------
 
-CheckReport UFilter::Execute(const PreparedUpdate& prepared,
-                             const CheckOptions& options) {
+std::optional<CheckReport> UFilter::RejectUnusablePlan(
+    const PreparedUpdate& prepared) const {
+  CheckReport report;
   if (prepared.owner() != this ||
       prepared.view_signature() != view_signature_) {
-    CheckReport report;
     report.outcome = CheckOutcome::kInvalid;
     report.error = Status::InvalidUpdate(
         "prepared update was compiled against a different UFilter/view; "
@@ -202,16 +212,56 @@ CheckReport UFilter::Execute(const PreparedUpdate& prepared,
     return report;
   }
   if (!prepared.parsed()) {
-    CheckReport report;
     report.outcome = CheckOutcome::kInvalid;
     report.error = prepared.parse_error();
     return report;
   }
-  return ExecuteActions(prepared.actions(), options);
+  return std::nullopt;
+}
+
+CheckReport UFilter::Execute(const PreparedUpdate& prepared,
+                             const CheckOptions& options,
+                             relational::ExecutionContext* ctx) {
+  if (ctx == nullptr) ctx = db_->root_context();
+  if (std::optional<CheckReport> rejected = RejectUnusablePlan(prepared)) {
+    return *rejected;
+  }
+  return ExecuteActions(prepared.actions(), options, ctx);
+}
+
+std::optional<CheckReport> UFilter::TryCheckReadOnly(
+    const PreparedUpdate& prepared, const CheckOptions& options,
+    relational::ExecutionContext* ctx) {
+  if (options.apply) return std::nullopt;  // applies go to the writer lane
+  if (ctx == nullptr) ctx = db_->root_context();
+  if (std::optional<CheckReport> rejected = RejectUnusablePlan(prepared)) {
+    return rejected;
+  }
+  const std::vector<PreparedAction>& actions = prepared.actions();
+  if (actions.empty()) {
+    // Data is never touched: serve the same report ExecuteActions builds.
+    return ExecuteActions(actions, options, ctx);
+  }
+  // The multi-action protocol checks each action against the state left by
+  // the previous ones (inside a savepoint) — inherently execute-and-rollback.
+  if (actions.size() > 1) return std::nullopt;
+  const PreparedAction& action = actions[0];
+  // Only the outside strategy checks before executing; hybrid/internal rely
+  // on engine execution to surface conflicts, so they cannot run read-only.
+  if (ReachesStep3(action, options) &&
+      options.strategy != DataCheckStrategy::kOutside) {
+    return std::nullopt;
+  }
+  bool undecided = false;
+  CheckReport report =
+      ExecuteAction(action, options, ctx, nullptr, &undecided);
+  if (undecided) return std::nullopt;
+  return report;
 }
 
 CheckReport UFilter::ExecuteActions(const std::vector<PreparedAction>& actions,
-                                    const CheckOptions& options) {
+                                    const CheckOptions& options,
+                                    relational::ExecutionContext* ctx) {
   if (actions.empty()) {
     CheckReport report;
     report.outcome = CheckOutcome::kInvalid;
@@ -219,7 +269,7 @@ CheckReport UFilter::ExecuteActions(const std::vector<PreparedAction>& actions,
     return report;
   }
   if (actions.size() == 1) {
-    return ExecuteAction(actions[0], options);
+    return ExecuteAction(actions[0], options, ctx);
   }
   // Multi-action UPDATE block: check and apply atomically — every action
   // must pass or nothing is applied.
@@ -227,14 +277,14 @@ CheckReport UFilter::ExecuteActions(const std::vector<PreparedAction>& actions,
   if (options.run_star) {
     combined.star_class = Translatability::kUnconditionallyTranslatable;
   }
-  size_t savepoint = db_->Begin();
+  size_t savepoint = ctx->Begin();
   for (const PreparedAction& action : actions) {
     CheckOptions per_action = options;
     per_action.apply = true;  // applied inside the outer savepoint
-    CheckReport r = ExecuteAction(action, per_action);
+    CheckReport r = ExecuteAction(action, per_action, ctx);
     combined.step3_seconds += r.step3_seconds;
     if (r.outcome != CheckOutcome::kExecuted) {
-      db_->Rollback(savepoint);
+      ctx->Rollback(savepoint);
       r.step3_seconds = combined.step3_seconds;
       return r;
     }
@@ -255,9 +305,9 @@ CheckReport UFilter::ExecuteActions(const std::vector<PreparedAction>& actions,
     for (auto& p : r.probes) combined.probes.push_back(p);
   }
   if (options.apply) {
-    db_->Commit(savepoint);
+    ctx->Commit(savepoint);
   } else {
-    db_->Rollback(savepoint);
+    ctx->Rollback(savepoint);
   }
   combined.outcome = CheckOutcome::kExecuted;
   return combined;
@@ -265,7 +315,10 @@ CheckReport UFilter::ExecuteActions(const std::vector<PreparedAction>& actions,
 
 CheckReport UFilter::ExecuteAction(const PreparedAction& action,
                                    const CheckOptions& options,
-                                   const InjectedProbes* injected) {
+                                   relational::ExecutionContext* ctx,
+                                   const InjectedProbes* injected,
+                                   bool* read_only_undecided) {
+  if (read_only_undecided != nullptr) *read_only_undecided = false;
   CheckReport report;
   if (!action.bound_ok) {
     report.outcome = CheckOutcome::kInvalid;
@@ -301,11 +354,19 @@ CheckReport UFilter::ExecuteAction(const PreparedAction& action,
 
   // ---- Step 3: data-driven translatability checking + translation --------
   double t0 = Now();
-  DataChecker checker(db_, view_.get(), gv_.get());
+  DataChecker checker(db_, ctx, view_.get(), gv_.get());
+  ApplyMode mode = read_only_undecided != nullptr
+                       ? ApplyMode::kReadOnly
+                       : (options.apply ? ApplyMode::kApply
+                                        : ApplyMode::kDryRun);
   auto data = checker.CheckAndExecute(action.bound, verdict, options.strategy,
-                                      options.apply, injected,
-                                      &action.probes);
+                                      mode, injected, &action.probes);
   report.step3_seconds = Now() - t0;
+  if (data.ok() && data->undecided) {
+    // Read-only validation punted; the caller re-runs via Execute.
+    if (read_only_undecided != nullptr) *read_only_undecided = true;
+    return report;
+  }
   if (!data.ok()) {
     report.outcome = CheckOutcome::kDataConflict;
     report.error = data.status();
@@ -329,7 +390,8 @@ CheckReport UFilter::ExecuteAction(const PreparedAction& action,
 // ---------------------------------------------------------------------------
 
 CheckReport UFilter::Check(const std::string& update_text,
-                           const CheckOptions& options) {
+                           const CheckOptions& options,
+                           relational::ExecutionContext* ctx) {
   double t0 = Now();
   bool hit = false;
   std::shared_ptr<const PreparedUpdate> plan;
@@ -340,7 +402,7 @@ CheckReport UFilter::Check(const std::string& update_text,
                          options.run_star);
   }
   double prepare_seconds = Now() - t0;
-  CheckReport report = Execute(*plan, options);
+  CheckReport report = Execute(*plan, options, ctx);
   report.prepare_seconds = prepare_seconds;
   report.from_plan_cache = hit;
   if (!hit) {
@@ -354,20 +416,24 @@ CheckReport UFilter::Check(const std::string& update_text,
 }
 
 CheckReport UFilter::CheckParsed(const xq::UpdateStmt& stmt,
-                                 const CheckOptions& options) {
+                                 const CheckOptions& options,
+                                 relational::ExecutionContext* ctx) {
+  if (ctx == nullptr) ctx = db_->root_context();
   std::vector<PreparedAction> actions;
   double step1_seconds = 0;
   double step2_seconds = 0;
   CompileActions(stmt, options.run_star, &actions, &step1_seconds,
                  &step2_seconds);
-  CheckReport report = ExecuteActions(actions, options);
+  CheckReport report = ExecuteActions(actions, options, ctx);
   report.step1_seconds += step1_seconds;
   if (options.run_star) report.step2_seconds += step2_seconds;
   return report;
 }
 
 std::vector<CheckReport> UFilter::CheckBatch(
-    const std::vector<std::string>& updates, const CheckOptions& options) {
+    const std::vector<std::string>& updates, const CheckOptions& options,
+    relational::ExecutionContext* ctx) {
+  if (ctx == nullptr) ctx = db_->root_context();
   const size_t n = updates.size();
   std::vector<CheckReport> reports(n);
 
@@ -417,12 +483,8 @@ std::vector<CheckReport> UFilter::CheckBatch(
       continue;
     }
     const PreparedAction& action = plan.actions()[0];
-    bool reaches_step3 = action.bound_ok && options.run_data_check &&
-                         !(options.run_star && action.star_computed &&
-                           action.star.result ==
-                               Translatability::kUntranslatable);
-    if (!reaches_step3) {
-      reports[i] = ExecuteAction(action, options);
+    if (!ReachesStep3(action, options)) {
+      reports[i] = ExecuteAction(action, options, ctx);
       continue;
     }
     // The probe queries were composed (and physically compiled) at Prepare
@@ -485,7 +547,7 @@ std::vector<CheckReport> UFilter::CheckBatch(
     if (p.merge_anchor) AddMember(&p, p.anchor_query, false);
     if (p.merge_victim) AddMember(&p, p.victim_query, true);
   }
-  relational::QueryEvaluator evaluator(db_);
+  relational::QueryEvaluator evaluator(db_, ctx);
   for (auto& [key, group] : groups) {
     relational::DisjunctiveQuery dq;
     dq.base = group.base;
@@ -525,11 +587,11 @@ std::vector<CheckReport> UFilter::CheckBatch(
       case Mode::kDone:
         break;
       case Mode::kFallback:
-        reports[i] = Execute(*plans[i], options);
+        reports[i] = Execute(*plans[i], options, ctx);
         break;
       case Mode::kPending: {
         Pending* p = pending_by_index[i];
-        reports[i] = ExecuteAction(*p->action, options, &p->probes);
+        reports[i] = ExecuteAction(*p->action, options, ctx, &p->probes);
         break;
       }
     }

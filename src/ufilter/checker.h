@@ -26,6 +26,7 @@
 #define UFILTER_UFILTER_CHECKER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -117,17 +118,36 @@ class UFilter {
 
   /// Runs step 3 + translation for a prepared plan against current data.
   /// Rejects plans prepared against a different UFilter or view definition.
+  /// `ctx` is the session's scratch (temp tables, undo log); null means the
+  /// database's root context. The same UFilter is shared by all sessions.
   CheckReport Execute(const PreparedUpdate& prepared,
-                      const CheckOptions& options = {});
+                      const CheckOptions& options = {},
+                      relational::ExecutionContext* ctx = nullptr);
+
+  /// Attempts the check without mutating the database at all: probes and
+  /// translation run normally, but the translated ops are *validated*
+  /// read-only (relational/dryrun.h) instead of executed-and-rolled-back.
+  /// Returns the report when the result is guaranteed equal to
+  /// Execute(apply=false); nullopt when it is not — apply=true requests,
+  /// non-outside strategies reaching step 3, multi-action statements, and
+  /// op sequences the validator cannot decide — in which case the caller
+  /// must fall back to Execute (the service routes that through its writer
+  /// lane). This is what lets check-only traffic run under a shared reader
+  /// lock.
+  std::optional<CheckReport> TryCheckReadOnly(
+      const PreparedUpdate& prepared, const CheckOptions& options = {},
+      relational::ExecutionContext* ctx = nullptr);
 
   /// One-shot check: Prepare (through the plan cache) + Execute.
   CheckReport Check(const std::string& update_text,
-                    const CheckOptions& options = {});
+                    const CheckOptions& options = {},
+                    relational::ExecutionContext* ctx = nullptr);
 
   /// Checks a caller-parsed statement (compiles it transiently; the plan
   /// cache is not consulted since there is no source text to key on).
   CheckReport CheckParsed(const xq::UpdateStmt& stmt,
-                          const CheckOptions& options = {});
+                          const CheckOptions& options = {},
+                          relational::ExecutionContext* ctx = nullptr);
 
   /// Checks N updates, merging the step-3 anchor/victim probes of updates
   /// that share a probe shape (same target relation chain) into single
@@ -146,7 +166,9 @@ class UFilter {
   /// through overlapping predicates should be checked sequentially with
   /// Check, or validated with apply=false first.
   std::vector<CheckReport> CheckBatch(const std::vector<std::string>& updates,
-                                      const CheckOptions& options = {});
+                                      const CheckOptions& options = {},
+                                      relational::ExecutionContext* ctx =
+                                          nullptr);
 
   /// Materializes the current view content.
   Result<xml::NodePtr> MaterializeView();
@@ -174,6 +196,12 @@ class UFilter {
                       std::vector<PreparedAction>* actions,
                       double* step1_seconds, double* step2_seconds);
 
+  /// Shared rejection prologue of Execute / TryCheckReadOnly: a plan
+  /// prepared against another UFilter / view signature, or one whose parse
+  /// failed, yields the rejection report; nullopt means executable.
+  std::optional<CheckReport> RejectUnusablePlan(
+      const PreparedUpdate& prepared) const;
+
   /// Full compile of one update text into a fresh plan (no cache).
   std::shared_ptr<PreparedUpdate> CompileUpdate(
       const std::string& update_text, const std::string& normalized,
@@ -182,13 +210,19 @@ class UFilter {
   /// Replays precompiled actions: the per-action step-1/2 verdict gates plus
   /// step 3, with the multi-action atomic savepoint protocol.
   CheckReport ExecuteActions(const std::vector<PreparedAction>& actions,
-                             const CheckOptions& options);
+                             const CheckOptions& options,
+                             relational::ExecutionContext* ctx);
 
   /// Runs one precompiled action (gates + step 3). `injected`, when
   /// non-null, supplies batch-merged probe results to the data checker.
+  /// A non-null `read_only_undecided` switches step 3 into read-only
+  /// validation (ApplyMode::kReadOnly) and reports whether the validator
+  /// punted (in which case the returned report must be discarded).
   CheckReport ExecuteAction(const PreparedAction& action,
                             const CheckOptions& options,
-                            const InjectedProbes* injected = nullptr);
+                            relational::ExecutionContext* ctx,
+                            const InjectedProbes* injected = nullptr,
+                            bool* read_only_undecided = nullptr);
 
   relational::Database* db_ = nullptr;
   xq::ViewQuery query_;

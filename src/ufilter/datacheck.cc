@@ -1,5 +1,7 @@
 #include "ufilter/datacheck.h"
 
+#include "relational/dryrun.h"
+
 namespace ufilter::check {
 
 using relational::ColumnPredicate;
@@ -27,10 +29,11 @@ namespace {
 
 /// Runs a probe, replaying a compiled plan when one is attached.
 Result<QueryResult> RunProbe(relational::Database* db,
+                             relational::ExecutionContext* ctx,
                              const SelectQuery& query,
                              const std::shared_ptr<
                                  const relational::PhysicalPlan>& plan) {
-  QueryEvaluator evaluator(db);
+  QueryEvaluator evaluator(db, ctx);
   if (plan != nullptr) {
     UFILTER_ASSIGN_OR_RETURN(relational::DisjunctiveResult merged,
                              evaluator.ExecutePlan(*plan));
@@ -73,7 +76,7 @@ Result<QueryResult> DataChecker::CheckContext(const BoundUpdate& update,
     return QueryResult{};
   }
   report->probes.push_back(sql);
-  UFILTER_ASSIGN_OR_RETURN(QueryResult result, RunProbe(db_, query, plan));
+  UFILTER_ASSIGN_OR_RETURN(QueryResult result, RunProbe(db_, ctx_, query, plan));
   if (result.empty()) {
     return Status::DataConflict(
         "update context <" + update.context->tag +
@@ -105,7 +108,7 @@ Result<QueryResult> DataChecker::FetchVictims(const BoundUpdate& update,
   }
   *query_out = query;
   report->probes.push_back(sql);
-  return RunProbe(db_, query, plan);
+  return RunProbe(db_, ctx_, query, plan);
 }
 
 Status DataChecker::RunWideProbe(const BoundUpdate& update,
@@ -123,29 +126,40 @@ Status DataChecker::RunWideProbe(const BoundUpdate& update,
     sql = query.ToSql();
   }
   report->probes.push_back(sql);
-  UFILTER_ASSIGN_OR_RETURN(QueryResult result, RunProbe(db_, query, plan));
+  UFILTER_ASSIGN_OR_RETURN(QueryResult result, RunProbe(db_, ctx_, query, plan));
   (void)result;
   return Status::OK();
 }
 
 Status DataChecker::ExecuteOps(const std::vector<UpdateOp>& ops,
                                DataCheckReport* report) {
+  if (mode_ == ApplyMode::kReadOnly) {
+    relational::DryRunOutcome outcome =
+        relational::DryRunOps(*db_, ctx_, ops);
+    if (!outcome.decided) {
+      report->undecided = true;
+      return Status::OK();
+    }
+    if (!outcome.failure.ok()) return outcome.failure;
+    report->rows_affected += outcome.rows_affected;
+    return Status::OK();
+  }
   for (const UpdateOp& op : ops) {
     switch (op.kind) {
       case UpdateOpKind::kInsert: {
-        auto result = db_->InsertValues(op.table, op.values);
+        auto result = db_->InsertValues(ctx_, op.table, op.values);
         if (!result.ok()) return result.status();
         report->rows_affected += 1;
         break;
       }
       case UpdateOpKind::kDelete: {
-        auto result = db_->DeleteWhere(op.table, op.where);
+        auto result = db_->DeleteWhere(ctx_, op.table, op.where);
         if (!result.ok()) return result.status();
         report->rows_affected += result->deleted_rows;
         break;
       }
       case UpdateOpKind::kUpdate: {
-        auto result = db_->UpdateWhere(op.table, op.values, op.where);
+        auto result = db_->UpdateWhere(ctx_, op.table, op.values, op.where);
         if (!result.ok()) return result.status();
         report->rows_affected += *result;
         break;
@@ -159,7 +173,7 @@ Status DataChecker::ProbeInsertConflicts(const std::vector<UpdateOp>& ops,
                                          DataCheckReport* report) {
   for (const UpdateOp& op : ops) {
     if (op.kind != UpdateOpKind::kInsert) continue;
-    UFILTER_ASSIGN_OR_RETURN(Table * table, db_->GetTable(op.table));
+    UFILTER_ASSIGN_OR_RETURN(Table * table, db_->GetTable(ctx_, op.table));
     const relational::TableSchema& schema = table->schema();
     if (schema.primary_key().empty()) continue;
     std::vector<ColumnPredicate> preds;
@@ -375,9 +389,13 @@ Result<DataCheckReport> DataChecker::RunReplace(
 
 Result<DataCheckReport> DataChecker::CheckAndExecute(
     const BoundUpdate& update, const StarVerdict& verdict,
-    DataCheckStrategy strategy, bool apply, const InjectedProbes* injected,
-    const CompiledProbeSet* compiled) {
-  size_t savepoint = db_->Begin();
+    DataCheckStrategy strategy, ApplyMode mode,
+    const InjectedProbes* injected, const CompiledProbeSet* compiled) {
+  mode_ = mode;
+  // Read-only mode touches no data, so there is nothing to roll back (and
+  // taking a savepoint would race with concurrent readers' contexts).
+  const bool read_only = mode == ApplyMode::kReadOnly;
+  size_t savepoint = read_only ? 0 : ctx_->Begin();
   Result<DataCheckReport> result = [&]() -> Result<DataCheckReport> {
     switch (update.op) {
       case xq::UpdateOpType::kDelete:
@@ -390,7 +408,7 @@ Result<DataCheckReport> DataChecker::CheckAndExecute(
     return Status::Internal("unknown update op");
   }();
   if (!result.ok()) {
-    db_->Rollback(savepoint);
+    if (!read_only) ctx_->Rollback(savepoint);
     // Context-check rejections surface as a failed report, not an error.
     if (result.status().IsDataConflict()) {
       DataCheckReport report;
@@ -399,10 +417,11 @@ Result<DataCheckReport> DataChecker::CheckAndExecute(
     }
     return result.status();
   }
-  if (!result->passed || !apply) {
-    db_->Rollback(savepoint);
+  if (read_only) return result;
+  if (!result->passed || mode != ApplyMode::kApply) {
+    ctx_->Rollback(savepoint);
   } else {
-    db_->Commit(savepoint);
+    ctx_->Commit(savepoint);
   }
   return result;
 }

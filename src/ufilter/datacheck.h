@@ -29,6 +29,16 @@ enum class DataCheckStrategy { kInternal, kHybrid, kOutside };
 
 const char* DataCheckStrategyName(DataCheckStrategy s);
 
+/// How step 3 treats the translated ops once composed.
+enum class ApplyMode {
+  kApply,    ///< execute and keep (savepoint committed)
+  kDryRun,   ///< execute, then roll the savepoint back
+  /// Validate the ops read-only (relational/dryrun.h) — no savepoint, no
+  /// mutation, shareable with concurrent readers. Sequences the validator
+  /// cannot decide surface as DataCheckReport::undecided.
+  kReadOnly,
+};
+
 /// One step-3 probe, composed and physically compiled at Prepare time. The
 /// query (alias layout) and its SQL rendering are frozen; `plan` is the
 /// cost-based planner's output, replayed by Execute/CheckBatch with zero
@@ -66,6 +76,9 @@ struct InjectedProbes {
 /// Outcome of step 3 plus translation/execution.
 struct DataCheckReport {
   bool passed = false;
+  /// kReadOnly only: the read-only validator could not guarantee
+  /// equivalence with real execution; re-run via kDryRun (writer lane).
+  bool undecided = false;
   Status failure;  ///< DataConflict / ConstraintViolation when !passed
   /// The executed relational update sequence (the `U` of Definition 1).
   std::vector<relational::UpdateOp> translation;
@@ -79,18 +92,40 @@ struct DataCheckReport {
 /// \brief Runs step 3 and, when it passes, executes the translation.
 class DataChecker {
  public:
+  /// Probes and mutations run against `db` + `ctx` (temp tables, undo log);
+  /// a null `ctx` means the database's root context.
+  DataChecker(relational::Database* db, relational::ExecutionContext* ctx,
+              const view::AnalyzedView* view, const asg::ViewAsg* gv)
+      : db_(db),
+        ctx_(ctx != nullptr ? ctx : db->root_context()),
+        view_(view),
+        gv_(gv),
+        translator_(db, view, gv) {}
+
   DataChecker(relational::Database* db, const view::AnalyzedView* view,
               const asg::ViewAsg* gv)
-      : db_(db), view_(view), gv_(gv), translator_(db, view, gv) {}
+      : DataChecker(db, nullptr, view, gv) {}
 
   /// Checks and executes `update` (which already passed steps 1 and 2 with
-  /// `verdict`). With `apply` false the database is rolled back to its
-  /// initial state afterwards (dry run). On failure the database is always
-  /// left unchanged. When `injected` is non-null its probe results replace
-  /// the checker's own anchor/victim queries (batch mode); the internal
-  /// strategy's wide probe is always issued locally. When `compiled` is
-  /// non-null its prepared plans are replayed instead of composing and
-  /// planning the probe queries from scratch.
+  /// `verdict`). With kDryRun the database is rolled back to its initial
+  /// state afterwards; with kReadOnly it is never touched at all (the
+  /// translated ops are validated by relational/dryrun.h instead of
+  /// executed — check-only traffic can run under a shared reader lock). On
+  /// failure the database is always left unchanged. When `injected` is
+  /// non-null its probe results replace the checker's own anchor/victim
+  /// queries (batch mode); the internal strategy's wide probe is always
+  /// issued locally. When `compiled` is non-null its prepared plans are
+  /// replayed instead of composing and planning the probe queries from
+  /// scratch.
+  Result<DataCheckReport> CheckAndExecute(const BoundUpdate& update,
+                                          const StarVerdict& verdict,
+                                          DataCheckStrategy strategy,
+                                          ApplyMode mode,
+                                          const InjectedProbes* injected =
+                                              nullptr,
+                                          const CompiledProbeSet* compiled =
+                                              nullptr);
+
   Result<DataCheckReport> CheckAndExecute(const BoundUpdate& update,
                                           const StarVerdict& verdict,
                                           DataCheckStrategy strategy,
@@ -98,7 +133,11 @@ class DataChecker {
                                           const InjectedProbes* injected =
                                               nullptr,
                                           const CompiledProbeSet* compiled =
-                                              nullptr);
+                                              nullptr) {
+    return CheckAndExecute(update, verdict, strategy,
+                           apply ? ApplyMode::kApply : ApplyMode::kDryRun,
+                           injected, compiled);
+  }
 
  private:
   Result<DataCheckReport> RunDelete(const BoundUpdate& update,
@@ -135,7 +174,9 @@ class DataChecker {
   Status RunWideProbe(const BoundUpdate& update, DataCheckReport* report,
                       const CompiledProbeSet* compiled);
 
-  /// Executes translated ops; fills rows_affected.
+  /// Executes translated ops and fills rows_affected — or, in kReadOnly
+  /// mode, validates them via DryRunOps (setting report->undecided when the
+  /// validator punts).
   Status ExecuteOps(const std::vector<relational::UpdateOp>& ops,
                     DataCheckReport* report);
 
@@ -144,9 +185,12 @@ class DataChecker {
                               DataCheckReport* report);
 
   relational::Database* db_;
+  relational::ExecutionContext* ctx_;
   const view::AnalyzedView* view_;
   const asg::ViewAsg* gv_;
   Translator translator_;
+  /// Set for the duration of one CheckAndExecute call.
+  ApplyMode mode_ = ApplyMode::kApply;
 };
 
 }  // namespace ufilter::check

@@ -1,91 +1,220 @@
-// LRU cache of prepared update plans, keyed by the normalized update
-// template text. A hit means a repeated update string pays zero parse /
-// bind / validate / STAR work — the compile-once half of the prepared-
-// statement architecture. Hit/miss counts are surfaced through the
-// database's work-counter mechanism (EngineStats) by UFilter.
+// Sharded, mutex-protected LRU cache of prepared update plans, keyed by the
+// normalized update template text. A hit means a repeated update string pays
+// zero parse / bind / validate / STAR work — the compile-once half of the
+// prepared-statement architecture.
+//
+// Concurrency: the key space is hash-partitioned into independent shards,
+// each holding its own LRU list under its own mutex, so concurrent check
+// workers preparing different templates rarely contend. Recency and
+// eviction are therefore *per shard*; construct with `shards = 1` to get
+// the classic single-list LRU (deterministic global eviction order, used by
+// the LRU-order tests). Hit/miss/eviction totals are relaxed atomics,
+// readable while workers run; UFilter additionally mirrors hits/misses into
+// the database's EngineStats.
 #ifndef UFILTER_UFILTER_PLAN_CACHE_H_
 #define UFILTER_UFILTER_PLAN_CACHE_H_
 
 #include <cstddef>
+#include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "relational/database.h"
 #include "ufilter/prepared.h"
 
 namespace ufilter::check {
 
-/// \brief Bounded LRU map: normalized template -> shared prepared plan.
+/// Point-in-time copy of the cache's work counters.
+struct PlanCacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+};
+
+/// \brief Bounded sharded LRU map: normalized template -> shared plan.
 class PlanCache {
  public:
   static constexpr size_t kDefaultCapacity = 128;
+  static constexpr size_t kDefaultShards = 8;
 
-  explicit PlanCache(size_t capacity = kDefaultCapacity)
-      : capacity_(capacity) {}
+  explicit PlanCache(size_t capacity = kDefaultCapacity,
+                     size_t shards = kDefaultShards) {
+    Configure(capacity, shards);
+  }
 
-  /// Returns the cached plan and marks it most-recently-used; null on miss.
+  /// Rebuilds the cache with a new shape, dropping all entries. The total
+  /// capacity is split evenly across shards (never below 1 per shard).
+  /// Safe to call while workers run: reshaping takes the shard set's
+  /// exclusive lock.
+  void Configure(size_t capacity, size_t shards) {
+    std::unique_lock<std::shared_mutex> reshape(reshape_mu_);
+    std::vector<std::unique_ptr<Shard>> next;
+    if (shards == 0) shards = 1;
+    next.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      next.push_back(std::make_unique<Shard>());
+    }
+    shards_ = std::move(next);
+    capacity_ = capacity;
+    Redistribute();
+  }
+
+  /// Returns the cached plan and marks it most-recently-used in its shard;
+  /// null on miss.
   std::shared_ptr<const PreparedUpdate> Lookup(const std::string& key) {
-    auto it = index_.find(key);
-    if (it == index_.end()) return nullptr;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    std::shared_lock<std::shared_mutex> reshape(reshape_mu_);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->second;
   }
 
   /// Inserts (or replaces) a plan, evicting the least-recently-used entries
-  /// beyond capacity. A zero-capacity cache stores nothing.
+  /// of the key's shard beyond its capacity. A zero-capacity cache stores
+  /// nothing.
   void Insert(const std::string& key,
               std::shared_ptr<const PreparedUpdate> plan) {
-    auto it = index_.find(key);
-    if (it != index_.end()) {
+    std::shared_lock<std::shared_mutex> reshape(reshape_mu_);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++insertions_;
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
       it->second->second = std::move(plan);
-      lru_.splice(lru_.begin(), lru_, it->second);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return;
     }
-    lru_.emplace_front(key, std::move(plan));
-    index_[key] = lru_.begin();
-    EvictOverCapacity();
+    shard.lru.emplace_front(key, std::move(plan));
+    shard.index[key] = shard.lru.begin();
+    EvictOverCapacity(&shard);
   }
 
   void Clear() {
-    lru_.clear();
-    index_.clear();
-  }
-
-  size_t size() const { return lru_.size(); }
-  size_t capacity() const { return capacity_; }
-  void set_capacity(size_t capacity) {
-    capacity_ = capacity;
-    EvictOverCapacity();
-  }
-
-  /// Keys most-recently-used first (tests observe eviction order).
-  std::vector<std::string> KeysByRecency() const {
-    std::vector<std::string> keys;
-    keys.reserve(lru_.size());
-    for (const auto& [key, plan] : lru_) keys.push_back(key);
-    return keys;
-  }
-
- private:
-  void EvictOverCapacity() {
-    while (lru_.size() > capacity_) {
-      index_.erase(lru_.back().first);
-      lru_.pop_back();
+    std::shared_lock<std::shared_mutex> reshape(reshape_mu_);
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->index.clear();
     }
   }
 
-  size_t capacity_;
-  /// Front = most recently used.
-  std::list<std::pair<std::string, std::shared_ptr<const PreparedUpdate>>>
-      lru_;
-  std::unordered_map<
-      std::string,
-      std::list<std::pair<std::string,
-                          std::shared_ptr<const PreparedUpdate>>>::iterator>
-      index_;
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> reshape(reshape_mu_);
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->lru.size();
+    }
+    return total;
+  }
+  size_t capacity() const {
+    std::shared_lock<std::shared_mutex> reshape(reshape_mu_);
+    return capacity_;
+  }
+  size_t shard_count() const {
+    std::shared_lock<std::shared_mutex> reshape(reshape_mu_);
+    return shards_.size();
+  }
+  void set_capacity(size_t capacity) {
+    std::unique_lock<std::shared_mutex> reshape(reshape_mu_);
+    capacity_ = capacity;
+    Redistribute();
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      EvictOverCapacity(shard.get());
+    }
+  }
+
+  /// Keys most-recently-used first within each shard, shards concatenated
+  /// in order (a global recency order only with a single shard).
+  std::vector<std::string> KeysByRecency() const {
+    std::shared_lock<std::shared_mutex> reshape(reshape_mu_);
+    std::vector<std::string> keys;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (const auto& [key, plan] : shard->lru) keys.push_back(key);
+    }
+    return keys;
+  }
+
+  /// Cumulative hit/miss/insertion/eviction counts (relaxed reads; exact
+  /// once workers are quiesced).
+  PlanCacheCounters counters() const {
+    PlanCacheCounters c;
+    c.hits = hits_;
+    c.misses = misses_;
+    c.insertions = insertions_;
+    c.evictions = evictions_;
+    return c;
+  }
+  void ResetCounters() {
+    hits_.Reset();
+    misses_.Reset();
+    insertions_.Reset();
+    evictions_.Reset();
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    /// Front = most recently used.
+    std::list<std::pair<std::string, std::shared_ptr<const PreparedUpdate>>>
+        lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<
+            std::string, std::shared_ptr<const PreparedUpdate>>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  void Redistribute() {
+    const size_t n = shards_.size();
+    for (size_t i = 0; i < n; ++i) {
+      // Even split, remainder to the first shards; at least 1 unless the
+      // total capacity is 0 (which disables caching entirely).
+      size_t per = capacity_ / n + (i < capacity_ % n ? 1 : 0);
+      if (capacity_ > 0 && per == 0) per = 1;
+      std::lock_guard<std::mutex> lock(shards_[i]->mu);
+      shards_[i]->capacity = per;
+    }
+  }
+
+  void EvictOverCapacity(Shard* shard) {
+    while (shard->lru.size() > shard->capacity) {
+      shard->index.erase(shard->lru.back().first);
+      shard->lru.pop_back();
+      ++evictions_;
+    }
+  }
+
+  /// Guards the shard *set* (reshaping): normal operations hold it shared
+  /// and only contend on their shard's mutex; Configure/set_capacity hold
+  /// it exclusively.
+  mutable std::shared_mutex reshape_mu_;
+  size_t capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  relational::RelaxedCounter hits_;
+  relational::RelaxedCounter misses_;
+  relational::RelaxedCounter insertions_;
+  relational::RelaxedCounter evictions_;
 };
 
 }  // namespace ufilter::check

@@ -1,0 +1,531 @@
+// The concurrent check service: verdict equivalence with the
+// single-threaded baseline under N threads x M mixed updates, read-only
+// dry-run equivalence across FK delete policies (the validator behind the
+// fast path), session isolation (temp tables, undo), writer-lane applies,
+// the bounded admission queue, and plan-cache thread safety. Run under
+// ThreadSanitizer in CI (zero reported races is an acceptance criterion).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fixtures/bookdb.h"
+#include "fixtures/synthetic.h"
+#include "relational/dryrun.h"
+#include "relational/query.h"
+#include "relational/sqlgen.h"
+#include "service/bounded_queue.h"
+#include "service/check_service.h"
+
+namespace ufilter {
+namespace {
+
+using check::CheckOptions;
+using check::CheckOutcome;
+using check::CheckReport;
+using check::UFilter;
+using relational::Database;
+using relational::DeletePolicy;
+using relational::ExecutionContext;
+using service::BoundedQueue;
+using service::CheckService;
+using service::CheckServiceOptions;
+using service::CheckServiceStats;
+using service::Session;
+
+struct Instance {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<UFilter> uf;
+};
+
+Instance MakeBookInstance() {
+  Instance inst;
+  auto db = fixtures::MakeBookDatabase();
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  inst.db = std::move(*db);
+  auto uf = UFilter::Create(inst.db.get(), fixtures::BookViewQuery());
+  EXPECT_TRUE(uf.ok()) << uf.status().ToString();
+  inst.uf = std::move(*uf);
+  return inst;
+}
+
+Instance MakeChainInstance(int depth, int rows,
+                           DeletePolicy policy = DeletePolicy::kCascade) {
+  Instance inst;
+  auto db = fixtures::MakeChainDatabase(depth, rows, policy);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  inst.db = std::move(*db);
+  auto uf = UFilter::Create(inst.db.get(), fixtures::ChainViewQuery(depth));
+  EXPECT_TRUE(uf.ok()) << uf.status().ToString();
+  inst.uf = std::move(*uf);
+  return inst;
+}
+
+void ExpectSameVerdict(const CheckReport& got, const CheckReport& want,
+                       const std::string& label) {
+  EXPECT_EQ(got.outcome, want.outcome) << label << ": " << got.Describe();
+  EXPECT_EQ(got.error.ToString(), want.error.ToString()) << label;
+  EXPECT_EQ(got.star_class, want.star_class) << label;
+  EXPECT_EQ(got.rows_affected, want.rows_affected) << label;
+  EXPECT_EQ(got.zero_tuple_warning, want.zero_tuple_warning) << label;
+  EXPECT_EQ(relational::UpdateSequenceToSql(got.translation),
+            relational::UpdateSequenceToSql(want.translation))
+      << label;
+}
+
+// --- Tentpole: N threads x M mixed updates == single-threaded baseline ----
+
+TEST(ConcurrencyTest, StressVerdictsMatchSingleThreadedBaseline) {
+  // Mixed workload over the paper's book database: translatable deletes and
+  // replaces, untranslatable updates, data conflicts, parse errors.
+  std::vector<std::string> updates;
+  for (int u = 1; u <= 13; ++u) updates.push_back(fixtures::PaperUpdate(u));
+  updates.push_back("THIS IS NOT AN UPDATE");
+
+  CheckOptions dry;
+  dry.apply = false;
+
+  // Single-threaded baseline (check-only, so every repetition agrees).
+  Instance baseline = MakeBookInstance();
+  std::vector<CheckReport> expected;
+  expected.reserve(updates.size());
+  for (const std::string& u : updates) {
+    expected.push_back(baseline.uf->Check(u, dry));
+  }
+
+  Instance inst = MakeBookInstance();
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 16;
+  CheckServiceOptions options;
+  options.worker_threads = kThreads;
+  CheckService svc(inst.uf.get(), options);
+
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int t = 0; t < kThreads; ++t) sessions.push_back(svc.OpenSession());
+
+  // kThreads submitter threads, each driving its own session, all updates,
+  // several rounds — every check runs against the same shared database.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::future<CheckReport>> futures;
+        for (size_t i = 0; i < updates.size(); ++i) {
+          futures.push_back(svc.Submit(sessions[t], updates[i], dry));
+        }
+        for (size_t i = 0; i < updates.size(); ++i) {
+          CheckReport got = futures[i].get();
+          if (got.outcome != expected[i].outcome ||
+              got.rows_affected != expected[i].rows_affected ||
+              got.error.ToString() != expected[i].error.ToString()) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  CheckServiceStats stats = svc.Snapshot();
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.completed,
+            static_cast<uint64_t>(kThreads) * kRounds * updates.size());
+  // The dry workload is served overwhelmingly read-only: only the one
+  // multi-action template (u13) escalates to the writer lane per round.
+  EXPECT_GT(stats.fast_path, stats.writer_lane);
+  // The database is untouched by check-only traffic.
+  Instance fresh = MakeBookInstance();
+  EXPECT_EQ(inst.db->TotalRows(), fresh.db->TotalRows());
+}
+
+TEST(ConcurrencyTest, CascadeHeavyDryRunsMatchBaselineThroughService) {
+  // Deletes at every level of a cascade chain: the read-only validator must
+  // reproduce transitive cascade counts exactly.
+  constexpr int kDepth = 3;
+  constexpr int kRows = 24;
+  std::vector<std::string> updates;
+  for (int level = 0; level < kDepth; ++level) {
+    for (int key = 0; key < 4; ++key) {
+      updates.push_back(fixtures::ChainDeleteUpdate(level, key));
+    }
+  }
+  CheckOptions dry;
+  dry.apply = false;
+
+  Instance baseline = MakeChainInstance(kDepth, kRows);
+  std::vector<CheckReport> expected;
+  for (const std::string& u : updates) {
+    expected.push_back(baseline.uf->Check(u, dry));
+  }
+  // Sanity: the workload really exercises cascades.
+  bool saw_cascade = false;
+  for (const CheckReport& r : expected) {
+    if (r.rows_affected > 1) saw_cascade = true;
+  }
+  EXPECT_TRUE(saw_cascade);
+
+  Instance inst = MakeChainInstance(kDepth, kRows);
+  CheckServiceOptions options;
+  options.worker_threads = 2;
+  CheckService svc(inst.uf.get(), options);
+  auto session = svc.OpenSession();
+  std::vector<std::future<CheckReport>> futures;
+  for (const std::string& u : updates) {
+    futures.push_back(svc.Submit(session, u, dry));
+  }
+  for (size_t i = 0; i < updates.size(); ++i) {
+    ExpectSameVerdict(futures[i].get(), expected[i],
+                      "update " + std::to_string(i));
+  }
+  // Cascade walks are decidable read-only: nothing escalates.
+  EXPECT_EQ(svc.Snapshot().writer_lane, 0u);
+}
+
+// --- The read-only validator vs. execute-and-rollback, per FK policy ------
+
+CheckReport BaselineDryRun(Instance* inst, const std::string& update) {
+  CheckOptions dry;
+  dry.apply = false;
+  return inst->uf->Check(update, dry);
+}
+
+std::optional<CheckReport> ReadOnlyDryRun(Instance* inst,
+                                          const std::string& update) {
+  CheckOptions dry;
+  dry.apply = false;
+  auto plan = inst->uf->Prepare(update);
+  return inst->uf->TryCheckReadOnly(*plan, dry);
+}
+
+TEST(ConcurrencyTest, ReadOnlyCheckMatchesExecuteRollbackUnderRestrict) {
+  // Deleting a referenced row under kRestrict: real execution fails with
+  // ConstraintViolation at ExecuteOps; the validator must say the same.
+  Instance a = MakeChainInstance(3, 8, DeletePolicy::kRestrict);
+  Instance b = MakeChainInstance(3, 8, DeletePolicy::kRestrict);
+  std::string update = fixtures::ChainDeleteUpdate(0, 1);
+  CheckReport baseline = BaselineDryRun(&a, update);
+  EXPECT_EQ(baseline.outcome, CheckOutcome::kDataConflict)
+      << baseline.Describe();
+  auto read_only = ReadOnlyDryRun(&b, update);
+  ASSERT_TRUE(read_only.has_value()) << "restrict walk should be decidable";
+  ExpectSameVerdict(*read_only, baseline, "restrict delete");
+}
+
+TEST(ConcurrencyTest, ReadOnlyCheckMatchesExecuteRollbackUnderSetNull) {
+  Instance a = MakeChainInstance(2, 8, DeletePolicy::kSetNull);
+  Instance b = MakeChainInstance(2, 8, DeletePolicy::kSetNull);
+  std::string update = fixtures::ChainDeleteUpdate(0, 2);
+  CheckReport baseline = BaselineDryRun(&a, update);
+  auto read_only = ReadOnlyDryRun(&b, update);
+  ASSERT_TRUE(read_only.has_value());
+  ExpectSameVerdict(*read_only, baseline, "set-null delete");
+}
+
+TEST(ConcurrencyTest, ReadOnlyCheckMatchesBaselineOnPaperUpdates) {
+  for (int u = 1; u <= 13; ++u) {
+    Instance a = MakeBookInstance();
+    Instance b = MakeBookInstance();
+    CheckReport baseline = BaselineDryRun(&a, fixtures::PaperUpdate(u));
+    auto read_only = ReadOnlyDryRun(&b, fixtures::PaperUpdate(u));
+    if (!read_only.has_value()) continue;  // escalation is always allowed
+    ExpectSameVerdict(*read_only, baseline, "u" + std::to_string(u));
+  }
+}
+
+TEST(ConcurrencyTest, DryRunOpsValidatesInsertConstraints) {
+  // Direct validator checks: unique conflicts, FK existence, and the
+  // intra-sequence overlay (insert parent then child).
+  auto db = fixtures::MakeBookDatabase();
+  ASSERT_TRUE(db.ok());
+  using relational::UpdateOp;
+  using relational::UpdateOpKind;
+  using ufilter::Value;
+
+  // Duplicate PK on book -> the exact engine failure, zero mutation.
+  UpdateOp dup;
+  dup.kind = UpdateOpKind::kInsert;
+  dup.table = "book";
+  dup.values["bookid"] = Value::String("98001");  // exists in the fixture
+  dup.values["title"] = Value::String("x");
+  size_t rows_before = (*db)->TotalRows();
+  auto outcome = relational::DryRunOps(**db, nullptr, {dup});
+  ASSERT_TRUE(outcome.decided);
+  EXPECT_TRUE(outcome.failure.IsConstraintViolation())
+      << outcome.failure.ToString();
+  EXPECT_EQ((*db)->TotalRows(), rows_before);
+
+  // Insert publisher then a book referencing it: the overlay supplies the
+  // FK target that is not in the database yet.
+  UpdateOp pub;
+  pub.kind = UpdateOpKind::kInsert;
+  pub.table = "publisher";
+  pub.values["pubid"] = Value::String("P777");
+  pub.values["pubname"] = Value::String("NewPub");
+  UpdateOp child;
+  child.kind = UpdateOpKind::kInsert;
+  child.table = "book";
+  child.values["bookid"] = Value::String("77001");
+  child.values["title"] = Value::String("t");
+  child.values["pubid"] = Value::String("P777");
+  outcome = relational::DryRunOps(**db, nullptr, {pub, child});
+  ASSERT_TRUE(outcome.decided);
+  EXPECT_TRUE(outcome.failure.ok()) << outcome.failure.ToString();
+  EXPECT_EQ(outcome.rows_affected, 2);
+
+  // A delete after an insert in the same sequence is beyond the overlay:
+  // the validator must punt rather than guess.
+  UpdateOp del;
+  del.kind = UpdateOpKind::kDelete;
+  del.table = "publisher";
+  del.where.push_back({"pubid", CompareOp::kEq, Value::String("P777")});
+  outcome = relational::DryRunOps(**db, nullptr, {pub, del});
+  EXPECT_FALSE(outcome.decided);
+
+  // Same for a find-driven op after an update op on the same table: the
+  // rewritten image could newly match predicates the base indexes cannot
+  // surface, so the validator punts instead of diverging.
+  UpdateOp upd;
+  upd.kind = UpdateOpKind::kUpdate;
+  upd.table = "publisher";
+  upd.values["pubname"] = Value::String("Renamed");
+  upd.where.push_back({"pubid", CompareOp::kEq, Value::String("A01")});
+  UpdateOp del2;
+  del2.kind = UpdateOpKind::kDelete;
+  del2.table = "publisher";
+  del2.where.push_back(
+      {"pubname", CompareOp::kEq, Value::String("Renamed")});
+  outcome = relational::DryRunOps(**db, nullptr, {upd, del2});
+  EXPECT_FALSE(outcome.decided);
+}
+
+TEST(ConcurrencyTest, DryRunAcceptsReinsertAfterSetNullAndDelete) {
+  // Regression: delete t0 row (SET-NULLs its t1 child, leaving a stale
+  // image in the overlay), delete that child, then re-insert its key. The
+  // unique-conflict scan must skip the overlay-deleted child's stale image;
+  // real execution accepts this sequence.
+  using relational::UpdateOp;
+  using relational::UpdateOpKind;
+  auto db = fixtures::MakeChainDatabase(2, 8, DeletePolicy::kSetNull);
+  ASSERT_TRUE(db.ok());
+  UpdateOp del_parent;
+  del_parent.kind = UpdateOpKind::kDelete;
+  del_parent.table = "t0";
+  del_parent.where.push_back({"k0", CompareOp::kEq, Value::Int(2)});
+  UpdateOp del_child;
+  del_child.kind = UpdateOpKind::kDelete;
+  del_child.table = "t1";
+  del_child.where.push_back({"k1", CompareOp::kEq, Value::Int(2)});
+  UpdateOp reinsert;
+  reinsert.kind = UpdateOpKind::kInsert;
+  reinsert.table = "t1";
+  reinsert.values["k1"] = Value::Int(2);
+  reinsert.values["v1"] = Value::String("fresh");
+  auto outcome = relational::DryRunOps(
+      **db, nullptr, {del_parent, del_child, reinsert});
+  ASSERT_TRUE(outcome.decided);
+  EXPECT_TRUE(outcome.failure.ok()) << outcome.failure.ToString();
+  EXPECT_EQ(outcome.rows_affected, 3);
+
+  // Real execution agrees (execute, then roll back).
+  size_t mark = (*db)->Begin();
+  ASSERT_TRUE((*db)->DeleteWhere("t0", del_parent.where).ok());
+  ASSERT_TRUE((*db)->DeleteWhere("t1", del_child.where).ok());
+  EXPECT_TRUE((*db)->InsertValues("t1", reinsert.values).ok());
+  (*db)->Rollback(mark);
+}
+
+// --- Session isolation ----------------------------------------------------
+
+TEST(ConcurrencyTest, TempTablesAreInvisibleAcrossSessions) {
+  auto db = fixtures::MakeBookDatabase();
+  ASSERT_TRUE(db.ok());
+  auto ctx_a = (*db)->CreateContext();
+  auto ctx_b = (*db)->CreateContext();
+
+  relational::SelectQuery q;
+  q.tables.push_back({"book", "b"});
+  q.selects.push_back({"b", "bookid"});
+  relational::QueryEvaluator eval_a(db->get(), ctx_a.get());
+  ASSERT_TRUE(eval_a.MaterializeInto(q, "TAB_iso").ok());
+
+  // Session A sees its table; session B and the root context do not.
+  EXPECT_TRUE((*db)->GetTable(ctx_a.get(), "TAB_iso").ok());
+  EXPECT_FALSE((*db)->GetTable(ctx_b.get(), "TAB_iso").ok());
+  EXPECT_FALSE((*db)->GetTable("TAB_iso").ok());
+  EXPECT_TRUE(ctx_a->IsTempTable("TAB_iso"));
+  EXPECT_FALSE(ctx_b->IsTempTable("TAB_iso"));
+
+  // B can create its own table under the same name, with its own shape.
+  relational::TableSchema other("TAB_iso");
+  other.AddColumn("x", ValueType::kString);
+  ASSERT_TRUE(ctx_b->CreateTempTable(other).ok());
+  auto a_table = (*db)->GetTable(ctx_a.get(), "TAB_iso");
+  auto b_table = (*db)->GetTable(ctx_b.get(), "TAB_iso");
+  ASSERT_TRUE(a_table.ok());
+  ASSERT_TRUE(b_table.ok());
+  EXPECT_NE(*a_table, *b_table);
+  EXPECT_EQ((*b_table)->schema().columns().size(), 1u);
+
+  // A query through B's evaluator reads B's table, not A's.
+  relational::SelectQuery probe;
+  probe.tables.push_back({"TAB_iso", "t"});
+  probe.selects.push_back({"t", "x"});
+  relational::QueryEvaluator eval_b(db->get(), ctx_b.get());
+  auto res = eval_b.Execute(probe);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->empty());
+
+  ASSERT_TRUE(ctx_a->DropTempTable("TAB_iso").ok());
+  EXPECT_TRUE(ctx_b->IsTempTable("TAB_iso"));
+}
+
+TEST(ConcurrencyTest, UndoLogsAreSessionLocal) {
+  auto db = fixtures::MakeBookDatabase();
+  ASSERT_TRUE(db.ok());
+  auto ctx_a = (*db)->CreateContext();
+  auto ctx_b = (*db)->CreateContext();
+  size_t rows_before = (*db)->TotalRows();
+
+  size_t mark_a = ctx_a->Begin();
+  size_t mark_b = ctx_b->Begin();
+  ASSERT_TRUE((*db)
+                  ->InsertValues(ctx_a.get(), "publisher",
+                                 {{"pubid", Value::String("P900")},
+                                  {"pubname", Value::String("A")}})
+                  .ok());
+  ASSERT_TRUE((*db)
+                  ->InsertValues(ctx_b.get(), "publisher",
+                                 {{"pubid", Value::String("P901")},
+                                  {"pubname", Value::String("B")}})
+                  .ok());
+  EXPECT_EQ(ctx_a->undo_log_size(), 1u);
+  EXPECT_EQ(ctx_b->undo_log_size(), 1u);
+
+  // Rolling back A removes only A's insert.
+  ctx_a->Rollback(mark_a);
+  EXPECT_EQ((*db)->TotalRows(), rows_before + 1);
+  ctx_b->Rollback(mark_b);
+  EXPECT_EQ((*db)->TotalRows(), rows_before);
+}
+
+// --- Writer lane: applies stay serialized and consistent ------------------
+
+TEST(ConcurrencyTest, ConcurrentAppliesMatchSequentialState) {
+  constexpr int kDepth = 3;
+  constexpr int kRows = 64;
+  constexpr int kDeletes = 32;
+
+  // Sequential reference.
+  Instance seq = MakeChainInstance(kDepth, kRows);
+  for (int k = 0; k < kDeletes; ++k) {
+    CheckReport r =
+        seq.uf->Check(fixtures::ChainDeleteUpdate(kDepth - 1, k));
+    ASSERT_EQ(r.outcome, CheckOutcome::kExecuted) << r.Describe();
+  }
+
+  Instance inst = MakeChainInstance(kDepth, kRows);
+  CheckServiceOptions options;
+  options.worker_threads = 4;
+  CheckService svc(inst.uf.get(), options);
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int t = 0; t < 4; ++t) sessions.push_back(svc.OpenSession());
+  std::vector<std::future<CheckReport>> futures;
+  CheckOptions apply;  // defaults: apply=true
+  for (int k = 0; k < kDeletes; ++k) {
+    futures.push_back(svc.Submit(sessions[static_cast<size_t>(k) % 4],
+                                 fixtures::ChainDeleteUpdate(kDepth - 1, k),
+                                 apply));
+  }
+  for (auto& f : futures) {
+    CheckReport r = f.get();
+    EXPECT_EQ(r.outcome, CheckOutcome::kExecuted) << r.Describe();
+  }
+  EXPECT_EQ(inst.db->TotalRows(), seq.db->TotalRows());
+  // Applies all went through the writer lane.
+  EXPECT_GE(svc.Snapshot().writer_lane, static_cast<uint64_t>(kDeletes));
+}
+
+// --- Bounded admission queue ----------------------------------------------
+
+TEST(ConcurrencyTest, BoundedQueueBackpressureAndDrain) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3)) << "queue over capacity";
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.high_water(), 2u);
+
+  // A blocked Push completes once a consumer makes room.
+  std::thread producer([&] { EXPECT_TRUE(q.Push(3)); });
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+
+  // Close drains: queued items still pop, then Pop reports exhaustion.
+  q.Close();
+  EXPECT_FALSE(q.Push(4));
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(q.Pop(&out));
+}
+
+TEST(ConcurrencyTest, ShutdownDrainsPendingRequests) {
+  Instance inst = MakeBookInstance();
+  CheckServiceOptions options;
+  options.worker_threads = 2;
+  CheckService svc(inst.uf.get(), options);
+  auto session = svc.OpenSession();
+  CheckOptions dry;
+  dry.apply = false;
+  std::vector<std::future<CheckReport>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(svc.Submit(session, fixtures::PaperUpdate(8), dry));
+  }
+  svc.Shutdown();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().outcome, CheckOutcome::kExecuted);
+  }
+  // Post-shutdown submissions resolve immediately with a rejection.
+  CheckReport rejected = svc.Submit(session, fixtures::PaperUpdate(8)).get();
+  EXPECT_EQ(rejected.outcome, CheckOutcome::kInvalid);
+}
+
+// --- Shared plan cache under concurrency ----------------------------------
+
+TEST(ConcurrencyTest, PlanCacheIsThreadSafeAndCountsWork) {
+  Instance inst = MakeBookInstance();
+  inst.uf->plan_cache().ResetCounters();
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        for (int u = 8; u <= 12; ++u) {
+          auto plan = inst.uf->Prepare(fixtures::PaperUpdate(u));
+          ASSERT_NE(plan, nullptr);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  check::PlanCacheCounters counters = inst.uf->plan_cache().counters();
+  EXPECT_EQ(counters.hits + counters.misses,
+            static_cast<uint64_t>(kThreads) * kRounds * 5);
+  // Every template compiled at least once, and the cache served the rest.
+  EXPECT_GE(counters.misses, 5u);
+  EXPECT_GT(counters.hits, counters.misses);
+  EXPECT_EQ(inst.uf->plan_cache().size(), 5u);
+}
+
+}  // namespace
+}  // namespace ufilter

@@ -105,7 +105,8 @@ TEST_F(PlanCacheTest, CachedParseErrorStaysInvalid) {
 }
 
 TEST_F(PlanCacheTest, LruEvictionOrder) {
-  uf_->plan_cache().set_capacity(2);
+  // Single shard: deterministic global LRU order.
+  uf_->plan_cache().Configure(/*capacity=*/2, /*shards=*/1);
   (void)uf_->Prepare(fixtures::PaperUpdate(8));   // A
   (void)uf_->Prepare(fixtures::PaperUpdate(9));   // B
   (void)uf_->Prepare(fixtures::PaperUpdate(12));  // C -> evicts A
@@ -119,7 +120,7 @@ TEST_F(PlanCacheTest, LruEvictionOrder) {
 }
 
 TEST_F(PlanCacheTest, LookupRefreshesRecency) {
-  uf_->plan_cache().set_capacity(2);
+  uf_->plan_cache().Configure(/*capacity=*/2, /*shards=*/1);
   (void)uf_->Prepare(fixtures::PaperUpdate(8));  // A
   (void)uf_->Prepare(fixtures::PaperUpdate(9));  // B
   bool hit = false;
@@ -133,13 +134,42 @@ TEST_F(PlanCacheTest, LookupRefreshesRecency) {
 }
 
 TEST_F(PlanCacheTest, KeysByRecencyReportsMruFirst) {
-  uf_->plan_cache().set_capacity(4);
+  uf_->plan_cache().Configure(/*capacity=*/4, /*shards=*/1);
   (void)uf_->Prepare("DELETE $a");
   (void)uf_->Prepare("DELETE $b");
   std::vector<std::string> keys = uf_->plan_cache().KeysByRecency();
   ASSERT_EQ(keys.size(), 2u);
   EXPECT_EQ(keys[0], "DELETE $b");
   EXPECT_EQ(keys[1], "DELETE $a");
+}
+
+TEST_F(PlanCacheTest, CountersTrackHitsMissesEvictions) {
+  uf_->plan_cache().Configure(/*capacity=*/2, /*shards=*/1);
+  uf_->plan_cache().ResetCounters();
+  (void)uf_->Prepare(fixtures::PaperUpdate(8));   // miss + insert
+  (void)uf_->Prepare(fixtures::PaperUpdate(8));   // hit
+  (void)uf_->Prepare(fixtures::PaperUpdate(9));   // miss + insert
+  (void)uf_->Prepare(fixtures::PaperUpdate(12));  // miss + insert -> evict
+  check::PlanCacheCounters c = uf_->plan_cache().counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 3u);
+  EXPECT_EQ(c.insertions, 3u);
+  EXPECT_EQ(c.evictions, 1u);
+}
+
+TEST_F(PlanCacheTest, ShardedCacheStillServesEveryTemplate) {
+  // Default shape: sharded. Recency is per shard, but lookups must behave
+  // identically: every prepared template is served from the cache.
+  EXPECT_GT(uf_->plan_cache().shard_count(), 1u);
+  for (int u = 8; u <= 12; ++u) {
+    (void)uf_->Prepare(fixtures::PaperUpdate(u));
+  }
+  for (int u = 8; u <= 12; ++u) {
+    bool hit = false;
+    (void)uf_->Prepare(fixtures::PaperUpdate(u), &hit);
+    EXPECT_TRUE(hit) << "u" << u;
+  }
+  EXPECT_EQ(uf_->plan_cache().size(), 5u);
 }
 
 TEST_F(PlanCacheTest, ClearEmptiesTheCache) {
