@@ -72,7 +72,11 @@ std::string ChainViewQuery(int depth) {
   return "<Chain>\n" + inner + "\n</Chain>";
 }
 
-std::string ChainDeleteUpdate(int level, int64_t key) {
+namespace {
+
+/// FOR clause binding $root and $e0..$e<level>, shared by the update
+/// builders below.
+std::string ChainForClause(int level) {
   std::string stmt = "FOR $root IN document(\"V.xml\")";
   std::string parent = "root";
   for (int i = 0; i <= level; ++i) {
@@ -80,12 +84,40 @@ std::string ChainDeleteUpdate(int level, int64_t key) {
             std::to_string(i);
     parent = "e" + std::to_string(i);
   }
+  return stmt;
+}
+
+std::string ChainAnchor(int level) {
+  return level == 0 ? "root" : "e" + std::to_string(level - 1);
+}
+
+}  // namespace
+
+std::string ChainDeleteUpdate(int level, int64_t key) {
+  std::string stmt = ChainForClause(level);
   stmt += "\nWHERE $e" + std::to_string(level) + "/k" +
           std::to_string(level) + "/text() = " + std::to_string(key);
-  std::string anchor =
-      level == 0 ? "root" : "e" + std::to_string(level - 1);
-  stmt += "\nUPDATE $" + anchor + " {\n  DELETE $e" + std::to_string(level) +
-          "\n}";
+  stmt += "\nUPDATE $" + ChainAnchor(level) + " {\n  DELETE $e" +
+          std::to_string(level) + "\n}";
+  return stmt;
+}
+
+std::string ChainDeleteByValueUpdate(int level, const std::string& value) {
+  std::string stmt = ChainForClause(level);
+  stmt += "\nWHERE $e" + std::to_string(level) + "/v" +
+          std::to_string(level) + "/text() = \"" + value + "\"";
+  stmt += "\nUPDATE $" + ChainAnchor(level) + " {\n  DELETE $e" +
+          std::to_string(level) + "\n}";
+  return stmt;
+}
+
+std::string ChainReplaceUpdate(int level, int64_t key,
+                               const std::string& value) {
+  const std::string l = std::to_string(level);
+  std::string stmt = ChainForClause(level);
+  stmt += "\nWHERE $e" + l + "/k" + l + "/text() = " + std::to_string(key);
+  stmt += "\nUPDATE $" + ChainAnchor(level) + " {\n  REPLACE $e" + l + "/v" +
+          l + " WITH <v" + l + ">" + value + "</v" + l + ">\n}";
   return stmt;
 }
 

@@ -32,6 +32,18 @@ std::string ChainViewQuery(int depth);
 /// Delete of the element at `level` (0-based) with key `key`.
 std::string ChainDeleteUpdate(int level, int64_t key);
 
+/// Delete of every element at `level` whose v<level> text equals `value`
+/// (victim set depends on current data, unlike the key-addressed delete —
+/// used by the snapshot fuzz tests to make verdicts epoch-sensitive).
+std::string ChainDeleteByValueUpdate(int level, const std::string& value);
+
+/// Value replacement: REPLACE the v<level> leaf of the element with key
+/// `key` by `value`. Translates to UPDATE t<level> SET v<level>=... —
+/// repeatable forever, which makes it the writer workload of the mixed
+/// concurrency bench.
+std::string ChainReplaceUpdate(int level, int64_t key,
+                               const std::string& value);
+
 }  // namespace ufilter::fixtures
 
 #endif  // UFILTER_FIXTURES_SYNTHETIC_H_

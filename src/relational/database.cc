@@ -298,9 +298,201 @@ Database::Database(DatabaseSchema schema) : schema_(std::move(schema)) {
   root_context_ = std::make_unique<ExecutionContext>(this);
   tables_.reserve(schema_.tables().size());
   for (size_t i = 0; i < schema_.tables().size(); ++i) {
-    tables_.emplace_back(&schema_.tables()[i]);
+    tables_.push_back(std::make_shared<Table>(&schema_.tables()[i]));
     table_index_[schema_.tables()[i].name()] = i;
   }
+}
+
+// ------------------------------------------------- MVCC: epochs/snapshots ---
+
+Snapshot::~Snapshot() {
+  // Reclaimed table versions are destroyed after the lock is released (a
+  // big table's rows + indexes take a while to free; snapshot opens must
+  // not wait behind that).
+  Database::Graveyard graveyard;
+  {
+    std::lock_guard<std::mutex> lock(db_->snapshot_mu_);
+    auto it = db_->pinned_epochs_.find(version_->epoch);
+    if (it != db_->pinned_epochs_.end()) db_->pinned_epochs_.erase(it);
+    // Drop the version reference before GC so use counts reflect the
+    // unpin. (This frees at most the small DatabaseVersion struct: any
+    // table it exclusively kept alive is held by retired_ too, and goes
+    // through the graveyard.)
+    version_.reset();
+    db_->CollectRetiredLocked(&graveyard);
+  }
+}
+
+const Table* Snapshot::FindTable(const std::string& name) const {
+  auto it = db_->table_index_.find(name);
+  if (it == db_->table_index_.end()) return nullptr;
+  return version_->tables[it->second].get();
+}
+
+void Database::BuildVersionLocked(uint64_t epoch) {
+  auto version = std::make_shared<DatabaseVersion>();
+  version->epoch = epoch;
+  version->tables.assign(tables_.begin(), tables_.end());
+  published_ = std::move(version);
+  live_dirty_ = false;
+}
+
+Result<uint64_t> Database::PublishLocked(Graveyard* graveyard) {
+  if (commit_epoch_ >= kMaxCommitEpoch) {
+    return Status::InvalidArgument(
+        "commit epoch space exhausted (epoch " +
+        std::to_string(commit_epoch_) +
+        "); no further versions can be published");
+  }
+  ++commit_epoch_;
+  BuildVersionLocked(commit_epoch_);
+  CollectRetiredLocked(graveyard);
+  return commit_epoch_;
+}
+
+void Database::CollectRetiredLocked(Graveyard* graveyard) {
+  size_t kept = 0;
+  for (RetiredVersion& retired : retired_) {
+    // Reclaimable once the retention list holds the last reference: every
+    // other reference — the published version that contained it, any
+    // pinned snapshot's DatabaseVersion — is created and released under
+    // snapshot_mu_, so use_count()==1 here proves no snapshot can still
+    // reach it (raw Table pointers are only ever derived from a live pin).
+    // This must NOT additionally wait for the pinned-epoch horizon: a
+    // long-lived pin at epoch E only keeps epoch E's own tables alive, and
+    // versions superseded after E would otherwise accumulate unboundedly
+    // while that pin stays open.
+    if (retired.table.use_count() == 1) {
+      stats_.versions_retired++;
+      graveyard->push_back(std::move(retired.table));
+      continue;
+    }
+    retired_[kept++] = std::move(retired);
+  }
+  retired_.resize(kept);
+}
+
+void Database::EnsurePublishedLocked(Graveyard* graveyard) {
+  if (published_ != nullptr) return;
+  (void)PublishLocked(graveyard);
+  if (published_ == nullptr) {
+    // Epoch space exhausted before anything was ever published (reachable
+    // only through the test hook): pin the live state under the terminal
+    // epoch without consuming it. Ordering still holds — pins are <=
+    // commit_epoch_ and later publishes keep failing.
+    BuildVersionLocked(commit_epoch_);
+  }
+}
+
+std::shared_ptr<const Snapshot> Database::OpenSnapshot() {
+  Graveyard graveyard;  // declared first: destroyed after the lock releases
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  EnsurePublishedLocked(&graveyard);
+  if (live_dirty_ && writer_depth_ == 0) {
+    // Publish-on-demand from quiescence so the snapshot sees current data.
+    // On epoch exhaustion the snapshot pins the last published version.
+    (void)PublishLocked(&graveyard);
+  }
+  pinned_epochs_.insert(published_->epoch);
+  stats_.snapshots_opened++;
+  return std::shared_ptr<const Snapshot>(new Snapshot(this, published_));
+}
+
+Result<uint64_t> Database::PublishVersion() {
+  Graveyard graveyard;  // declared first: destroyed after the lock releases
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return PublishLocked(&graveyard);
+}
+
+Database::WriterGuard::WriterGuard(Database* db) : db_(db) {
+  Database::Graveyard graveyard;
+  std::lock_guard<std::mutex> lock(db_->snapshot_mu_);
+  // Pin down the pre-transaction state first: a snapshot opened while
+  // this writer is mid-flight must never see a half-applied sequence, and
+  // unpublished mutations from *before* the guard must be committed now —
+  // otherwise an AbandonPublish release would silently discard them from
+  // every future snapshot (its premise is "live == published at entry").
+  db_->EnsurePublishedLocked(&graveyard);
+  if (db_->writer_depth_ == 0 && db_->live_dirty_) {
+    (void)db_->PublishLocked(&graveyard);
+  }
+  ++db_->writer_depth_;
+}
+
+Database::WriterGuard::~WriterGuard() {
+  Database::Graveyard graveyard;
+  std::lock_guard<std::mutex> lock(db_->snapshot_mu_);
+  if (--db_->writer_depth_ == 0 && db_->live_dirty_) {
+    if (abandon_publish_) {
+      // The transaction rolled everything back: the live tables are
+      // byte-identical to the published version, so committing a new
+      // epoch would only churn versions and GC for nothing.
+      db_->live_dirty_ = false;
+      db_->CollectRetiredLocked(&graveyard);
+    } else {
+      // Epoch exhaustion keeps the last published version pinned-readable;
+      // mutations remain visible to live (writer-lane) reads only.
+      (void)db_->PublishLocked(&graveyard);
+    }
+  }
+}
+
+uint64_t Database::commit_epoch() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return commit_epoch_;
+}
+
+uint64_t Database::oldest_pinned_epoch() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return pinned_epochs_.empty() ? commit_epoch_ : *pinned_epochs_.begin();
+}
+
+size_t Database::retained_version_count() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return retired_.size();
+}
+
+void Database::set_commit_epoch_for_testing(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  commit_epoch_ = epoch;
+}
+
+Table* Database::WritableBaseTable(size_t idx) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  live_dirty_ = true;
+  std::shared_ptr<Table>& live = tables_[idx];
+  if (live.use_count() > 1) {
+    // A published version / pinned snapshot still references this table
+    // version: retire it and mutate a copy (copy-on-write). Snapshot
+    // readers keep probing the old version lock-free.
+    retired_.push_back({commit_epoch_, live});
+    live = std::make_shared<Table>(*live);
+  }
+  return live.get();
+}
+
+Status Database::RefuseIfPinned(const ExecutionContext* ctx,
+                                const std::string& name) const {
+  if (ctx == nullptr || ctx->read_snapshot() == nullptr) return Status::OK();
+  if (ctx->IsTempTable(name)) return Status::OK();  // session scratch
+  if (table_index_.count(name) == 0) return Status::OK();  // NotFound later
+  return Status::InvalidArgument(
+      "base table '" + name +
+      "' is read-only: the context is pinned to a snapshot (epoch " +
+      std::to_string(ctx->read_snapshot()->epoch()) + ")");
+}
+
+Result<Table*> Database::WritableTable(ExecutionContext* ctx,
+                                       const std::string& name) {
+  if (ctx == nullptr) ctx = root_context_.get();
+  Table* temp = ctx->FindTempTable(name);
+  if (temp != nullptr) return temp;  // session-local, never versioned
+  auto it = table_index_.find(name);
+  if (it == table_index_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  UFILTER_RETURN_NOT_OK(RefuseIfPinned(ctx, name));
+  return WritableBaseTable(it->second);
 }
 
 Result<std::unique_ptr<Database>> Database::Create(DatabaseSchema schema) {
@@ -311,7 +503,16 @@ Result<std::unique_ptr<Database>> Database::Create(DatabaseSchema schema) {
 Table* Database::TableByName(const ExecutionContext* ctx,
                              const std::string& name) {
   auto it = table_index_.find(name);
-  if (it != table_index_.end()) return &tables_[it->second];
+  if (it != table_index_.end()) {
+    if (ctx != nullptr && ctx->read_snapshot() != nullptr) {
+      // Snapshot-pinned context: every base-table read resolves to the
+      // pinned epoch's immutable version. Mutation paths never come through
+      // here (WritableTable refuses pinned contexts), so handing back a
+      // non-const pointer to callers that only read is safe.
+      return const_cast<Table*>(ctx->read_snapshot()->TableAt(it->second));
+    }
+    return tables_[it->second].get();
+  }
   if (ctx != nullptr) {
     // Sessions only read their own temp tables; the const_cast hands the
     // session back mutable access to a table it created itself.
@@ -419,16 +620,22 @@ Status Database::CheckForeignKeysExist(const TableSchema& schema,
 
 Result<RowId> Database::Insert(ExecutionContext* ctx,
                                const std::string& table, Row row) {
-  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(ctx, table));
-  UFILTER_RETURN_NOT_OK(CheckRowConstraints(t->schema(), row));
+  if (ctx == nullptr) ctx = root_context_.get();
+  UFILTER_RETURN_NOT_OK(RefuseIfPinned(ctx, table));
+  // Constraint checks run against the live (read-resolved) table; the
+  // copy-on-write resolution is deferred until the row is actually
+  // appended, so a rejected insert never clones anything.
+  UFILTER_ASSIGN_OR_RETURN(const Table* probe, GetTable(ctx, table));
+  UFILTER_RETURN_NOT_OK(CheckRowConstraints(probe->schema(), row));
   if (!ctx->IsTempTable(table)) {
-    UFILTER_RETURN_NOT_OK(CheckForeignKeysExist(t->schema(), row));
+    UFILTER_RETURN_NOT_OK(CheckForeignKeysExist(probe->schema(), row));
   }
-  RowId conflict = t->FindUniqueConflict(row, -1);
+  RowId conflict = probe->FindUniqueConflict(row, -1);
   if (conflict >= 0) {
     return Status::ConstraintViolation("unique key violation on table '" +
                                        table + "'");
   }
+  UFILTER_ASSIGN_OR_RETURN(Table * t, WritableTable(ctx, table));
   RowId id = t->AppendRow(std::move(row));
   ctx->undo_log_.push_back(
       {ExecutionContext::UndoKind::kInsert, table, id, {}});
@@ -452,8 +659,19 @@ Result<RowId> Database::InsertValues(
   return Insert(ctx, table, std::move(row));
 }
 
-Status Database::DeleteRowInternal(ExecutionContext* ctx, Table* table,
-                                   RowId id, DeleteOutcome* outcome) {
+Status Database::DeleteRowInternal(
+    ExecutionContext* ctx, Table* table, RowId id, DeleteOutcome* outcome,
+    std::unordered_map<std::string, Table*>* writable) {
+  // Per-transaction memo of copy-on-write resolutions: the writable pointer
+  // is stable once resolved, and re-taking the global snapshot mutex per
+  // cascaded row would contend with concurrent snapshot opens.
+  auto writable_ref = [&](const std::string& name) -> Result<Table*> {
+    auto cached = writable->find(name);
+    if (cached != writable->end()) return cached->second;
+    UFILTER_ASSIGN_OR_RETURN(Table * t, WritableTable(ctx, name));
+    writable->emplace(name, t);
+    return t;
+  };
   const Row* row_ptr = table->GetRow(id);
   if (row_ptr == nullptr) return Status::OK();
   Row row = *row_ptr;  // copy before erasing
@@ -472,22 +690,30 @@ Status Database::DeleteRowInternal(ExecutionContext* ctx, Table* table,
         preds.push_back({fk.columns[i], CompareOp::kEq, v});
       }
       if (any_null) continue;
-      UFILTER_ASSIGN_OR_RETURN(Table * ref_table,
+      // Find runs against the live version; the clone (if any) happens only
+      // when a policy branch below actually mutates the referencing table —
+      // the kRestrict rejection must not copy-on-write anything.
+      UFILTER_ASSIGN_OR_RETURN(Table * probe_table,
                                GetTable(ctx, other.name()));
-      std::vector<RowId> referencing = ref_table->Find(preds, &stats_);
+      std::vector<RowId> referencing = probe_table->Find(preds, &stats_);
       if (referencing.empty()) continue;
       switch (fk.on_delete) {
         case DeletePolicy::kRestrict:
           return Status::ConstraintViolation(
               "delete from '" + table_name + "' restricted: referenced by '" +
               other.name() + "'");
-        case DeletePolicy::kCascade:
+        case DeletePolicy::kCascade: {
+          UFILTER_ASSIGN_OR_RETURN(Table * ref_table,
+                                   writable_ref(other.name()));
           for (RowId rid : referencing) {
             UFILTER_RETURN_NOT_OK(
-                DeleteRowInternal(ctx, ref_table, rid, outcome));
+                DeleteRowInternal(ctx, ref_table, rid, outcome, writable));
           }
           break;
+        }
         case DeletePolicy::kSetNull: {
+          UFILTER_ASSIGN_OR_RETURN(Table * ref_table,
+                                   writable_ref(other.name()));
           for (RowId rid : referencing) {
             const Row* old = ref_table->GetRow(rid);
             if (old == nullptr) continue;
@@ -504,7 +730,7 @@ Status Database::DeleteRowInternal(ExecutionContext* ctx, Table* table,
               // SET NULL impossible on NOT NULL FK; fall back to cascade to
               // preserve integrity.
               UFILTER_RETURN_NOT_OK(
-                  DeleteRowInternal(ctx, ref_table, rid, outcome));
+                  DeleteRowInternal(ctx, ref_table, rid, outcome, writable));
               continue;
             }
             ctx->undo_log_.push_back(
@@ -536,11 +762,19 @@ Status Database::DeleteRowInternal(ExecutionContext* ctx, Table* table,
 Result<DeleteOutcome> Database::DeleteWhere(
     ExecutionContext* ctx, const std::string& table,
     const std::vector<ColumnPredicate>& preds) {
-  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(ctx, table));
+  if (ctx == nullptr) ctx = root_context_.get();
+  UFILTER_RETURN_NOT_OK(RefuseIfPinned(ctx, table));
+  // Match against the live table first: a delete that hits nothing must
+  // not copy-on-write anything (RowIds survive the clone below).
+  UFILTER_ASSIGN_OR_RETURN(const Table* probe, GetTable(ctx, table));
+  std::vector<RowId> matches = probe->Find(preds, &stats_);
   DeleteOutcome outcome;
+  if (matches.empty()) return outcome;
+  UFILTER_ASSIGN_OR_RETURN(Table * t, WritableTable(ctx, table));
+  std::unordered_map<std::string, Table*> writable{{table, t}};
   size_t mark = ctx->Begin();
-  for (RowId id : t->Find(preds, &stats_)) {
-    Status st = DeleteRowInternal(ctx, t, id, &outcome);
+  for (RowId id : matches) {
+    Status st = DeleteRowInternal(ctx, t, id, &outcome, &writable);
     if (!st.ok()) {
       ctx->Rollback(mark);
       return st;
@@ -552,10 +786,15 @@ Result<DeleteOutcome> Database::DeleteWhere(
 
 Result<DeleteOutcome> Database::DeleteRow(ExecutionContext* ctx,
                                           const std::string& table, RowId id) {
-  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(ctx, table));
+  if (ctx == nullptr) ctx = root_context_.get();
+  UFILTER_RETURN_NOT_OK(RefuseIfPinned(ctx, table));
+  UFILTER_ASSIGN_OR_RETURN(const Table* probe, GetTable(ctx, table));
   DeleteOutcome outcome;
+  if (probe->GetRow(id) == nullptr) return outcome;  // nothing to delete
+  UFILTER_ASSIGN_OR_RETURN(Table * t, WritableTable(ctx, table));
+  std::unordered_map<std::string, Table*> writable{{table, t}};
   size_t mark = ctx->Begin();
-  Status st = DeleteRowInternal(ctx, t, id, &outcome);
+  Status st = DeleteRowInternal(ctx, t, id, &outcome, &writable);
   if (!st.ok()) {
     ctx->Rollback(mark);
     return st;
@@ -568,17 +807,23 @@ Result<int64_t> Database::UpdateWhere(
     ExecutionContext* ctx, const std::string& table,
     const std::map<std::string, Value>& assignments,
     const std::vector<ColumnPredicate>& preds) {
-  UFILTER_ASSIGN_OR_RETURN(Table * t, GetTable(ctx, table));
-  const TableSchema& schema = t->schema();
+  if (ctx == nullptr) ctx = root_context_.get();
+  UFILTER_RETURN_NOT_OK(RefuseIfPinned(ctx, table));
+  UFILTER_ASSIGN_OR_RETURN(const Table* probe, GetTable(ctx, table));
+  const TableSchema& schema = probe->schema();
   for (const auto& [name, value] : assignments) {
     (void)value;
     if (!schema.HasColumn(name)) {
       return Status::NotFound("no column '" + name + "' in '" + table + "'");
     }
   }
+  // Zero-match updates clone nothing (RowIds survive the clone below).
+  std::vector<RowId> matches = probe->Find(preds, &stats_);
+  if (matches.empty()) return 0;
+  UFILTER_ASSIGN_OR_RETURN(Table * t, WritableTable(ctx, table));
   int64_t updated = 0;
   size_t mark = ctx->Begin();
-  for (RowId id : t->Find(preds, &stats_)) {
+  for (RowId id : matches) {
     const Row* old = t->GetRow(id);
     if (old == nullptr) continue;
     Row next = *old;
@@ -612,10 +857,30 @@ Result<int64_t> Database::UpdateWhere(
 }
 
 void ExecutionContext::Rollback(size_t mark) {
+  // Base tables resolve through the copy-on-write gate: rolling back must
+  // never rewrite a version a snapshot still pins. (A context doing a
+  // rollback is by construction not snapshot-pinned — pinned contexts
+  // cannot have accumulated undo records.) The resolution is memoized per
+  // table: the writable pointer is stable for the rest of the transaction,
+  // and re-checking it per undo record would hammer the global snapshot
+  // mutex on large rollbacks.
+  std::unordered_map<std::string, Table*> writable;
   while (undo_log_.size() > mark) {
     UndoRecord rec = std::move(undo_log_.back());
     undo_log_.pop_back();
-    Table* t = db_->TableByName(this, rec.table);
+    Table* t = FindTempTable(rec.table);
+    if (t == nullptr) {
+      auto cached = writable.find(rec.table);
+      if (cached != writable.end()) {
+        t = cached->second;
+      } else {
+        auto it = db_->table_index_.find(rec.table);
+        if (it != db_->table_index_.end()) {
+          t = db_->WritableBaseTable(it->second);
+        }
+        writable.emplace(rec.table, t);
+      }
+    }
     if (t == nullptr) continue;  // temp table dropped meanwhile
     switch (rec.kind) {
       case UndoKind::kInsert:
@@ -680,7 +945,7 @@ Status ExecutionContext::DropTempTable(const std::string& name) {
 
 size_t Database::TotalRows() const {
   size_t total = 0;
-  for (const Table& t : tables_) total += t.live_row_count();
+  for (const auto& t : tables_) total += t->live_row_count();
   return total;
 }
 

@@ -5,21 +5,31 @@
 // This is the "data storage / Oracle" box of Fig. 5: the substrate U-Filter
 // issues probe queries and translated SQL updates against.
 //
-// Concurrency model (see docs/ARCHITECTURE.md): the Database itself carries
-// no lock. Base-table storage is shared; all *mutable scratch* — temp tables
-// and the undo log — lives in an ExecutionContext, one per client session,
-// so concurrent read-only probes over the shared tables never touch shared
-// mutable state. Work counters are relaxed atomics, safe to bump from any
-// thread. Callers (the service layer) are responsible for reader/writer
-// exclusion on the base tables themselves.
+// Concurrency model (see docs/ARCHITECTURE.md): base tables are
+// multiversioned. Every publish (commit) stamps a monotonically increasing
+// commit epoch and freezes the current table versions into an immutable
+// DatabaseVersion; `OpenSnapshot` pins the latest published version, and a
+// context carrying a pinned Snapshot resolves every base-table read against
+// it — no lock is held during probe evaluation, and a concurrent writer
+// cannot perturb (or race with) the pinned tables because its first
+// mutation of a published table copies it (copy-on-write) before touching
+// it. Superseded table versions are retired by epoch-based GC once no
+// snapshot pins an epoch that could still see them. All *mutable scratch* —
+// temp tables and the undo log — lives in an ExecutionContext, one per
+// client session. Work counters are relaxed atomics, safe to bump from any
+// thread. Writers must still be mutually exclusive with each other (the
+// service layer's writer lane); snapshot readers need no exclusion at all.
 #ifndef UFILTER_RELATIONAL_DATABASE_H_
 #define UFILTER_RELATIONAL_DATABASE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -119,6 +129,11 @@ struct EngineStats {
   uint64_t updates_compiled = 0;
   /// STAR dynamic-checking runs actually performed.
   uint64_t star_checks = 0;
+  /// MVCC snapshots pinned via Database::OpenSnapshot.
+  uint64_t snapshots_opened = 0;
+  /// Superseded table versions released by epoch-based GC (each one was a
+  /// copy-on-write clone source that no pinned snapshot can still see).
+  uint64_t versions_retired = 0;
 
   void Reset() { *this = EngineStats(); }
 
@@ -142,6 +157,8 @@ struct EngineStats {
     d.plan_cache_misses -= baseline.plan_cache_misses;
     d.updates_compiled -= baseline.updates_compiled;
     d.star_checks -= baseline.star_checks;
+    d.snapshots_opened -= baseline.snapshots_opened;
+    d.versions_retired -= baseline.versions_retired;
     return d;
   }
 };
@@ -167,6 +184,8 @@ struct AtomicEngineStats {
   RelaxedCounter plan_cache_misses;
   RelaxedCounter updates_compiled;
   RelaxedCounter star_checks;
+  RelaxedCounter snapshots_opened;
+  RelaxedCounter versions_retired;
 
   EngineStats Snapshot() const {
     EngineStats s;
@@ -187,6 +206,8 @@ struct AtomicEngineStats {
     s.plan_cache_misses = plan_cache_misses;
     s.updates_compiled = updates_compiled;
     s.star_checks = star_checks;
+    s.snapshots_opened = snapshots_opened;
+    s.versions_retired = versions_retired;
     return s;
   }
 
@@ -208,6 +229,8 @@ struct AtomicEngineStats {
     plan_cache_misses.Reset();
     updates_compiled.Reset();
     star_checks.Reset();
+    snapshots_opened.Reset();
+    versions_retired.Reset();
   }
 };
 
@@ -325,6 +348,51 @@ struct DeleteOutcome {
 
 class Database;
 
+/// \brief One published, immutable state of all base tables.
+///
+/// A publish ("commit") freezes the current table versions under a fresh
+/// commit epoch. The table pointers are shared with the live state until a
+/// writer's first post-publish mutation copies the table (copy-on-write), so
+/// publishing is O(#tables), not O(rows). Immutable after construction;
+/// safe to read from any thread with no lock.
+struct DatabaseVersion {
+  uint64_t epoch = 0;
+  /// Aligned with DatabaseSchema::tables().
+  std::vector<std::shared_ptr<const Table>> tables;
+};
+
+/// \brief An RAII pin of one published DatabaseVersion.
+///
+/// While a Snapshot is alive, every table version it references is retained
+/// (shared_ptr) and its epoch is excluded from garbage collection, so reads
+/// through it are stable no matter how many commits happen concurrently.
+/// Closing the snapshot (destruction) unpins the epoch and runs GC. The
+/// Database must outlive all of its snapshots.
+class Snapshot {
+ public:
+  ~Snapshot();
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// The commit epoch this snapshot is pinned to.
+  uint64_t epoch() const { return version_->epoch; }
+
+  /// The pinned version of base table `idx` (schema order).
+  const Table* TableAt(size_t idx) const { return version_->tables[idx].get(); }
+
+  /// Resolves a *base* table by name at the pinned epoch (temp tables are
+  /// per-context, never versioned). Null when no such base table exists.
+  const Table* FindTable(const std::string& name) const;
+
+ private:
+  friend class Database;
+  Snapshot(Database* db, std::shared_ptr<const DatabaseVersion> version)
+      : db_(db), version_(std::move(version)) {}
+
+  Database* db_;
+  std::shared_ptr<const DatabaseVersion> version_;
+};
+
 /// \brief Per-session mutable scratch: temp tables and the undo log.
 ///
 /// Everything a check session may create or rewind lives here, not in the
@@ -377,6 +445,19 @@ class ExecutionContext {
     return temp_tables_.count(name) > 0;
   }
 
+  // --- Read snapshot (MVCC pin for check-only sessions) ---
+
+  /// Pins `snapshot`: until cleared, every *base-table* read resolved
+  /// through this context sees the snapshot's epoch, and every base-table
+  /// mutation is refused (a pinned context is read-only by construction —
+  /// this is what excludes lost updates / write skew from the snapshot
+  /// path). Temp tables stay live: they are session-local scratch.
+  void PinReadSnapshot(std::shared_ptr<const Snapshot> snapshot) {
+    read_snapshot_ = std::move(snapshot);
+  }
+  void ClearReadSnapshot() { read_snapshot_.reset(); }
+  const Snapshot* read_snapshot() const { return read_snapshot_.get(); }
+
  private:
   friend class Database;
   friend class OpDryRunner;
@@ -403,6 +484,7 @@ class ExecutionContext {
   std::unordered_map<std::string, std::unique_ptr<Table>> temp_tables_;
   std::unordered_map<std::string, TableSchema> temp_schemas_;
   std::vector<UndoRecord> undo_log_;
+  std::shared_ptr<const Snapshot> read_snapshot_;
 };
 
 /// \brief The database: schema + shared base tables + work counters.
@@ -431,6 +513,59 @@ class Database {
   std::unique_ptr<ExecutionContext> CreateContext() {
     return std::make_unique<ExecutionContext>(this);
   }
+
+  // --- MVCC: commit epochs, snapshots, garbage collection ---
+
+  /// Largest publishable commit epoch (the last value is reserved so the
+  /// counter can never wrap and reorder pinned epochs).
+  static constexpr uint64_t kMaxCommitEpoch =
+      std::numeric_limits<uint64_t>::max() - 1;
+
+  /// Pins the latest published state. When unpublished mutations exist and
+  /// no WriterGuard is active, they are published first, so a snapshot
+  /// opened from quiescence always sees current data. Cheap: a mutex-guarded
+  /// pointer copy — the returned snapshot is then read with **no lock**.
+  std::shared_ptr<const Snapshot> OpenSnapshot();
+
+  /// Publishes the live tables under the next commit epoch and retires what
+  /// GC allows. Fails (and changes nothing) once the epoch space is
+  /// exhausted (see kMaxCommitEpoch). Usually called through WriterGuard.
+  Result<uint64_t> PublishVersion();
+
+  /// Marks a writer transaction: while at least one guard is alive,
+  /// OpenSnapshot will not auto-publish (snapshots must never observe a
+  /// half-applied op sequence); the last guard to release publishes the
+  /// accumulated mutations as one commit. Writers must already be mutually
+  /// exclusive with each other (the service's writer lane).
+  class WriterGuard {
+   public:
+    explicit WriterGuard(Database* db);
+    ~WriterGuard();
+    WriterGuard(const WriterGuard&) = delete;
+    WriterGuard& operator=(const WriterGuard&) = delete;
+
+    /// Declares that this transaction will leave no *net* change (e.g. the
+    /// check-only execute/rollback protocol): on release the guard skips
+    /// the publish and clears the dirty flag instead of committing a new
+    /// epoch whose content is byte-identical to the previous one. Any
+    /// copy-on-write clone made meanwhile simply becomes the live version
+    /// (same content, so snapshots of the old version stay exact).
+    void AbandonPublish() { abandon_publish_ = true; }
+
+   private:
+    Database* db_;
+    bool abandon_publish_ = false;
+  };
+
+  /// Epoch of the latest published version.
+  uint64_t commit_epoch() const;
+  /// Smallest epoch any open snapshot pins (== commit_epoch() when none).
+  uint64_t oldest_pinned_epoch() const;
+  /// Superseded table versions still retained for pinned snapshots.
+  size_t retained_version_count() const;
+  /// Test hook for the overflow guard: jumps the epoch counter (e.g. to
+  /// kMaxCommitEpoch) without publishing.
+  void set_commit_epoch_for_testing(uint64_t epoch);
 
   /// Resolves `name` among base tables and `ctx`'s temp tables (null ctx =
   /// base tables only).
@@ -520,28 +655,93 @@ class Database {
  private:
   friend class ExecutionContext;
   friend class OpDryRunner;
+  friend class Snapshot;
 
   explicit Database(DatabaseSchema schema);
 
   Status CheckRowConstraints(const TableSchema& schema, const Row& row) const;
   Status CheckForeignKeysExist(const TableSchema& schema,
                                const Row& row) const;
-  // Recursive policy-driven delete. Appends to outcome.
+  // Recursive policy-driven delete. Appends to outcome. `table` must be a
+  // writable (copy-on-write-resolved) table. `writable` memoizes the
+  // per-transaction copy-on-write resolution of referencing tables so the
+  // cascade walk takes the global snapshot mutex once per table, not once
+  // per cascaded row.
   Status DeleteRowInternal(ExecutionContext* ctx, Table* table, RowId id,
-                           DeleteOutcome* outcome);
+                           DeleteOutcome* outcome,
+                           std::unordered_map<std::string, Table*>* writable);
 
   Table* TableByName(const ExecutionContext* ctx, const std::string& name);
   const Table* TableByName(const ExecutionContext* ctx,
                            const std::string& name) const;
 
+  /// Error when `name` is a base table and `ctx` is pinned to a read
+  /// snapshot (pinned contexts are read-only for base tables).
+  Status RefuseIfPinned(const ExecutionContext* ctx,
+                        const std::string& name) const;
+  /// Mutation-side resolution: temp tables pass through; a base table is
+  /// refused while `ctx` is pinned to a read snapshot, and otherwise
+  /// copy-on-write-resolved so no published version is ever mutated.
+  /// Mutators call this as late as possible — after their read-only
+  /// constraint/match checks — so rejected and zero-effect requests never
+  /// pay for a clone.
+  Result<Table*> WritableTable(ExecutionContext* ctx, const std::string& name);
+  /// The live version of base table `idx`, cloned first when any published
+  /// version / snapshot still references it. Marks the live state dirty.
+  Table* WritableBaseTable(size_t idx);
+
+  /// Table versions reclaimed by GC, handed back to the caller so their
+  /// deallocation (row storage + index multimaps, possibly huge) happens
+  /// *after* snapshot_mu_ is released — freeing under the lock would stall
+  /// every concurrent OpenSnapshot.
+  using Graveyard = std::vector<std::shared_ptr<const Table>>;
+
+  /// Freezes the live tables into a DatabaseVersion stamped `epoch` and
+  /// makes it the published version (snapshot_mu_ held).
+  void BuildVersionLocked(uint64_t epoch);
+  /// Publish + GC with snapshot_mu_ held; reclaimed versions land in
+  /// `graveyard`.
+  Result<uint64_t> PublishLocked(Graveyard* graveyard);
+  /// Guarantees published_ != nullptr with snapshot_mu_ held, even when the
+  /// epoch space is already exhausted (terminal-epoch pin of the live
+  /// state).
+  void EnsurePublishedLocked(Graveyard* graveyard);
+  /// Moves retired table versions we hold the last reference to (no pinned
+  /// snapshot can still observe them) into `graveyard`.
+  void CollectRetiredLocked(Graveyard* graveyard);
+
   DatabaseSchema schema_;
-  std::vector<Table> tables_;                       // aligned with schema_
+  /// Live (newest) table versions, aligned with schema_. shared_ptr so a
+  /// published DatabaseVersion can share a table with the live state until
+  /// a writer clones it; single-session flows without snapshots never pay
+  /// for a clone and keep stable Table pointers.
+  std::vector<std::shared_ptr<Table>> tables_;
   // GetTable sits on every probe's hot path: hashed lookups, not tree walks.
   std::unordered_map<std::string, size_t> table_index_;
   std::unique_ptr<ExecutionContext> root_context_;
   /// Bumped from concurrent workers; mutable so the whole read path stays
   /// const while still accounting its work.
   mutable AtomicEngineStats stats_;
+
+  /// Guards the version state below: snapshot open/close, publish, the
+  /// copy-on-write check-and-swap, and GC. Never held during probe
+  /// evaluation — that is the whole point of the snapshot design.
+  mutable std::mutex snapshot_mu_;
+  /// Epoch of the latest published version; 0 until the first publish
+  /// (publishing is lazy so snapshot-free single-session flows never pay
+  /// for copy-on-write clones).
+  uint64_t commit_epoch_ = 0;
+  std::shared_ptr<const DatabaseVersion> published_;
+  bool live_dirty_ = false;
+  int writer_depth_ = 0;
+  std::multiset<uint64_t> pinned_epochs_;
+  struct RetiredVersion {
+    /// Last published epoch that contained it (diagnostics only — GC is
+    /// driven purely by the reference count, see CollectRetiredLocked).
+    uint64_t superseded_epoch;
+    std::shared_ptr<const Table> table;
+  };
+  std::vector<RetiredVersion> retired_;
 };
 
 }  // namespace ufilter::relational

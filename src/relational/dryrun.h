@@ -4,9 +4,9 @@
 // succeed and how many rows they would affect.
 //
 // This is what lets check-only traffic run concurrently: a dry-run check
-// (apply=false, outside strategy) validates its translation here under a
-// shared reader lock instead of executing ops and rolling back under an
-// exclusive one. The simulation mirrors the engine's own constraint
+// (apply=false, outside strategy) validates its translation here against
+// its context's pinned MVCC snapshot — no lock held, no execute/rollback
+// in the writer lane. The simulation mirrors the engine's own constraint
 // machinery (NOT NULL / CHECK / domain, FK existence, unique keys, FK
 // delete policies) and produces the same failure statuses; sequences whose
 // effects it cannot reproduce faithfully read-only are reported as

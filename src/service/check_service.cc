@@ -1,5 +1,6 @@
 #include "service/check_service.h"
 
+#include <chrono>
 #include <utility>
 
 namespace ufilter::service {
@@ -8,9 +9,21 @@ using check::CheckOptions;
 using check::CheckOutcome;
 using check::CheckReport;
 
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
 CheckService::CheckService(check::UFilter* filter, CheckServiceOptions options)
     : filter_(filter),
       db_(filter->database()),
+      options_(options),
       queue_(options.queue_capacity) {
   int threads = options.worker_threads;
   if (threads <= 0) {
@@ -116,29 +129,65 @@ void CheckService::WorkerLoop() {
 }
 
 CheckReport CheckService::Process(Request* req) {
+  // One session, one request at a time: the session's context carries the
+  // snapshot pin (and the writer lane mutates its scratch), so same-session
+  // requests must not interleave. Cross-session requests never contend
+  // here.
+  std::lock_guard<std::mutex> session_lock(
+      req->session->processing_mutex());
   relational::ExecutionContext* ctx = req->session->context();
   std::shared_ptr<const check::PreparedUpdate> plan;
   bool tried_fast_path = false;
   {
-    // Fast path: prepare (thread-safe sharded plan cache) and attempt the
-    // whole check read-only. Concurrent with every other reader; excluded
-    // only by a writer-lane occupant.
-    std::shared_lock<std::shared_mutex> read_lock(data_mu_);
-    plan = filter_->Prepare(req->update_text);
+    // Fast path: pin a snapshot of the latest commit epoch on the session's
+    // context, then prepare (thread-safe sharded plan cache) and attempt
+    // the whole check read-only against the pinned tables. Opening the
+    // snapshot is the only synchronization point — after it, no lock is
+    // held, so this runs concurrently with every other reader *and* with a
+    // writer-lane occupant committing new versions.
+    auto wait_start = std::chrono::steady_clock::now();
+    std::shared_ptr<const relational::Snapshot> snapshot =
+        db_->OpenSnapshot();
     tried_fast_path = !req->options.apply;
+    // Only genuine fast-path candidates account into the reader-wait
+    // counter: an apply=true request's snapshot open is writer-side work
+    // and must not pollute the readers-never-block metric.
+    if (tried_fast_path) reader_wait_ns_ += ElapsedNs(wait_start);
+    ctx->PinReadSnapshot(std::move(snapshot));
+    plan = filter_->Prepare(req->update_text, nullptr, ctx);
     std::optional<CheckReport> fast =
         filter_->TryCheckReadOnly(*plan, req->options, ctx);
+    ctx->ClearReadSnapshot();
     if (fast.has_value()) {
       ++fast_path_;
       return *std::move(fast);
     }
   }
   // Writer lane: one occupant at a time; the classic execute / rollback
-  // protocol runs against a quiescent database.
-  std::unique_lock<std::shared_mutex> write_lock(data_mu_);
+  // protocol runs against the live tables (copy-on-write keeps pinned
+  // snapshots stable), and the guard publishes the outcome as one commit.
+  auto wait_start = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> write_lock(writer_mu_);
+  writer_wait_ns_ += ElapsedNs(wait_start);
+  relational::Database::WriterGuard guard(db_);
+  if (!req->options.apply) {
+    // Escalated check-only traffic executes and fully rolls back: no net
+    // change, so don't commit a byte-identical epoch per check.
+    guard.AbandonPublish();
+  }
   ++writer_lane_;
   if (tried_fast_path) ++escalations_;
-  return filter_->Execute(*plan, req->options, ctx);
+  if (options_.writer_lane_hold_ms_for_testing > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.writer_lane_hold_ms_for_testing));
+  }
+  CheckReport report = filter_->Execute(*plan, req->options, ctx);
+  if (report.outcome != CheckOutcome::kExecuted) {
+    // A rejected apply rolled everything back too — don't commit a no-op
+    // epoch for it.
+    guard.AbandonPublish();
+  }
+  return report;
 }
 
 CheckServiceStats CheckService::Snapshot() const {
@@ -150,6 +199,13 @@ CheckServiceStats CheckService::Snapshot() const {
   s.escalations = escalations_;
   s.shed = shed_;
   s.queue_high_water = queue_.high_water();
+  s.reader_wait_ns = reader_wait_ns_;
+  s.writer_wait_ns = writer_wait_ns_;
+  relational::EngineStats engine = db_->SnapshotWorkCounters();
+  s.snapshots_opened = engine.snapshots_opened;
+  s.versions_retired = engine.versions_retired;
+  s.commit_epoch = db_->commit_epoch();
+  s.oldest_pinned_epoch = db_->oldest_pinned_epoch();
   s.plan_cache = filter_->plan_cache().counters();
   return s;
 }

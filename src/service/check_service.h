@@ -7,26 +7,31 @@
 //     queue (Submit blocks when it is full — backpressure — and TrySubmit
 //     sheds load instead);
 //   - check-only traffic (apply=false, outside strategy) runs on the *fast
-//     path*: plan-cache prepare + probes + read-only translation validation
-//     under a shared reader lock, so N workers check concurrently and never
-//     block each other;
+//     path*: the worker pins an MVCC snapshot (Database::OpenSnapshot, a
+//     mutex-guarded pointer copy) on the session's context and then runs
+//     plan-cache prepare + probes + read-only translation validation with
+//     **no lock held at all** — N workers check concurrently with each
+//     other *and* with the writer lane;
 //   - everything that must mutate the base tables — apply=true requests,
 //     hybrid/internal strategies, multi-action statements, and the rare
 //     sequences the read-only validator punts on — is serialized through
-//     the single *writer lane* (the exclusive side of the same lock), where
-//     the classic execute / rollback protocol runs unchanged.
+//     the single *writer lane* (a plain mutex), where the classic
+//     execute / rollback protocol runs against the live tables and a
+//     Database::WriterGuard publishes the result as a new commit epoch.
+//     In-flight snapshot checks keep reading their pinned epoch; the
+//     writer's copy-on-write clones never touch a published table version.
 //
 // Shared vs. per-session state: the Database's base tables, the compiled
 // view and the sharded plan cache are shared; each Session owns an
 // ExecutionContext (temp tables, undo log) plus its outcome counters. Work
 // counters everywhere are relaxed atomics. See docs/ARCHITECTURE.md,
-// "Concurrency model".
+// "Concurrency model" and "Snapshots & versioning".
 #ifndef UFILTER_SERVICE_CHECK_SERVICE_H_
 #define UFILTER_SERVICE_CHECK_SERVICE_H_
 
 #include <future>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,13 +48,18 @@ struct CheckServiceOptions {
   int worker_threads = 0;
   /// Admission queue bound (backpressure threshold).
   size_t queue_capacity = 256;
+  /// Test-only fault injection: every writer-lane request holds the lane
+  /// for this long before executing, so tests can assert that snapshot
+  /// readers never wait on a slow writer.
+  int writer_lane_hold_ms_for_testing = 0;
 };
 
 /// Point-in-time service counters.
 struct CheckServiceStats {
   uint64_t submitted = 0;
   uint64_t completed = 0;
-  /// Served read-only under the shared lock (concurrent with each other).
+  /// Served read-only against a pinned snapshot (no lock held; concurrent
+  /// with each other and with the writer lane).
   uint64_t fast_path = 0;
   /// Serialized through the exclusive writer lane.
   uint64_t writer_lane = 0;
@@ -60,6 +70,17 @@ struct CheckServiceStats {
   uint64_t shed = 0;
   /// Deepest the admission queue has been.
   uint64_t queue_high_water = 0;
+  /// Total time fast-path requests spent blocked acquiring their snapshot
+  /// (the only synchronization point on the read path). Stays ~0 even while
+  /// a writer occupies the lane — the readers-never-block invariant.
+  uint64_t reader_wait_ns = 0;
+  /// Total time writer-lane requests spent waiting for the lane mutex.
+  uint64_t writer_wait_ns = 0;
+  /// MVCC gauges/counters from the database (see relational/database.h).
+  uint64_t snapshots_opened = 0;
+  uint64_t versions_retired = 0;
+  uint64_t commit_epoch = 0;
+  uint64_t oldest_pinned_epoch = 0;
   /// The shared plan cache's counters (hits/misses/insertions/evictions).
   check::PlanCacheCounters plan_cache;
 };
@@ -116,12 +137,13 @@ class CheckService {
 
   check::UFilter* filter_;
   relational::Database* db_;
+  CheckServiceOptions options_;
   BoundedQueue<std::unique_ptr<Request>> queue_;
   std::vector<std::thread> workers_;
 
-  /// Readers = concurrent fast-path checks; the exclusive side is the
-  /// writer lane.
-  std::shared_mutex data_mu_;
+  /// The writer lane: one mutating request at a time. Fast-path checks
+  /// never touch it — they read a pinned MVCC snapshot instead.
+  std::mutex writer_mu_;
 
   relational::RelaxedCounter next_session_id_{1};
   relational::RelaxedCounter submitted_;
@@ -130,6 +152,8 @@ class CheckService {
   relational::RelaxedCounter writer_lane_;
   relational::RelaxedCounter escalations_;
   relational::RelaxedCounter shed_;
+  relational::RelaxedCounter reader_wait_ns_;
+  relational::RelaxedCounter writer_wait_ns_;
 };
 
 }  // namespace ufilter::service

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -33,10 +34,16 @@ class Session {
   uint64_t id() const { return id_; }
   const std::string& name() const { return name_; }
 
-  /// The session's scratch. Mutating operations on it (temp tables, undo)
-  /// are serialized by the service's writer lane; direct use outside the
-  /// service must be externally synchronized.
+  /// The session's scratch. The service serializes all processing of one
+  /// session's requests via processing_mutex() (the context carries the
+  /// per-request snapshot pin and the writer lane mutates its temp tables /
+  /// undo log, so two workers must never run the same session at once);
+  /// direct use outside the service must be externally synchronized.
   relational::ExecutionContext* context() { return ctx_.get(); }
+
+  /// Held by a worker for the whole processing of one of this session's
+  /// requests. Requests of *different* sessions stay fully concurrent.
+  std::mutex& processing_mutex() { return processing_mu_; }
 
   SessionCounters& counters() { return counters_; }
   const SessionCounters& counters() const { return counters_; }
@@ -45,6 +52,7 @@ class Session {
   const uint64_t id_;
   const std::string name_;
   std::unique_ptr<relational::ExecutionContext> ctx_;
+  std::mutex processing_mu_;
   SessionCounters counters_;
 };
 

@@ -87,10 +87,14 @@ Result<std::unique_ptr<UFilter>> UFilter::Create(
 
 void UFilter::CompileActions(const xq::UpdateStmt& stmt, bool compute_star,
                              std::vector<PreparedAction>* actions,
-                             double* step1_seconds, double* step2_seconds) {
+                             double* step1_seconds, double* step2_seconds,
+                             relational::ExecutionContext* ctx) {
   db_->stats().updates_compiled += 1;
-  Translator translator(db_, view_.get(), gv_.get());
-  relational::Planner planner(db_);
+  // Probe composition is schema-only, but probe *planning* reads table
+  // statistics — scope both to `ctx` so a snapshot-pinned compile touches
+  // no live table state.
+  Translator translator(db_, view_.get(), gv_.get(), ctx);
+  relational::Planner planner(db_, ctx);
   // Composes one step-3 probe and compiles it to a physical plan. A compose
   // failure leaves the slot absent (the checker recomposes — and surfaces
   // the same error — at execute time); a planning failure keeps the query
@@ -159,7 +163,7 @@ void UFilter::CompileActions(const xq::UpdateStmt& stmt, bool compute_star,
 
 std::shared_ptr<PreparedUpdate> UFilter::CompileUpdate(
     const std::string& update_text, const std::string& normalized,
-    bool compute_star) {
+    bool compute_star, relational::ExecutionContext* ctx) {
   auto plan = std::shared_ptr<PreparedUpdate>(new PreparedUpdate());
   plan->normalized_text_ = normalized;
   plan->owner_ = this;
@@ -173,12 +177,13 @@ std::shared_ptr<PreparedUpdate> UFilter::CompileUpdate(
   }
   plan->stmt_ = std::make_unique<xq::UpdateStmt>(std::move(*stmt));
   CompileActions(*plan->stmt_, compute_star, &plan->actions_,
-                 &plan->step1_seconds_, &plan->step2_seconds_);
+                 &plan->step1_seconds_, &plan->step2_seconds_, ctx);
   return plan;
 }
 
 std::shared_ptr<const PreparedUpdate> UFilter::Prepare(
-    const std::string& update_text, bool* cache_hit) {
+    const std::string& update_text, bool* cache_hit,
+    relational::ExecutionContext* ctx) {
   std::string normalized = xq::NormalizeUpdateText(update_text);
   if (std::shared_ptr<const PreparedUpdate> hit =
           plan_cache_.Lookup(normalized)) {
@@ -191,7 +196,7 @@ std::shared_ptr<const PreparedUpdate> UFilter::Prepare(
   // Cached plans always carry STAR: a later Execute with run_star=true must
   // be able to consume this plan.
   std::shared_ptr<PreparedUpdate> plan =
-      CompileUpdate(update_text, normalized, /*compute_star=*/true);
+      CompileUpdate(update_text, normalized, /*compute_star=*/true, ctx);
   plan_cache_.Insert(normalized, plan);
   return plan;
 }
@@ -396,10 +401,10 @@ CheckReport UFilter::Check(const std::string& update_text,
   bool hit = false;
   std::shared_ptr<const PreparedUpdate> plan;
   if (options.use_plan_cache) {
-    plan = Prepare(update_text, &hit);
+    plan = Prepare(update_text, &hit, ctx);
   } else {
     plan = CompileUpdate(update_text, xq::NormalizeUpdateText(update_text),
-                         options.run_star);
+                         options.run_star, ctx);
   }
   double prepare_seconds = Now() - t0;
   CheckReport report = Execute(*plan, options, ctx);
@@ -423,7 +428,7 @@ CheckReport UFilter::CheckParsed(const xq::UpdateStmt& stmt,
   double step1_seconds = 0;
   double step2_seconds = 0;
   CompileActions(stmt, options.run_star, &actions, &step1_seconds,
-                 &step2_seconds);
+                 &step2_seconds, ctx);
   CheckReport report = ExecuteActions(actions, options, ctx);
   report.step1_seconds += step1_seconds;
   if (options.run_star) report.step2_seconds += step2_seconds;
@@ -445,11 +450,11 @@ std::vector<CheckReport> UFilter::CheckBatch(
     double t0 = Now();
     if (options.use_plan_cache) {
       bool hit = false;
-      plans[i] = Prepare(updates[i], &hit);
+      plans[i] = Prepare(updates[i], &hit, ctx);
       hits[i] = hit ? 1 : 0;
     } else {
       plans[i] = CompileUpdate(updates[i], xq::NormalizeUpdateText(updates[i]),
-                               options.run_star);
+                               options.run_star, ctx);
     }
     prepare_seconds[i] = Now() - t0;
   }

@@ -112,9 +112,14 @@ class UFilter {
   /// (step 1) and STAR-classify (step 2) every action. Never returns null;
   /// compile failures travel inside the plan and surface when executed.
   /// Consults the plan cache first (key: normalized text); `cache_hit`, when
-  /// non-null, reports whether the plan was served from the cache.
-  std::shared_ptr<const PreparedUpdate> Prepare(const std::string& update_text,
-                                                bool* cache_hit = nullptr);
+  /// non-null, reports whether the plan was served from the cache. `ctx`
+  /// scopes the table-statistics reads of probe *planning*: a
+  /// snapshot-pinned context lets Prepare run with no lock while a writer
+  /// commits concurrently (the physical plans re-resolve tables by name at
+  /// execution, so a plan compiled at one epoch replays at any other).
+  std::shared_ptr<const PreparedUpdate> Prepare(
+      const std::string& update_text, bool* cache_hit = nullptr,
+      relational::ExecutionContext* ctx = nullptr);
 
   /// Runs step 3 + translation for a prepared plan against current data.
   /// Rejects plans prepared against a different UFilter or view definition.
@@ -191,10 +196,12 @@ class UFilter {
   /// and the step-1/2 compile timings. With `compute_star` false step 2 is
   /// skipped (the run_star=false baseline must not pay STAR anywhere) —
   /// only cache-bypassing callers may skip it, since a cached plan must
-  /// serve later run_star=true executions.
+  /// serve later run_star=true executions. `ctx` scopes the probe planner's
+  /// table-statistics reads (null = root context / live tables).
   void CompileActions(const xq::UpdateStmt& stmt, bool compute_star,
                       std::vector<PreparedAction>* actions,
-                      double* step1_seconds, double* step2_seconds);
+                      double* step1_seconds, double* step2_seconds,
+                      relational::ExecutionContext* ctx = nullptr);
 
   /// Shared rejection prologue of Execute / TryCheckReadOnly: a plan
   /// prepared against another UFilter / view signature, or one whose parse
@@ -205,7 +212,7 @@ class UFilter {
   /// Full compile of one update text into a fresh plan (no cache).
   std::shared_ptr<PreparedUpdate> CompileUpdate(
       const std::string& update_text, const std::string& normalized,
-      bool compute_star);
+      bool compute_star, relational::ExecutionContext* ctx = nullptr);
 
   /// Replays precompiled actions: the per-action step-1/2 verdict gates plus
   /// step 3, with the multi-action atomic savepoint protocol.

@@ -337,7 +337,8 @@ Result<DataCheckReport> DataChecker::RunReplace(
     if (pos == alias_pos.end()) {
       return Status::Internal("replace target variable missing from probe");
     }
-    UFILTER_ASSIGN_OR_RETURN(Table * table, db_->GetTable(leaf.relation));
+    UFILTER_ASSIGN_OR_RETURN(Table * table,
+                             db_->GetTable(ctx_, leaf.relation));
     for (const auto& ids : victims.row_ids) {
       const relational::Row* row = table->GetRow(ids[pos->second]);
       if (row == nullptr) continue;

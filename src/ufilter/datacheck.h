@@ -34,8 +34,9 @@ enum class ApplyMode {
   kApply,    ///< execute and keep (savepoint committed)
   kDryRun,   ///< execute, then roll the savepoint back
   /// Validate the ops read-only (relational/dryrun.h) — no savepoint, no
-  /// mutation, shareable with concurrent readers. Sequences the validator
-  /// cannot decide surface as DataCheckReport::undecided.
+  /// mutation, safe against a pinned MVCC snapshot with no lock held.
+  /// Sequences the validator cannot decide surface as
+  /// DataCheckReport::undecided.
   kReadOnly,
 };
 
@@ -100,7 +101,10 @@ class DataChecker {
         ctx_(ctx != nullptr ? ctx : db->root_context()),
         view_(view),
         gv_(gv),
-        translator_(db, view, gv) {}
+        // The translator shares the session context: with a snapshot-pinned
+        // context the probes *and* the translation's own table reads all see
+        // the same commit epoch.
+        translator_(db, view, gv, ctx_) {}
 
   DataChecker(relational::Database* db, const view::AnalyzedView* view,
               const asg::ViewAsg* gv)
@@ -110,7 +114,8 @@ class DataChecker {
   /// `verdict`). With kDryRun the database is rolled back to its initial
   /// state afterwards; with kReadOnly it is never touched at all (the
   /// translated ops are validated by relational/dryrun.h instead of
-  /// executed — check-only traffic can run under a shared reader lock). On
+  /// executed — check-only traffic runs against a pinned snapshot with no
+  /// lock held). On
   /// failure the database is always left unchanged. When `injected` is
   /// non-null its probe results replace the checker's own anchor/victim
   /// queries (batch mode); the internal strategy's wide probe is always

@@ -215,7 +215,7 @@ Result<std::vector<UpdateOp>> Translator::TranslateDelete(
     if (pos == alias_pos.end()) {
       return Status::Internal("victim variable missing from probe");
     }
-    UFILTER_ASSIGN_OR_RETURN(Table * table, db_->GetTable(target.relation));
+    UFILTER_ASSIGN_OR_RETURN(Table * table, db_->GetTable(ctx_, target.relation));
     std::set<RowId> seen;
     for (const auto& ids : victims.row_ids) {
       RowId id = ids[pos->second];
@@ -259,7 +259,7 @@ Result<std::vector<UpdateOp>> Translator::TranslateDelete(
       if (pos == alias_pos.end()) continue;
       RowId id = ids[pos->second];
       if (scheduled.count({rel, id}) > 0) continue;
-      UFILTER_ASSIGN_OR_RETURN(Table * table, db_->GetTable(rel));
+      UFILTER_ASSIGN_OR_RETURN(Table * table, db_->GetTable(ctx_, rel));
       const Row* row = table->GetRow(id);
       if (row == nullptr) continue;
 
@@ -269,7 +269,7 @@ Result<std::vector<UpdateOp>> Translator::TranslateDelete(
         Value primary_key_value;
         std::string primary_key_col;
         if (primary_pos != alias_pos.end()) {
-          UFILTER_ASSIGN_OR_RETURN(Table * ptable, db_->GetTable(primary_rel));
+          UFILTER_ASSIGN_OR_RETURN(Table * ptable, db_->GetTable(ctx_, primary_rel));
           const Row* prow = ptable->GetRow(ids[primary_pos->second]);
           const auto& ppk = ptable->schema().primary_key();
           if (prow != nullptr && ppk.size() == 1) {
@@ -301,11 +301,11 @@ Result<bool> Translator::TupleReferencedElsewhere(
     const std::string& relation, const Row& tuple,
     const std::string& excluded_rel, const std::string& excluded_key_col,
     const Value& excluded_key_value) {
-  UFILTER_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(relation));
+  UFILTER_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ctx_, relation));
   const TableSchema& schema = table->schema();
   if (schema.primary_key().empty()) return true;  // conservative
 
-  QueryEvaluator evaluator(db_);
+  QueryEvaluator evaluator(db_, ctx_);
   // Every internal view node whose UCBinding includes `relation` describes
   // view content that may reference this tuple.
   std::set<std::string> probed;
@@ -593,7 +593,7 @@ Status Translator::EnforceDuplicationConsistency(
       kept.push_back(std::move(op));
       continue;
     }
-    UFILTER_ASSIGN_OR_RETURN(Table * table, db_->GetTable(op.table));
+    UFILTER_ASSIGN_OR_RETURN(Table * table, db_->GetTable(ctx_, op.table));
     const TableSchema& schema = table->schema();
     std::vector<ColumnPredicate> key_preds;
     bool have_full_key = !schema.primary_key().empty();

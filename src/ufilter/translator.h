@@ -20,9 +20,17 @@ namespace ufilter::check {
 /// \brief Composes probe queries and translates bound updates.
 class Translator {
  public:
+  /// `ctx` scopes every table *read* the translation performs (victim row
+  /// fetches, minimization reference checks, duplication-consistency key
+  /// probes): a snapshot-pinned context makes the whole translation read the
+  /// pinned epoch, which is what lets check-only sessions translate with no
+  /// lock held while a writer commits concurrently. Null means the
+  /// database's root context (live reads), preserving the legacy behavior.
   Translator(relational::Database* db, const view::AnalyzedView* view,
-             const asg::ViewAsg* gv)
-      : db_(db), view_(view), gv_(gv) {}
+             const asg::ViewAsg* gv,
+             relational::ExecutionContext* ctx = nullptr)
+      : db_(db), view_(view), gv_(gv),
+        ctx_(ctx != nullptr ? ctx : db->root_context()) {}
 
   /// Probe for the *context anchor* (does the element the update inserts
   /// into / deletes from exist in the view?). Composes the view query chain
@@ -99,6 +107,7 @@ class Translator {
   relational::Database* db_;
   const view::AnalyzedView* view_;
   const asg::ViewAsg* gv_;
+  relational::ExecutionContext* ctx_;
 };
 
 }  // namespace ufilter::check

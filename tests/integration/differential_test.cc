@@ -14,6 +14,8 @@
 #include "relational/query.h"
 #include "relational/tpch.h"
 
+#include "../support/fuzz_seed.h"
+
 namespace ufilter::relational {
 namespace {
 
@@ -167,7 +169,7 @@ TEST(DifferentialTest, RandomizedBookDbQueries) {
   ASSERT_TRUE(eval.MaterializeInto(mat, "TAB_fuzz").ok());
   QueryFuzzer fuzzer(db->get(),
                      {"book", "publisher", "review", "book", "TAB_fuzz"},
-                     /*seed=*/20260728);
+                     test_support::FuzzSeed("bookdb-differential", 20260728));
   for (int i = 0; i < 300; ++i) {
     ExpectIdentical(db->get(), fuzzer.Generate());
     if (::testing::Test::HasFatalFailure()) break;
@@ -187,7 +189,8 @@ TEST(DifferentialTest, RandomizedTpchQueries) {
   ASSERT_TRUE(eval.MaterializeInto(mat, "TAB_orders").ok());
   QueryFuzzer fuzzer(
       db->get(), {"customer", "orders", "lineitem", "nation", "TAB_orders"},
-      /*seed=*/611, /*cheap_tables=*/false);
+      test_support::FuzzSeed("tpch-differential", 611),
+      /*cheap_tables=*/false);
   for (int i = 0; i < 120; ++i) {
     ExpectIdentical(db->get(), fuzzer.Generate());
     if (::testing::Test::HasFatalFailure()) break;

@@ -1,0 +1,35 @@
+// Shared seed plumbing for the randomized (fuzz-style) test suites.
+//
+// Every fuzz test derives its RNG seed through FuzzSeed(label, default):
+// the UFILTER_FUZZ_SEED environment variable overrides the default, and the
+// chosen seed is always logged, so a CI failure is reproducible locally
+// with e.g.
+//
+//   UFILTER_FUZZ_SEED=12345 ctest -R integration/differential
+#ifndef UFILTER_TESTS_SUPPORT_FUZZ_SEED_H_
+#define UFILTER_TESTS_SUPPORT_FUZZ_SEED_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ufilter::test_support {
+
+/// The seed for the fuzzer named `label`: UFILTER_FUZZ_SEED when set (all
+/// fuzzers of a test binary then share it), else `default_seed`. Logged to
+/// stderr either way so the failing run's seed is always in the CI output.
+inline uint32_t FuzzSeed(const char* label, uint32_t default_seed) {
+  uint32_t seed = default_seed;
+  const char* env = std::getenv("UFILTER_FUZZ_SEED");
+  if (env != nullptr && *env != '\0') {
+    seed = static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  std::fprintf(stderr,
+               "[fuzz] %s: seed = %u (override with UFILTER_FUZZ_SEED)\n",
+               label, seed);
+  return seed;
+}
+
+}  // namespace ufilter::test_support
+
+#endif  // UFILTER_TESTS_SUPPORT_FUZZ_SEED_H_

@@ -11,9 +11,11 @@ Usage:
 
 --check fails (exit 1) when the file is missing, unparsable, or contains no
 benchmarks — the CI perf-smoke step uses it to guarantee the benchmark both
-ran and produced its JSON mirror. --pair/--min-speedup additionally turn a
-performance regression (e.g. the hash-join rescue disappearing) into a CI
-failure.
+ran and produced its JSON mirror. --require NAME_PREFIX (repeatable) fails
+unless at least one benchmark with that name prefix is present, so a series
+silently dropped from a sweep (e.g. the writers=1 mixed series) is a CI
+failure too. --pair/--min-speedup additionally turn a performance
+regression (e.g. the hash-join rescue disappearing) into a CI failure.
 """
 
 import argparse
@@ -112,6 +114,14 @@ def main():
         help="only validate that the file exists and holds results",
     )
     parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME_PREFIX",
+        help="fail unless a benchmark with this name prefix is present "
+        "(repeatable)",
+    )
+    parser.add_argument(
         "--pair",
         nargs=2,
         metavar=("SLOW_PREFIX", "FAST_PREFIX"),
@@ -131,6 +141,14 @@ def main():
     args = parser.parse_args()
 
     benches = load(args.current)
+    for prefix in args.require:
+        hits = sum(1 for b in benches if b["name"].startswith(prefix))
+        if hits == 0:
+            sys.exit(
+                f"error: '{args.current}' holds no benchmark named "
+                f"'{prefix}*' (series missing from the sweep?)"
+            )
+        print(f"ok: '{prefix}*' present ({hits} result(s))")
     if args.check:
         print(f"ok: '{args.current}' holds {len(benches)} benchmark results")
     else:
