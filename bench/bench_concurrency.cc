@@ -30,7 +30,9 @@
 #include <thread>
 #include <vector>
 
+#include "../tests/support/temp_dir.h"
 #include "fixtures/synthetic.h"
+#include "relational/wal.h"
 #include "service/check_service.h"
 
 namespace {
@@ -224,6 +226,126 @@ void BM_MixedChecksOneWriter(benchmark::State& state) {
           : 0;
 }
 
+// The mixed sweep again, with the writer's commits logged to a real WAL
+// (fsync=group). Reader throughput and reader_wait_ns_per_iter should be
+// indistinguishable from MixedChecksOneWriter — WAL file I/O happens
+// outside the snapshot mutex and snapshot checks never flush epochs they
+// didn't publish. Uses its own (smaller) durable database so the shared
+// in-memory setup stays WAL-free.
+void BM_MixedChecksOneWriterWal(benchmark::State& state) {
+  constexpr int kWalDepth = 3;
+  constexpr int kWalRows = 100;
+  const int threads = static_cast<int>(state.range(0));
+  ufilter::test_support::TempDir tmp("ufilter_bench_conc");
+  auto created = ufilter::relational::Database::Create(
+      ufilter::fixtures::MakeChainSchema(kWalDepth));
+  if (!created.ok()) {
+    state.SkipWithError(created.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<ufilter::relational::Database> db = std::move(*created);
+  ufilter::relational::DurabilityOptions durability;
+  durability.wal_path = tmp.path("mixed.wal");
+  durability.fsync_policy = ufilter::relational::FsyncPolicy::kGroup;
+  durability.group_commit_size = 8;
+  ufilter::Status enabled = db->EnableDurability(durability);
+  if (!enabled.ok()) {
+    state.SkipWithError(enabled.ToString().c_str());
+    return;
+  }
+  ufilter::Status seeded =
+      ufilter::fixtures::PopulateChain(db.get(), kWalDepth, kWalRows);
+  if (!seeded.ok()) {
+    state.SkipWithError(seeded.ToString().c_str());
+    return;
+  }
+  auto uf = UFilter::Create(db.get(),
+                            ufilter::fixtures::ChainViewQuery(kWalDepth));
+  if (!uf.ok()) {
+    state.SkipWithError(uf.status().ToString().c_str());
+    return;
+  }
+
+  CheckOptions dry;
+  dry.apply = false;
+  CheckOptions apply;
+  CheckServiceOptions options;
+  options.worker_threads = threads + 1;
+  options.queue_capacity = kChecksPerIter + 64;
+  CheckService svc(uf->get(), options);
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int t = 0; t < threads; ++t) sessions.push_back(svc.OpenSession());
+  auto writer_session = svc.OpenSession();
+
+  std::vector<std::string> checks;
+  std::vector<std::string> writes;
+  for (int k = 0; k < kBatchSize; ++k) {
+    checks.push_back(
+        ufilter::fixtures::ChainDeleteUpdate(kWalDepth - 1, k));
+    writes.push_back(
+        ufilter::fixtures::ChainReplaceUpdate(kWalDepth - 1, k, "w0"));
+    writes.push_back(
+        ufilter::fixtures::ChainReplaceUpdate(kWalDepth - 1, k, "w1"));
+  }
+  for (const std::string& u : checks) (void)(*uf)->Prepare(u);
+  for (const std::string& u : writes) (void)(*uf)->Prepare(u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> commits{0};
+  std::thread writer([&] {
+    size_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      CheckReport r =
+          svc.Submit(writer_session, writes[i++ % writes.size()], apply)
+              .get();
+      if (r.outcome == CheckOutcome::kExecuted) {
+        commits.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  CheckServiceStats before = svc.Snapshot();
+  int64_t checked = 0;
+  std::vector<std::future<CheckReport>> futures;
+  futures.reserve(kChecksPerIter);
+  for (auto _ : state) {
+    futures.clear();
+    for (int i = 0; i < kChecksPerIter; ++i) {
+      futures.push_back(svc.Submit(
+          sessions[static_cast<size_t>(i) % sessions.size()],
+          checks[static_cast<size_t>(i) % checks.size()], dry));
+    }
+    for (auto& f : futures) {
+      CheckReport r = f.get();
+      if (r.outcome != CheckOutcome::kExecuted) {
+        stop.store(true, std::memory_order_release);
+        writer.join();
+        state.SkipWithError(r.Describe().c_str());
+        return;
+      }
+      ++checked;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  CheckServiceStats after = svc.Snapshot();
+  const double iters = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(checked);
+  state.counters["worker_threads"] = threads;
+  state.counters["writers"] = 1;
+  state.counters["writer_commits"] = static_cast<double>(commits.load());
+  state.counters["wal_records"] =
+      static_cast<double>(after.wal_records - before.wal_records);
+  state.counters["wal_fsyncs"] =
+      static_cast<double>(after.wal_fsyncs - before.wal_fsyncs);
+  state.counters["reader_wait_ns_per_iter"] =
+      iters > 0
+          ? static_cast<double>(after.reader_wait_ns - before.reader_wait_ns) /
+                iters
+          : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -250,6 +372,11 @@ int main(int argc, char** argv) {
       ->Arg(2)
       ->Arg(4)
       ->Arg(8)
+      ->UseRealTime()
+      ->MeasureProcessCPUTime();
+  benchmark::RegisterBenchmark("MixedChecksOneWriterWal",
+                               BM_MixedChecksOneWriterWal)
+      ->Arg(4)
       ->UseRealTime()
       ->MeasureProcessCPUTime();
   return ufilter::bench::RunWithJson(argc, argv, "concurrency");

@@ -1,6 +1,9 @@
 #include "fixtures/synthetic.h"
 
+#include <map>
+#include <random>
 #include <string>
+#include <vector>
 
 namespace ufilter::fixtures {
 
@@ -34,11 +37,7 @@ DatabaseSchema MakeChainSchema(int depth, DeletePolicy policy) {
   return schema;
 }
 
-Result<std::unique_ptr<Database>> MakeChainDatabase(int depth,
-                                                    int rows_per_level,
-                                                    DeletePolicy policy) {
-  UFILTER_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
-                           Database::Create(MakeChainSchema(depth, policy)));
+Status PopulateChain(Database* db, int depth, int rows_per_level) {
   for (int i = 0; i < depth; ++i) {
     for (int r = 0; r < rows_per_level; ++r) {
       relational::Row row;
@@ -50,7 +49,69 @@ Result<std::unique_ptr<Database>> MakeChainDatabase(int depth,
     }
   }
   db->Checkpoint();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> MakeChainDatabase(int depth,
+                                                    int rows_per_level,
+                                                    DeletePolicy policy) {
+  UFILTER_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                           Database::Create(MakeChainSchema(depth, policy)));
+  UFILTER_RETURN_NOT_OK(PopulateChain(db.get(), depth, rows_per_level));
   return db;
+}
+
+Status ApplyChainBatch(Database* db, int depth, int rows_per_level,
+                       uint32_t seed, int index) {
+  // The op stream must be a pure function of (seed, index): the crash fuzz
+  // replays exactly the batches whose commit records survived, so nothing
+  // here may read database state to decide what to do.
+  std::mt19937 rng(seed + 0x9e3779b9u * static_cast<uint32_t>(index + 1));
+  const int leaf = depth - 1;
+  const std::string table = T(leaf);
+  const int ops = 1 + static_cast<int>(rng() % 4);
+  Database::WriterGuard guard(db);
+  for (int j = 0; j < ops; ++j) {
+    const std::string color =
+        "c" + std::to_string(rng() % 7);  // small palette => deletes hit
+    // Op 0 is always an insert: a batch of nothing but zero-victim updates
+    // or deletes would leave the guard clean, publish no epoch and append
+    // no WAL record — breaking the crash fuzz's batch <-> epoch mapping.
+    // One guaranteed-effective op per batch keeps it bijective.
+    switch (j == 0 ? 1 : rng() % 3) {
+      case 0: {  // Recolor one seeded-or-surviving leaf by key.
+        const int64_t key = static_cast<int64_t>(rng() % rows_per_level);
+        UFILTER_RETURN_NOT_OK(
+            db->UpdateWhere(table, {{V(leaf), Value::String(color)}},
+                            {{K(leaf), CompareOp::kEq,
+                              Value::Int(key)}})
+                .status());
+        break;
+      }
+      case 1: {  // Insert a batch-unique leaf (keys never collide: each
+                 // batch owns the range [1e6 + index*8, 1e6 + index*8 + 7]).
+        relational::Row row;
+        row.push_back(Value::Int(1'000'000 + static_cast<int64_t>(index) * 8 +
+                                 j));
+        row.push_back(Value::String(color));
+        if (depth > 1)
+          row.push_back(Value::Int(static_cast<int64_t>(rng()) %
+                                   rows_per_level));
+        UFILTER_RETURN_NOT_OK(db->Insert(table, std::move(row)).status());
+        break;
+      }
+      default: {  // Delete every leaf currently wearing `color` (leaf level
+                  // => no cascade fan-out; zero victims is fine).
+        UFILTER_RETURN_NOT_OK(
+            db->DeleteWhere(table, {{V(leaf), CompareOp::kEq,
+                                     Value::String(color)}})
+                .status());
+        break;
+      }
+    }
+  }
+  db->Checkpoint();  // Seal the redo + drop the undo before publishing.
+  return Status::OK();
 }
 
 std::string ChainViewQuery(int depth) {

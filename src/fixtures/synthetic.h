@@ -6,6 +6,7 @@
 #ifndef UFILTER_FIXTURES_SYNTHETIC_H_
 #define UFILTER_FIXTURES_SYNTHETIC_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -19,11 +20,27 @@ relational::DatabaseSchema MakeChainSchema(
     int depth,
     relational::DeletePolicy policy = relational::DeletePolicy::kCascade);
 
+/// Seeds an empty chain database: each level gets `rows_per_level` rows,
+/// row r of level i referencing row r % rows of level i-1. Ends with a
+/// Checkpoint(), so the seed is one undo-free baseline. Extracted from
+/// MakeChainDatabase so crash-recovery tests can replay the exact seeding
+/// into a recovered or reference database.
+Status PopulateChain(relational::Database* db, int depth, int rows_per_level);
+
 /// Populates each level with `rows_per_level` rows; row r of level i
 /// references row r % rows of level i-1.
 Result<std::unique_ptr<relational::Database>> MakeChainDatabase(
     int depth, int rows_per_level,
     relational::DeletePolicy policy = relational::DeletePolicy::kCascade);
+
+/// Applies one deterministic pseudo-random mutation batch (1-4 leaf-level
+/// inserts / recolors / deletes-by-color, derived from `seed` and the batch
+/// `index` alone, never from database state) and commits it as a single
+/// WriterGuard epoch. Replaying batches 0..k-1 in order onto a freshly
+/// populated chain always lands on the same published state — the
+/// reference-replay oracle of the crash-recovery fuzz tests.
+Status ApplyChainBatch(relational::Database* db, int depth,
+                       int rows_per_level, uint32_t seed, int index);
 
 /// <Chain> with N nested FLWRs following the FKs; every internal node is
 /// (clean | safe-delete, safe-insert).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "relational/wal.h"
 
 namespace ufilter::relational {
 
@@ -248,6 +249,16 @@ void Table::OverwriteRow(RowId id, Row row) {
   IndexInsert(id, *slot);
 }
 
+void Table::PutSlotForRecovery(RowId id, Row row) {
+  const size_t slot_idx = static_cast<size_t>(id);
+  if (slot_idx >= rows_.size()) rows_.resize(slot_idx + 1);
+  auto& slot = rows_[slot_idx];
+  if (slot.has_value()) return;  // caller validated; never clobber
+  slot = std::move(row);
+  IndexInsert(id, *slot);
+  ++live_count_;
+}
+
 size_t Table::IndexKeyHash(const Index& index, const Row& row) const {
   return HashRowValues(row, index.column_idx);
 }
@@ -346,6 +357,13 @@ Result<uint64_t> Database::PublishLocked(Graveyard* graveyard) {
   }
   ++commit_epoch_;
   BuildVersionLocked(commit_epoch_);
+  if (wal_enabled_.load(std::memory_order_relaxed)) {
+    // The epoch's redo ops become its WAL record. Only enqueued here — the
+    // file write and fsync happen in FlushWalPending, after the publisher
+    // releases snapshot_mu_, so no snapshot open ever waits on the disk.
+    wal_pending_.emplace_back(commit_epoch_, std::move(wal_redo_));
+    wal_redo_.clear();
+  }
   CollectRetiredLocked(graveyard);
   return commit_epoch_;
 }
@@ -386,55 +404,82 @@ void Database::EnsurePublishedLocked(Graveyard* graveyard) {
 
 std::shared_ptr<const Snapshot> Database::OpenSnapshot() {
   Graveyard graveyard;  // declared first: destroyed after the lock releases
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  EnsurePublishedLocked(&graveyard);
-  if (live_dirty_ && writer_depth_ == 0) {
-    // Publish-on-demand from quiescence so the snapshot sees current data.
-    // On epoch exhaustion the snapshot pins the last published version.
-    (void)PublishLocked(&graveyard);
+  std::shared_ptr<const Snapshot> snapshot;
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    const bool had_published = published_ != nullptr;
+    const uint64_t epoch_before = commit_epoch_;
+    EnsurePublishedLocked(&graveyard);
+    if (live_dirty_ && writer_depth_ == 0) {
+      // Publish-on-demand from quiescence so the snapshot sees current data.
+      // On epoch exhaustion the snapshot pins the last published version.
+      (void)PublishLocked(&graveyard);
+    }
+    // Flush only when this call itself published: a reader arriving in the
+    // window between a writer's publish and the writer's flush must not be
+    // drafted into paying for that writer's file write / fsync.
+    flush = (!had_published || commit_epoch_ != epoch_before) &&
+            WalFlushNeededLocked();
+    pinned_epochs_.insert(published_->epoch);
+    stats_.snapshots_opened++;
+    snapshot = std::shared_ptr<const Snapshot>(new Snapshot(this, published_));
   }
-  pinned_epochs_.insert(published_->epoch);
-  stats_.snapshots_opened++;
-  return std::shared_ptr<const Snapshot>(new Snapshot(this, published_));
+  if (flush) FlushWalPending();
+  return snapshot;
 }
 
 Result<uint64_t> Database::PublishVersion() {
   Graveyard graveyard;  // declared first: destroyed after the lock releases
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  return PublishLocked(&graveyard);
+  std::unique_lock<std::mutex> lock(snapshot_mu_);
+  Result<uint64_t> result = PublishLocked(&graveyard);
+  const bool flush = WalFlushNeededLocked();
+  lock.unlock();
+  if (flush) FlushWalPending();
+  return result;
 }
 
 Database::WriterGuard::WriterGuard(Database* db) : db_(db) {
   Database::Graveyard graveyard;
-  std::lock_guard<std::mutex> lock(db_->snapshot_mu_);
-  // Pin down the pre-transaction state first: a snapshot opened while
-  // this writer is mid-flight must never see a half-applied sequence, and
-  // unpublished mutations from *before* the guard must be committed now —
-  // otherwise an AbandonPublish release would silently discard them from
-  // every future snapshot (its premise is "live == published at entry").
-  db_->EnsurePublishedLocked(&graveyard);
-  if (db_->writer_depth_ == 0 && db_->live_dirty_) {
-    (void)db_->PublishLocked(&graveyard);
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(db_->snapshot_mu_);
+    // Pin down the pre-transaction state first: a snapshot opened while
+    // this writer is mid-flight must never see a half-applied sequence, and
+    // unpublished mutations from *before* the guard must be committed now —
+    // otherwise an AbandonPublish release would silently discard them from
+    // every future snapshot (its premise is "live == published at entry").
+    db_->EnsurePublishedLocked(&graveyard);
+    if (db_->writer_depth_ == 0 && db_->live_dirty_) {
+      (void)db_->PublishLocked(&graveyard);
+    }
+    ++db_->writer_depth_;
+    flush = db_->WalFlushNeededLocked();
   }
-  ++db_->writer_depth_;
+  if (flush) db_->FlushWalPending();
 }
 
 Database::WriterGuard::~WriterGuard() {
   Database::Graveyard graveyard;
-  std::lock_guard<std::mutex> lock(db_->snapshot_mu_);
-  if (--db_->writer_depth_ == 0 && db_->live_dirty_) {
-    if (abandon_publish_) {
-      // The transaction rolled everything back: the live tables are
-      // byte-identical to the published version, so committing a new
-      // epoch would only churn versions and GC for nothing.
-      db_->live_dirty_ = false;
-      db_->CollectRetiredLocked(&graveyard);
-    } else {
-      // Epoch exhaustion keeps the last published version pinned-readable;
-      // mutations remain visible to live (writer-lane) reads only.
-      (void)db_->PublishLocked(&graveyard);
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(db_->snapshot_mu_);
+    if (--db_->writer_depth_ == 0 && db_->live_dirty_) {
+      if (abandon_publish_) {
+        // The transaction rolled everything back: the live tables are
+        // byte-identical to the published version, so committing a new
+        // epoch would only churn versions and GC for nothing.
+        db_->live_dirty_ = false;
+        db_->CollectRetiredLocked(&graveyard);
+      } else {
+        // Epoch exhaustion keeps the last published version pinned-readable;
+        // mutations remain visible to live (writer-lane) reads only.
+        (void)db_->PublishLocked(&graveyard);
+      }
     }
+    flush = db_->WalFlushNeededLocked();
   }
+  if (flush) db_->FlushWalPending();
 }
 
 uint64_t Database::commit_epoch() const {
@@ -641,6 +686,9 @@ Result<RowId> Database::Insert(ExecutionContext* ctx,
       {ExecutionContext::UndoKind::kInsert, table, id, {}});
   stats_.rows_inserted++;
   stats_.undo_records++;
+  if (!ctx->IsTempTable(table)) {
+    CaptureRedo(ctx, RedoOp::Kind::kInsert, table, id, t->GetRow(id));
+  }
   return id;
 }
 
@@ -740,6 +788,10 @@ Status Database::DeleteRowInternal(
             ref_table->OverwriteRow(rid, std::move(updated));
             stats_.rows_updated++;
             outcome->nulled_rows++;
+            // Referencing tables are always base tables (schema-declared
+            // FKs), so every SET NULL rewrite is redo-logged.
+            CaptureRedo(ctx, RedoOp::Kind::kUpdate, other.name(), rid,
+                        ref_table->GetRow(rid));
           }
           break;
         }
@@ -752,6 +804,9 @@ Status Database::DeleteRowInternal(
   ctx->undo_log_.push_back(
       {ExecutionContext::UndoKind::kDelete, table_name, id, row});
   stats_.undo_records++;
+  if (!ctx->IsTempTable(table_name)) {
+    CaptureRedo(ctx, RedoOp::Kind::kDelete, table_name, id, nullptr);
+  }
   table->EraseRow(id);
   stats_.rows_deleted++;
   outcome->deleted_rows++;
@@ -850,13 +905,72 @@ Result<int64_t> Database::UpdateWhere(
     stats_.undo_records++;
     t->OverwriteRow(id, std::move(next));
     stats_.rows_updated++;
+    if (!ctx->IsTempTable(table)) {
+      CaptureRedo(ctx, RedoOp::Kind::kUpdate, table, id, t->GetRow(id));
+    }
     ++updated;
   }
   ctx->Commit(mark);
   return updated;
 }
 
+void Database::CaptureRedo(const ExecutionContext* ctx, RedoOp::Kind kind,
+                           const std::string& table, RowId id,
+                           const Row* row) {
+  if (!wal_enabled_.load(std::memory_order_acquire)) return;
+  RedoOp op;
+  op.kind = kind;
+  op.table = table;
+  op.row_id = id;
+  if (row != nullptr) op.row = *row;
+  op.owner = ctx;
+  // The matching undo record was just pushed; pairing by index lets a
+  // rollback to any savepoint discard exactly the right redo suffix.
+  op.undo_mark = static_cast<int64_t>(ctx->undo_log_.size()) - 1;
+  // Under snapshot_mu_ so the append is ordered against a concurrent
+  // quiescent publish (OpenSnapshot) packaging wal_redo_ into a record.
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  wal_redo_.push_back(std::move(op));
+}
+
+void Database::DropRedoSince(const ExecutionContext* ctx, size_t mark) {
+  if (!wal_enabled_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  wal_redo_.erase(
+      std::remove_if(wal_redo_.begin(), wal_redo_.end(),
+                     [&](const RedoOp& op) {
+                       return op.owner == ctx &&
+                              op.undo_mark >= static_cast<int64_t>(mark);
+                     }),
+      wal_redo_.end());
+}
+
+void Database::SealRedoFor(const ExecutionContext* ctx) {
+  if (!wal_enabled_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  for (RedoOp& op : wal_redo_) {
+    if (op.owner == ctx) {
+      op.owner = nullptr;
+      op.undo_mark = -1;
+    }
+  }
+}
+
+ExecutionContext::~ExecutionContext() { db_->SealRedoFor(this); }
+
+void ExecutionContext::Checkpoint() {
+  // The undo records are about to vanish, so the paired redo ops become
+  // un-rollbackable: seal them — they publish with the next epoch's WAL
+  // record no matter what this context does afterwards.
+  db_->SealRedoFor(this);
+  undo_log_.clear();
+}
+
 void ExecutionContext::Rollback(size_t mark) {
+  // Discard the redo ops of the statements being undone first: the undo
+  // walk below rewrites rows directly (bypassing the capture sites), so
+  // after it the net effect of [mark, end) is zero on both logs.
+  db_->DropRedoSince(this, mark);
   // Base tables resolve through the copy-on-write gate: rolling back must
   // never rewrite a version a snapshot still pins. (A context doing a
   // rollback is by construction not snapshot-pinned — pinned contexts

@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <map>
 #include <memory>
@@ -32,6 +33,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -134,6 +136,13 @@ struct EngineStats {
   /// Superseded table versions released by epoch-based GC (each one was a
   /// copy-on-write clone source that no pinned snapshot can still see).
   uint64_t versions_retired = 0;
+  /// WAL records appended (one per published commit epoch while durable).
+  uint64_t wal_records = 0;
+  /// fsync(2) calls issued by the WAL writer; with the group-commit policy
+  /// wal_records / wal_fsyncs is the achieved batching factor.
+  uint64_t wal_fsyncs = 0;
+  /// Bytes appended to the WAL (framing included).
+  uint64_t wal_bytes = 0;
 
   void Reset() { *this = EngineStats(); }
 
@@ -159,6 +168,9 @@ struct EngineStats {
     d.star_checks -= baseline.star_checks;
     d.snapshots_opened -= baseline.snapshots_opened;
     d.versions_retired -= baseline.versions_retired;
+    d.wal_records -= baseline.wal_records;
+    d.wal_fsyncs -= baseline.wal_fsyncs;
+    d.wal_bytes -= baseline.wal_bytes;
     return d;
   }
 };
@@ -186,6 +198,9 @@ struct AtomicEngineStats {
   RelaxedCounter star_checks;
   RelaxedCounter snapshots_opened;
   RelaxedCounter versions_retired;
+  RelaxedCounter wal_records;
+  RelaxedCounter wal_fsyncs;
+  RelaxedCounter wal_bytes;
 
   EngineStats Snapshot() const {
     EngineStats s;
@@ -208,6 +223,9 @@ struct AtomicEngineStats {
     s.star_checks = star_checks;
     s.snapshots_opened = snapshots_opened;
     s.versions_retired = versions_retired;
+    s.wal_records = wal_records;
+    s.wal_fsyncs = wal_fsyncs;
+    s.wal_bytes = wal_bytes;
     return s;
   }
 
@@ -231,6 +249,9 @@ struct AtomicEngineStats {
     star_checks.Reset();
     snapshots_opened.Reset();
     versions_retired.Reset();
+    wal_records.Reset();
+    wal_fsyncs.Reset();
+    wal_bytes.Reset();
   }
 };
 
@@ -246,6 +267,10 @@ class Table {
 
   const TableSchema& schema() const { return *schema_; }
   size_t live_row_count() const { return live_count_; }
+  /// Number of row slots (live + tombstoned). Slot-exact serialization
+  /// (checkpoints, state fingerprints) iterates [0, SlotCount()) so a
+  /// recovered table reproduces RowIds, tombstones included.
+  size_t SlotCount() const { return rows_.size(); }
 
   /// Returns the row at `id` or nullptr when out of range / deleted.
   const Row* GetRow(RowId id) const;
@@ -309,6 +334,10 @@ class Table {
   void EraseRow(RowId id);
   void RestoreRow(RowId id, Row row);
   void OverwriteRow(RowId id, Row row);
+  /// Recovery-only: places `row` at exactly slot `id` (growing the slot
+  /// array with tombstones as needed) and maintains indexes/live count.
+  /// The slot must currently be empty.
+  void PutSlotForRecovery(RowId id, Row row);
 
   // Index-key helpers, shared with the read-only op validator
   // (relational/dryrun.cc) so overlay probes hash into exactly the same
@@ -347,6 +376,30 @@ struct DeleteOutcome {
 };
 
 class Database;
+class ExecutionContext;
+class WalWriter;
+struct DurabilityOptions;
+
+/// One logical row-level redo operation destined for the WAL. Captured at
+/// every base-table mutation site, right next to the matching undo record;
+/// the pairing (`owner` context + `undo_mark` index into its undo log) lets
+/// a rollback discard exactly the redo ops of the undone statement, so a
+/// published WAL record only ever carries committed effects. Replay applies
+/// ops verbatim by RowId — cascades, SET NULL rewrites and multi-table
+/// sequences recover without re-running constraint logic.
+struct RedoOp {
+  enum class Kind : uint8_t { kInsert = 0, kDelete = 1, kUpdate = 2 };
+  Kind kind = Kind::kInsert;
+  std::string table;
+  RowId row_id = 0;
+  /// New row image for kInsert / kUpdate; empty for kDelete.
+  Row row;
+  /// Rollback pairing (not serialized): the context that logged the
+  /// matching undo record, and that record's index in its undo log.
+  /// Sealed (nullptr / -1) once the op can no longer be rolled back.
+  const ExecutionContext* owner = nullptr;
+  int64_t undo_mark = -1;
+};
 
 /// \brief One published, immutable state of all base tables.
 ///
@@ -407,6 +460,9 @@ class Snapshot {
 class ExecutionContext {
  public:
   explicit ExecutionContext(Database* db) : db_(db) {}
+  /// Seals any redo ops still paired with this context's undo log (they
+  /// can no longer be rolled back once the context is gone).
+  ~ExecutionContext();
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
 
@@ -422,9 +478,10 @@ class ExecutionContext {
   void Commit(size_t mark) { (void)mark; }
   /// Undoes everything back to savepoint `mark`.
   void Rollback(size_t mark);
-  /// Declares the current state durable: clears the whole undo log.
-  /// Invalidates all outstanding savepoints.
-  void Checkpoint() { undo_log_.clear(); }
+  /// Declares the current state rollback-free: clears the whole undo log
+  /// (and seals the paired redo ops — they will publish with the next
+  /// epoch's WAL record no matter what). Invalidates all savepoints.
+  void Checkpoint();
   /// Number of undo records currently held (for tests).
   size_t undo_log_size() const { return undo_log_.size(); }
 
@@ -498,6 +555,9 @@ class Database {
  public:
   /// Validates and adopts the schema, creating empty tables.
   static Result<std::unique_ptr<Database>> Create(DatabaseSchema schema);
+
+  /// Best-effort drain of pending WAL records + final fsync.
+  ~Database();
 
   const DatabaseSchema& schema() const { return schema_; }
   AtomicEngineStats& stats() const { return stats_; }
@@ -652,6 +712,55 @@ class Database {
   /// Total live rows over all permanent tables (scale reporting in benches).
   size_t TotalRows() const;
 
+  // --- Durability: write-ahead log, checkpoints, crash recovery ---
+  // (implemented in wal.cc together with the file formats; see wal.h)
+
+  /// Turns on WAL durability: from now on every published commit epoch
+  /// appends one logical-redo record to `opts.wal_path` (created if
+  /// missing, extended if present — e.g. right after RecoverFrom), fsynced
+  /// per `opts.fsync_policy`. Mutations from *before* this call are not in
+  /// the log; for a pre-populated database write a checkpoint right after
+  /// enabling, or recovery will miss the seed data. Fails if durability is
+  /// already enabled. Not concurrency-safe with in-flight writers: call it
+  /// during setup, before the writer lane opens.
+  Status EnableDurability(const DurabilityOptions& opts);
+  bool durability_enabled() const {
+    return wal_enabled_.load(std::memory_order_acquire);
+  }
+  /// First WAL append/fsync error, sticky (Status::OK while healthy).
+  Status wal_status() const;
+  /// Drains pending records and forces an fsync regardless of policy (the
+  /// shutdown barrier). OK and a no-op when durability is off.
+  Status SyncWal();
+
+  /// Serializes the currently published version (publishing quiescent
+  /// mutations first, like OpenSnapshot) atomically to `path` and returns
+  /// its epoch. Recovery from {checkpoint, WAL} then replays only the WAL
+  /// records with larger epochs. Reading the version is free — it is an
+  /// immutable MVCC snapshot — so writers are never blocked by this.
+  Result<uint64_t> WriteCheckpoint(const std::string& path);
+
+  /// Rebuilds the last durable state into this (freshly created, empty,
+  /// never-published) database: loads `opts.checkpoint_path` when set and
+  /// present, then replays the WAL records of `opts.wal_path` with epochs
+  /// past the checkpoint, in strictly increasing epoch order. A torn or
+  /// corrupt WAL tail is discarded and physically truncated, so the
+  /// database always lands on the last *fully published* epoch. Missing
+  /// files mean an empty history (epoch 0). The schema must match what the
+  /// log was written against. Call EnableDurability afterwards to resume
+  /// appending to the same log.
+  Status RecoverFrom(const DurabilityOptions& opts);
+  Status RecoverFrom(const std::string& wal_path);
+
+  /// Slot-exact fingerprint of the published tables (wal.h
+  /// EncodeDatabaseState): two databases holding identical published data
+  /// — e.g. one recovered, one live — compare byte-equal. Test oracle.
+  Result<std::string> SerializePublishedState();
+
+  /// Forwards to WalWriter::set_crash_after_bytes_for_testing (the kill -9
+  /// fuzz harness's torn-tail injector). No-op when durability is off.
+  void set_wal_crash_after_bytes_for_testing(int64_t n);
+
  private:
   friend class ExecutionContext;
   friend class OpDryRunner;
@@ -710,6 +819,32 @@ class Database {
   /// snapshot can still observe them) into `graveyard`.
   void CollectRetiredLocked(Graveyard* graveyard);
 
+  // --- WAL internals (see wal.h for the file-format side) ---
+
+  /// Records one redo op into the epoch-in-progress buffer (no-op while
+  /// durability is off). Takes snapshot_mu_ so the append is ordered
+  /// against any concurrent quiescent publish.
+  void CaptureRedo(const ExecutionContext* ctx, RedoOp::Kind kind,
+                   const std::string& table, RowId id, const Row* row);
+  /// Rollback hook: discards the buffered redo ops whose paired undo
+  /// records (owner `ctx`, index >= `mark`) are being undone.
+  void DropRedoSince(const ExecutionContext* ctx, size_t mark);
+  /// Context checkpoint/teardown hook: unpairs `ctx`'s buffered redo ops
+  /// from its (about-to-vanish) undo log.
+  void SealRedoFor(const ExecutionContext* ctx);
+  /// snapshot_mu_ held: true when the caller should FlushWalPending()
+  /// after releasing the lock.
+  bool WalFlushNeededLocked() const {
+    return wal_enabled_.load(std::memory_order_relaxed) &&
+           !wal_pending_.empty();
+  }
+  /// Appends (and policy-fsyncs) every pending per-epoch record, FIFO.
+  /// Takes wal_mu_ for the file I/O and re-takes snapshot_mu_ only for the
+  /// brief queue pops — never the other way around, and never holding
+  /// snapshot_mu_ across a write or fsync, so snapshot readers don't wait
+  /// behind the disk.
+  void FlushWalPending();
+
   DatabaseSchema schema_;
   /// Live (newest) table versions, aligned with schema_. shared_ptr so a
   /// published DatabaseVersion can share a table with the live state until
@@ -742,6 +877,23 @@ class Database {
     std::shared_ptr<const Table> table;
   };
   std::vector<RetiredVersion> retired_;
+
+  /// Durability switch; checked (acquire) on every mutation's capture path
+  /// so a WAL-free database pays one relaxed-ish load and nothing else.
+  std::atomic<bool> wal_enabled_{false};
+  /// Redo ops of the epoch in progress (guarded by snapshot_mu_). Publish
+  /// moves them into wal_pending_ under the epoch they commit as.
+  std::vector<RedoOp> wal_redo_;
+  /// Published-but-not-yet-appended records, FIFO (guarded by
+  /// snapshot_mu_; drained by FlushWalPending outside it).
+  std::deque<std::pair<uint64_t, std::vector<RedoOp>>> wal_pending_;
+
+  /// Guards the WAL file writer and its sticky error status. Lock order:
+  /// wal_mu_ before snapshot_mu_; code holding snapshot_mu_ must never
+  /// take wal_mu_.
+  mutable std::mutex wal_mu_;
+  std::unique_ptr<WalWriter> wal_writer_;
+  Status wal_status_;
 };
 
 }  // namespace ufilter::relational

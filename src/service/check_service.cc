@@ -25,6 +25,11 @@ CheckService::CheckService(check::UFilter* filter, CheckServiceOptions options)
       db_(filter->database()),
       options_(options),
       queue_(options.queue_capacity) {
+  if (!options_.durability.wal_path.empty() && !db_->durability_enabled()) {
+    // Before the workers start: EnableDurability is a setup-time call, and
+    // every epoch committed through the writer lane below must be logged.
+    durability_status_ = db_->EnableDurability(options_.durability);
+  }
   int threads = options.worker_threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -43,6 +48,9 @@ void CheckService::Shutdown() {
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
+  // Durability barrier: with the workers drained and joined, force the last
+  // (possibly partial) group-commit batch to stable storage.
+  if (db_->durability_enabled()) (void)db_->SyncWal();
 }
 
 std::shared_ptr<Session> CheckService::OpenSession(std::string name) {
@@ -206,6 +214,11 @@ CheckServiceStats CheckService::Snapshot() const {
   s.versions_retired = engine.versions_retired;
   s.commit_epoch = db_->commit_epoch();
   s.oldest_pinned_epoch = db_->oldest_pinned_epoch();
+  s.wal_records = engine.wal_records;
+  s.wal_fsyncs = engine.wal_fsyncs;
+  s.wal_bytes = engine.wal_bytes;
+  s.wal_group_commit_size =
+      engine.wal_fsyncs > 0 ? engine.wal_records / engine.wal_fsyncs : 0;
   s.plan_cache = filter_->plan_cache().counters();
   return s;
 }

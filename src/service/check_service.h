@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "relational/wal.h"
 #include "service/bounded_queue.h"
 #include "service/session.h"
 #include "ufilter/checker.h"
@@ -52,6 +53,15 @@ struct CheckServiceOptions {
   /// for this long before executing, so tests can assert that snapshot
   /// readers never wait on a slow writer.
   int writer_lane_hold_ms_for_testing = 0;
+  /// Durability config forwarded to Database::EnableDurability at service
+  /// construction (wal_path empty = in-memory only, the default). The
+  /// fsync-policy knob trades commit latency for durability: kAlways syncs
+  /// per committed epoch, kGroup amortizes one fsync over
+  /// `durability.group_commit_size` writer-lane commits, kNever leaves it
+  /// to the OS. Fast-path (snapshot) checks never touch the WAL either
+  /// way. If the database already has durability enabled the service just
+  /// uses it; a failed enable is surfaced via durability_status().
+  relational::DurabilityOptions durability;
 };
 
 /// Point-in-time service counters.
@@ -81,6 +91,14 @@ struct CheckServiceStats {
   uint64_t versions_retired = 0;
   uint64_t commit_epoch = 0;
   uint64_t oldest_pinned_epoch = 0;
+  /// WAL durability counters (all zero while durability is off): records
+  /// appended (one per committed epoch), fsyncs issued, bytes written, and
+  /// the achieved group-commit batching factor (records per fsync,
+  /// rounded down; 0 before the first fsync).
+  uint64_t wal_records = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_group_commit_size = 0;
   /// The shared plan cache's counters (hits/misses/insertions/evictions).
   check::PlanCacheCounters plan_cache;
 };
@@ -124,6 +142,10 @@ class CheckService {
   }
   check::UFilter* filter() { return filter_; }
 
+  /// Outcome of the construction-time Database::EnableDurability call (OK
+  /// when durability was not requested or the database already had it on).
+  const Status& durability_status() const { return durability_status_; }
+
  private:
   struct Request {
     std::shared_ptr<Session> session;
@@ -154,6 +176,7 @@ class CheckService {
   relational::RelaxedCounter shed_;
   relational::RelaxedCounter reader_wait_ns_;
   relational::RelaxedCounter writer_wait_ns_;
+  Status durability_status_;
 };
 
 }  // namespace ufilter::service

@@ -1,0 +1,168 @@
+// Crash-recovery fuzz: a forked child commits randomized writer batches
+// into a WAL and dies by SIGKILL at a random *byte offset* of the log (the
+// WalWriter crash hook tears the file mid-write exactly like a power cut);
+// the parent then recovers and asserts the database equals a reference
+// replay of exactly the batches whose commit records survived complete —
+// never a partial transaction.
+//
+// Epoch bookkeeping (fixed by the fixture design): enabling durability on
+// the empty database is epoch 0; the seed populate publishes lazily as
+// epoch 1 when the first batch's WriterGuard opens; batch b publishes as
+// epoch b + 2. So a WAL whose last complete record has epoch E certifies
+// the seed (E >= 1) plus batches 0 .. E-2.
+//
+// Seed override: UFILTER_FUZZ_SEED (logged). Iteration count:
+// UFILTER_CRASH_FUZZ_ITERS (default 200; CI sanitizer jobs bound it).
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+
+#include "../support/fuzz_seed.h"
+#include "../support/temp_dir.h"
+#include "fixtures/synthetic.h"
+#include "relational/database.h"
+#include "relational/wal.h"
+
+namespace ufilter {
+namespace {
+
+using relational::Database;
+using relational::DurabilityOptions;
+using relational::FsyncPolicy;
+using relational::ReadWal;
+using relational::WalReadResult;
+using test_support::TempDir;
+
+constexpr int kDepth = 2;
+constexpr int kRows = 6;
+constexpr int kBatchesPerRun = 24;
+
+int Iterations() {
+  const char* env = std::getenv("UFILTER_CRASH_FUZZ_ITERS");
+  if (env != nullptr && *env != '\0') {
+    return static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+  return 200;
+}
+
+std::unique_ptr<Database> MakeEmptyChain() {
+  auto db = Database::Create(fixtures::MakeChainSchema(kDepth));
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(*db);
+}
+
+// The child's whole life. Returns the _exit code: 0 = ran to completion
+// (crash threshold beyond the log's end), 42 = unexpected engine error.
+// When the crash hook fires the child never returns — it raises SIGKILL
+// mid-write, exactly at `crash_bytes` total WAL bytes.
+int RunChild(const std::string& wal, uint32_t seed, int64_t crash_bytes) {
+  auto db = Database::Create(fixtures::MakeChainSchema(kDepth));
+  if (!db.ok()) return 42;
+  DurabilityOptions opts;
+  opts.wal_path = wal;
+  opts.fsync_policy = FsyncPolicy::kGroup;
+  opts.group_commit_size = 4;
+  if (!(*db)->EnableDurability(opts).ok()) return 42;
+  (*db)->set_wal_crash_after_bytes_for_testing(crash_bytes);
+  if (!fixtures::PopulateChain(db->get(), kDepth, kRows).ok()) return 42;
+  for (int b = 0; b < kBatchesPerRun; ++b) {
+    if (!fixtures::ApplyChainBatch(db->get(), kDepth, kRows, seed, b)
+             .ok()) {
+      return 42;
+    }
+  }
+  if (!(*db)->SyncWal().ok()) return 42;
+  return 0;
+}
+
+TEST(CrashRecoveryFuzzTest, RecoveryEqualsReferenceReplayOfSurvivingEpochs) {
+  const uint32_t seed =
+      test_support::FuzzSeed("crash-recovery", 0x5eedu);
+  const int iters = Iterations();
+  TempDir tmp("ufilter_crash");
+  ASSERT_TRUE(tmp.ok());
+  std::mt19937 rng(seed);
+
+  int clean_runs = 0;
+  int torn_tails = 0;
+  for (int i = 0; i < iters; ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i) + " (seed " +
+                 std::to_string(seed) + ")");
+    const std::string wal = tmp.path("iter" + std::to_string(i) + ".wal");
+    const uint32_t batch_seed = rng();
+    // Wide threshold range: tiny values kill before the first record,
+    // large ones let the child finish cleanly — both ends must recover.
+    const int64_t crash_bytes = static_cast<int64_t>(rng() % 9000);
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // In the child: no gtest, no exit handlers — just run and _exit /
+      // die by the crash hook's SIGKILL.
+      _exit(RunChild(wal, batch_seed, crash_bytes));
+    }
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    if (WIFEXITED(wstatus)) {
+      ASSERT_EQ(WEXITSTATUS(wstatus), 0) << "child hit an engine error";
+      ++clean_runs;
+    } else {
+      ASSERT_TRUE(WIFSIGNALED(wstatus));
+      ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+    }
+
+    // What actually survived, straight from the file.
+    auto read = ReadWal(wal);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    if (read->tail_truncated) ++torn_tails;
+    const uint64_t last_epoch =
+        read->records.empty() ? 0 : read->records.back().epoch;
+
+    // Recover into a fresh database.
+    std::unique_ptr<Database> recovered = MakeEmptyChain();
+    Status rs = recovered->RecoverFrom(wal);
+    ASSERT_TRUE(rs.ok()) << rs.ToString();
+    ASSERT_EQ(recovered->commit_epoch(), last_epoch)
+        << "recovery must land on the last fully published epoch";
+
+    // Reference replay of exactly the certified history.
+    std::unique_ptr<Database> reference = MakeEmptyChain();
+    if (last_epoch >= 1) {
+      ASSERT_TRUE(
+          fixtures::PopulateChain(reference.get(), kDepth, kRows).ok());
+    }
+    for (uint64_t b = 0; last_epoch >= 2 && b <= last_epoch - 2; ++b) {
+      ASSERT_TRUE(fixtures::ApplyChainBatch(reference.get(), kDepth, kRows,
+                                            batch_seed,
+                                            static_cast<int>(b))
+                      .ok());
+    }
+    Result<std::string> got = recovered->SerializePublishedState();
+    Result<std::string> want = reference->SerializePublishedState();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ASSERT_EQ(*got, *want)
+        << "recovered state diverged from the reference replay ("
+        << read->records.size() << " surviving records, last epoch "
+        << last_epoch << ")";
+  }
+  // The threshold range must actually exercise both regimes; a systematic
+  // skew (e.g. every child finishing cleanly) would gut the test.
+  if (iters >= 50) {
+    EXPECT_GT(torn_tails, 0) << "no run ever tore a record";
+    EXPECT_GT(clean_runs, 0) << "no run ever finished cleanly";
+  }
+  std::fprintf(stderr,
+               "[crash-fuzz] %d iterations: %d clean, %d torn tails\n",
+               iters, clean_runs, torn_tails);
+}
+
+}  // namespace
+}  // namespace ufilter

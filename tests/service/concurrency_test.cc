@@ -18,8 +18,11 @@
 #include "relational/dryrun.h"
 #include "relational/query.h"
 #include "relational/sqlgen.h"
+#include "relational/wal.h"
 #include "service/bounded_queue.h"
 #include "service/check_service.h"
+
+#include "../support/temp_dir.h"
 
 namespace ufilter {
 namespace {
@@ -675,6 +678,100 @@ TEST(ConcurrencyTest, PlanCacheIsThreadSafeAndCountsWork) {
   EXPECT_GE(counters.misses, 5u);
   EXPECT_GT(counters.hits, counters.misses);
   EXPECT_EQ(inst.uf->plan_cache().size(), 5u);
+}
+
+// --- Durability through the service (PR 6) --------------------------------
+
+TEST(ConcurrencyTest, DurableServiceWritesWalAndRecoversExactState) {
+  constexpr int kDepth = 2;
+  constexpr int kRows = 16;
+  test_support::TempDir tmp("ufilter_svc");
+  ASSERT_TRUE(tmp.ok());
+
+  Instance inst = MakeChainInstance(kDepth, kRows);
+  CheckServiceOptions options;
+  options.worker_threads = 4;
+  options.durability.wal_path = tmp.path("svc.wal");
+  options.durability.fsync_policy = relational::FsyncPolicy::kGroup;
+  options.durability.group_commit_size = 4;
+  uint64_t live_epoch = 0;
+  std::string live_state;
+  {
+    CheckService svc(inst.uf.get(), options);
+    ASSERT_TRUE(svc.durability_status().ok())
+        << svc.durability_status().ToString();
+    // The database predates the WAL, so anchor the seed in a checkpoint
+    // (EnableDurability's documented contract for pre-populated data).
+    ASSERT_TRUE(
+        inst.db->WriteCheckpoint(tmp.path("svc.ckpt")).status().ok());
+
+    std::vector<std::shared_ptr<Session>> sessions;
+    for (int t = 0; t < 4; ++t) sessions.push_back(svc.OpenSession());
+    CheckOptions apply;  // writer lane -> one WAL record per commit
+    CheckOptions dry;
+    dry.apply = false;  // fast path -> must never touch the WAL
+    std::vector<std::future<CheckReport>> futures;
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(svc.Submit(
+          sessions[static_cast<size_t>(i) % 4],
+          fixtures::ChainReplaceUpdate(kDepth - 1, i % kRows,
+                                       i % 2 == 0 ? "wal" : "fsync"),
+          apply));
+      futures.push_back(svc.Submit(
+          sessions[static_cast<size_t>(i + 1) % 4],
+          fixtures::ChainDeleteUpdate(kDepth - 1, i % kRows), dry));
+    }
+    for (auto& f : futures) {
+      EXPECT_EQ(f.get().outcome, CheckOutcome::kExecuted);
+    }
+    svc.Shutdown();  // durability barrier: final group fsynced
+
+    CheckServiceStats stats = svc.Snapshot();
+    EXPECT_GT(stats.wal_records, 0u);
+    EXPECT_GT(stats.wal_bytes, 0u);
+    EXPECT_GE(stats.wal_fsyncs, 1u);
+    EXPECT_LT(stats.wal_fsyncs, stats.wal_records)
+        << "group commit must amortize fsyncs across writer-lane commits";
+    EXPECT_GE(stats.wal_group_commit_size, 1u);
+    EXPECT_GT(stats.fast_path, 0u);
+    ASSERT_TRUE(inst.db->wal_status().ok());
+    live_epoch = inst.db->commit_epoch();
+    Result<std::string> state = inst.db->SerializePublishedState();
+    ASSERT_TRUE(state.ok());
+    live_state = *state;
+  }
+
+  // Recovery: checkpoint (the pre-service seed) + WAL suffix (the applies)
+  // lands byte-exactly on the live state the service left behind.
+  auto recovered = Database::Create(fixtures::MakeChainSchema(kDepth));
+  ASSERT_TRUE(recovered.ok());
+  relational::DurabilityOptions recover_opts = options.durability;
+  recover_opts.checkpoint_path = tmp.path("svc.ckpt");
+  Status rs = (*recovered)->RecoverFrom(recover_opts);
+  ASSERT_TRUE(rs.ok()) << rs.ToString();
+  EXPECT_EQ((*recovered)->commit_epoch(), live_epoch);
+  Result<std::string> replayed = (*recovered)->SerializePublishedState();
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, live_state);
+}
+
+TEST(ConcurrencyTest, DurabilityOffLeavesWalCountersZero) {
+  Instance inst = MakeChainInstance(2, 8);
+  CheckService svc(inst.uf.get(), CheckServiceOptions{});
+  auto session = svc.OpenSession();
+  CheckOptions apply;
+  EXPECT_EQ(
+      svc.Submit(session, fixtures::ChainReplaceUpdate(1, 0, "x"), apply)
+          .get()
+          .outcome,
+      CheckOutcome::kExecuted);
+  svc.Shutdown();
+  CheckServiceStats stats = svc.Snapshot();
+  EXPECT_TRUE(svc.durability_status().ok());
+  EXPECT_EQ(stats.wal_records, 0u);
+  EXPECT_EQ(stats.wal_fsyncs, 0u);
+  EXPECT_EQ(stats.wal_bytes, 0u);
+  EXPECT_FALSE(inst.db->durability_enabled());
 }
 
 }  // namespace

@@ -1,0 +1,58 @@
+// Shared RAII temp-directory helper for every test/bench that touches the
+// filesystem (WAL files, checkpoints). All database files must go through
+// this — it guarantees unique paths under concurrent ctest -j and cleans up
+// even when assertions fail, so no run leaves stray files for the next.
+#ifndef UFILTER_TESTS_SUPPORT_TEMP_DIR_H_
+#define UFILTER_TESTS_SUPPORT_TEMP_DIR_H_
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+namespace ufilter::test_support {
+
+/// mkdtemp-backed scratch directory, recursively removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const char* prefix = "ufilter") {
+    std::error_code ec;
+    std::filesystem::path base =
+        std::filesystem::temp_directory_path(ec);
+    if (ec) base = "/tmp";
+    std::string tmpl =
+        (base / (std::string(prefix) + ".XXXXXX")).string();
+    if (::mkdtemp(tmpl.data()) != nullptr) {
+      dir_ = tmpl;
+    } else {
+      std::perror("TempDir: mkdtemp");
+    }
+  }
+
+  ~TempDir() {
+    if (!dir_.empty()) {
+      std::error_code ec;  // best-effort: never throw from a dtor
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  /// False when mkdtemp failed; path() then points at an empty string.
+  bool ok() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+  /// Absolute path for a file named `name` inside the directory.
+  std::string path(const std::string& name) const {
+    return dir_ + "/" + name;
+  }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ufilter::test_support
+
+#endif  // UFILTER_TESTS_SUPPORT_TEMP_DIR_H_
