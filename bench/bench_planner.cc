@@ -203,6 +203,39 @@ void BM_IndexedJoin_Replay(benchmark::State& state) {
   ReportWork(state, db);
 }
 
+/// The primitive ops under every hash join: Value::Hash and operator== over
+/// a mixed int/double/string population. Both have typed fast paths (same
+/// variant alternative on both sides skips the rank dispatch and std::get
+/// throw checks); the (i, i+3) pairing keeps the compared Values same-typed,
+/// which is the hash-join recheck's common case.
+void BM_ValueHashEq(benchmark::State& state) {
+  std::vector<Value> values;
+  values.reserve(1024);
+  for (int i = 0; i < 1024; ++i) {
+    switch (i % 3) {
+      case 0:
+        values.push_back(Value::Int(i));
+        break;
+      case 1:
+        values.push_back(Value::Double(i * 0.5));
+        break;
+      default:
+        values.push_back(Value::String("key-" + std::to_string(i % 97)));
+    }
+  }
+  size_t acc = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      acc ^= values[i].Hash();
+      acc += values[i] == values[(i + 3) % values.size()] ? 1u : 0u;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+
+BENCHMARK(BM_ValueHashEq);
 BENCHMARK(BM_TempTempJoin_Interpreted)->Arg(256)->Arg(1024);
 BENCHMARK(BM_TempTempJoin_Compiled)->Arg(256)->Arg(1024);
 BENCHMARK(BM_BaseTempJoin_Interpreted)->Arg(64);

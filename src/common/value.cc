@@ -106,16 +106,29 @@ int TypeRank(const Value& v) {
 }  // namespace
 
 bool Value::operator==(const Value& other) const {
+  // Typed fast path: both sides hold the same alternative (the common case
+  // in index probes and hash-join rechecks) — compare directly via get_if,
+  // skipping the rank dispatch and std::get's throw checks. Semantics are
+  // unchanged: int/int still compares as double, like the mixed
+  // int/double path below.
+  if (rep_.index() == other.rep_.index()) {
+    switch (rep_.index()) {
+      case 0:
+        return true;  // NULL == NULL under the total order
+      case 1:
+        return static_cast<double>(*std::get_if<int64_t>(&rep_)) ==
+               static_cast<double>(*std::get_if<int64_t>(&other.rep_));
+      case 2:
+        return *std::get_if<double>(&rep_) == *std::get_if<double>(&other.rep_);
+      default:
+        return *std::get_if<std::string>(&rep_) ==
+               *std::get_if<std::string>(&other.rep_);
+    }
+  }
   int ra = TypeRank(*this), rb = TypeRank(other);
   if (ra != rb) return false;
-  switch (ra) {
-    case 0:
-      return true;
-    case 1:
-      return AsNumber() == other.AsNumber();
-    default:
-      return AsString() == other.AsString();
-  }
+  // Mixed int/double: the only same-rank, different-alternative case.
+  return AsNumber() == other.AsNumber();
 }
 
 bool Value::operator<(const Value& other) const {
@@ -132,13 +145,19 @@ bool Value::operator<(const Value& other) const {
 }
 
 size_t Value::Hash() const {
-  switch (TypeRank(*this)) {
+  // Dispatch on the variant index directly (one switch, get_if instead of
+  // the rank computation plus std::get's throw checks). Numerics hash as
+  // double so int 5 and double 5.0 collide, consistent with operator==.
+  switch (rep_.index()) {
     case 0:
       return 0x9e3779b97f4a7c15ULL;
     case 1:
-      return std::hash<double>()(AsNumber());
+      return std::hash<double>()(
+          static_cast<double>(*std::get_if<int64_t>(&rep_)));
+    case 2:
+      return std::hash<double>()(*std::get_if<double>(&rep_));
     default:
-      return std::hash<std::string>()(AsString());
+      return std::hash<std::string>()(*std::get_if<std::string>(&rep_));
   }
 }
 

@@ -84,9 +84,14 @@ const char* CompareOpSymbol(CompareOp op);
 /// Flips the operator for swapped operands (a < b  <=>  b > a).
 CompareOp FlipCompareOp(CompareOp op);
 
-/// SQL predicate semantics: false if either side is NULL (except that
-/// NULL = NULL and NULL != x follow the engine's total order is NOT applied
-/// here; three-valued logic collapses unknown to false).
+/// SQL predicate semantics: three-valued logic with UNKNOWN collapsed to
+/// false, so every comparison involving NULL is false — including
+/// NULL = NULL and NULL != x. (This deliberately differs from the engine's
+/// total order above, where NULL compares equal to NULL and sorts before
+/// every non-NULL value: indexes and sorts need a total order, predicate
+/// evaluation never applies it to NULLs.) Non-NULL operands of different
+/// types follow the total order: numbers sort below strings, so e.g.
+/// 5 < 'x' is true while 5 = 'x' is false.
 bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
 
 }  // namespace ufilter

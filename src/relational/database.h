@@ -42,6 +42,8 @@
 
 namespace ufilter::relational {
 
+class ColumnarTable;  // relational/columnar.h
+
 /// A tuple. Values are positional, aligned with TableSchema::columns().
 using Row = std::vector<Value>;
 
@@ -112,6 +114,15 @@ struct EngineStats {
   uint64_t hash_join_builds = 0;
   /// Probes served by those hash tables (replaces per-outer-row scans).
   uint64_t hash_join_probes = 0;
+  /// Columnar caches built (one per table version, on its first
+  /// snapshot-pinned scan or hash-join build; see relational/columnar.h).
+  uint64_t columnar_builds = 0;
+  /// Rows fed through vectorized predicate loops or typed hash builds (the
+  /// columnar counterpart of rows_scanned).
+  uint64_t columnar_scan_rows = 0;
+  /// Selection-vector entries surviving every fused scan predicate (the
+  /// rows a vectorized scan actually hands to the join pipeline).
+  uint64_t selection_vector_rows = 0;
   uint64_t rows_inserted = 0;
   uint64_t rows_deleted = 0;
   uint64_t rows_updated = 0;
@@ -155,6 +166,9 @@ struct EngineStats {
     d.plan_replays -= baseline.plan_replays;
     d.hash_join_builds -= baseline.hash_join_builds;
     d.hash_join_probes -= baseline.hash_join_probes;
+    d.columnar_builds -= baseline.columnar_builds;
+    d.columnar_scan_rows -= baseline.columnar_scan_rows;
+    d.selection_vector_rows -= baseline.selection_vector_rows;
     d.rows_inserted -= baseline.rows_inserted;
     d.rows_deleted -= baseline.rows_deleted;
     d.rows_updated -= baseline.rows_updated;
@@ -185,6 +199,9 @@ struct AtomicEngineStats {
   RelaxedCounter plan_replays;
   RelaxedCounter hash_join_builds;
   RelaxedCounter hash_join_probes;
+  RelaxedCounter columnar_builds;
+  RelaxedCounter columnar_scan_rows;
+  RelaxedCounter selection_vector_rows;
   RelaxedCounter rows_inserted;
   RelaxedCounter rows_deleted;
   RelaxedCounter rows_updated;
@@ -210,6 +227,9 @@ struct AtomicEngineStats {
     s.plan_replays = plan_replays;
     s.hash_join_builds = hash_join_builds;
     s.hash_join_probes = hash_join_probes;
+    s.columnar_builds = columnar_builds;
+    s.columnar_scan_rows = columnar_scan_rows;
+    s.selection_vector_rows = selection_vector_rows;
     s.rows_inserted = rows_inserted;
     s.rows_deleted = rows_deleted;
     s.rows_updated = rows_updated;
@@ -236,6 +256,9 @@ struct AtomicEngineStats {
     plan_replays.Reset();
     hash_join_builds.Reset();
     hash_join_probes.Reset();
+    columnar_builds.Reset();
+    columnar_scan_rows.Reset();
+    selection_vector_rows.Reset();
     rows_inserted.Reset();
     rows_deleted.Reset();
     rows_updated.Reset();
@@ -264,6 +287,17 @@ struct AtomicEngineStats {
 class Table {
  public:
   explicit Table(const TableSchema* schema);
+
+  /// Copy-on-write clone: copies storage and indexes but deliberately NOT
+  /// the columnar cache — the clone is the new live (mutable) version, and
+  /// stale columns must never be observable through it. Writers therefore
+  /// never see (or pay for) columnar state.
+  Table(const Table& other)
+      : schema_(other.schema_),
+        rows_(other.rows_),
+        live_count_(other.live_count_),
+        indexes_(other.indexes_) {}
+  Table& operator=(const Table&) = delete;
 
   const TableSchema& schema() const { return *schema_; }
   size_t live_row_count() const { return live_count_; }
@@ -315,6 +349,15 @@ class Table {
   /// user is ExecutionContext::BulkLoadTemp for index-free temp tables.
   void BulkLoad(std::vector<Row> rows, std::vector<RowId>* ids);
 
+  /// The lazily built columnar projection of this table version (see
+  /// relational/columnar.h). Only valid on an *immutable* table — the
+  /// executor calls it solely for base tables resolved through a pinned
+  /// snapshot, which copy-on-write protection guarantees will never change
+  /// underneath the cache. Thread-safe: concurrent readers of the same
+  /// version build once and share; `stats` (nullable) counts the build.
+  /// Implemented in columnar.cc.
+  std::shared_ptr<const ColumnarTable> columnar(AtomicEngineStats* stats) const;
+
  private:
   friend class Database;
   friend class ExecutionContext;
@@ -359,6 +402,14 @@ class Table {
   std::vector<std::optional<Row>> rows_;
   size_t live_count_ = 0;
   std::vector<Index> indexes_;
+
+  /// Columnar cache (see columnar()). The version dies with the Table, so
+  /// epoch GC reclaims columns together with their retired version. Mutable
+  /// because building the cache is a logically-const read-path operation;
+  /// the mutex only serializes the one-time build, never steady-state reads
+  /// (callers hold their own shared_ptr once built).
+  mutable std::mutex columnar_mu_;
+  mutable std::shared_ptr<const ColumnarTable> columnar_;
 };
 
 /// Identifies one affected row of an executed update (used by tests and the

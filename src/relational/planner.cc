@@ -256,6 +256,10 @@ Result<PhysicalPlan> Planner::CompileDisjunctive(
     level.key_src_column = choice.key_src_column;
     level.branch_pins = std::move(choice.pins);
     level.estimated_rows = choice.est;
+    level.columnar = (choice.path == AccessPath::kScan ||
+                      choice.path == AccessPath::kHashJoin) &&
+                     !ctx_->IsTempTable(
+                         plan.table_names[static_cast<size_t>(pick)]);
     // Residual literal filters (probe-driving one excluded: verified).
     for (size_t fi = 0; fi < filters.size(); ++fi) {
       if (filters[fi].table != pick) continue;

@@ -87,6 +87,16 @@ struct PlanLevel {
 
   /// The planner's cardinality estimate for this level (diagnostics).
   double estimated_rows = 0;
+
+  /// True when this level's table was a *base* table at compile time and
+  /// its access path can serve from the columnar cache (kScan: vectorized
+  /// selection-vector filtering; kHashJoin: typed-array build). Recorded in
+  /// the plan so replays are stable, but the executor still gates at
+  /// runtime on the context being snapshot-pinned — only pinned reads see
+  /// immutable versions — so one cached plan replays correctly under
+  /// pinned and unpinned contexts alike (unpublished/dirty live tables and
+  /// temp tables always take the row path).
+  bool columnar = false;
 };
 
 /// \brief A compiled physical plan: replayable any number of times with

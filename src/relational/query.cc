@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/strings.h"
+#include "relational/columnar.h"
 #include "relational/planner.h"
 
 namespace ufilter::relational {
@@ -133,11 +134,36 @@ Result<DisjunctiveResult> QueryEvaluator::RunPlan(const PhysicalPlan& plan) {
     /// kHashJoin: one-shot build over this level's table, keyed by
     /// Value::Hash of the join column (built lazily, once per execution).
     std::unordered_multimap<size_t, RowId> hash;
+    /// Columnar cache of this level's table version; null = row path.
+    std::shared_ptr<const ColumnarTable> columnar;
+    /// kScan + columnar: candidates were filled (once per execution) by the
+    /// vectorized selection-vector pass and are reused on re-entry.
+    bool scan_built = false;
+    /// The vectorized pass already verified this level's literal filters,
+    /// so ResidualsOk must not re-evaluate them (joins still are).
+    bool filters_prechecked = false;
   };
   std::vector<LevelRt> rt(depth);
   for (LevelRt& level : rt) {
     level.alive.assign(plan.branch_count, 1);
     level.next_alive.assign(plan.branch_count, 0);
+  }
+
+  // Columnar eligibility is decided per execution, not per plan: cached
+  // plans replay under pinned and unpinned contexts alike, and only base
+  // tables resolved through a pinned snapshot are guaranteed immutable —
+  // which is what makes lazily building and sharing a column cache safe.
+  // Unpinned (live/dirty) reads and temp tables keep the row path.
+  if (ctx_->read_snapshot() != nullptr) {
+    for (size_t lvl = 0; lvl < depth; ++lvl) {
+      const PlanLevel& spec = plan.levels[lvl];
+      if (!spec.columnar) continue;
+      const std::string& name =
+          plan.table_names[static_cast<size_t>(spec.table_pos)];
+      if (ctx_->IsTempTable(name)) continue;
+      rt[lvl].columnar =
+          tables[static_cast<size_t>(spec.table_pos)]->columnar(stats);
+    }
   }
 
   std::vector<const Row*> rows(from_count, nullptr);
@@ -151,6 +177,30 @@ Result<DisjunctiveResult> QueryEvaluator::RunPlan(const PhysicalPlan& plan) {
     const PlanLevel& spec = plan.levels[k];
     LevelRt& level = rt[k];
     level.cursor = 0;
+    // Vectorized scan: evaluate every literal filter as a tight typed loop
+    // over the columns, fusing the conjunction by compacting one shrinking
+    // selection vector, and only then translate survivors to RowIds. The
+    // result does not depend on outer bindings, so it is computed once per
+    // execution and reused when the level is re-entered.
+    if (spec.path == AccessPath::kScan && level.columnar != nullptr) {
+      if (!level.scan_built) {
+        level.scan_built = true;
+        level.filters_prechecked = true;
+        const ColumnarTable& col = *level.columnar;
+        ColumnarTable::Sel sel;
+        col.SelectAll(&sel);
+        for (const CompiledFilter& f : spec.filters) {
+          if (sel.empty()) break;
+          col.FilterColumn(f.column, f.op, f.literal, &sel);
+        }
+        stats->columnar_scan_rows += col.row_count();
+        stats->selection_vector_rows += sel.size();
+        const std::vector<RowId>& ids = col.row_ids();
+        level.candidates.reserve(sel.size());
+        for (uint32_t pos : sel) level.candidates.push_back(ids[pos]);
+      }
+      return;
+    }
     level.candidates.clear();
     const Table* table = tables[static_cast<size_t>(spec.table_pos)];
     switch (spec.path) {
@@ -190,14 +240,20 @@ Result<DisjunctiveResult> QueryEvaluator::RunPlan(const PhysicalPlan& plan) {
         if (!level.hash_built) {
           level.hash_built = true;
           stats->hash_join_builds += 1;
-          stats->rows_scanned += table->live_row_count();  // the build pass
           level.hash.reserve(table->live_row_count());
-          for (RowId id : table->AllRowIds()) {
-            const Row* r = table->GetRow(id);
-            if (r == nullptr) continue;
-            const Value& v = (*r)[static_cast<size_t>(spec.key_column)];
-            if (v.is_null()) continue;  // NULL never joins
-            level.hash.emplace(v.Hash(), id);
+          if (level.columnar != nullptr) {
+            // Typed-array build: no GetRow, no Value dispatch per row.
+            stats->columnar_scan_rows += level.columnar->row_count();
+            level.columnar->HashJoinBuild(spec.key_column, &level.hash);
+          } else {
+            stats->rows_scanned += table->live_row_count();  // the build pass
+            for (RowId id : table->AllRowIds()) {
+              const Row* r = table->GetRow(id);
+              if (r == nullptr) continue;
+              const Value& v = (*r)[static_cast<size_t>(spec.key_column)];
+              if (v.is_null()) continue;  // NULL never joins
+              level.hash.emplace(v.Hash(), id);
+            }
           }
         }
         const Value& probe = (*rows[static_cast<size_t>(spec.key_src_table)])
@@ -219,11 +275,13 @@ Result<DisjunctiveResult> QueryEvaluator::RunPlan(const PhysicalPlan& plan) {
   // is rechecked here (hash matches by Value::Hash, collisions possible).
   auto ResidualsOk = [&](size_t k) {
     const PlanLevel& spec = plan.levels[k];
-    for (const CompiledFilter& f : spec.filters) {
-      if (!EvalCompare((*rows[static_cast<size_t>(f.table)])
-                           [static_cast<size_t>(f.column)],
-                       f.op, f.literal)) {
-        return false;
+    if (!rt[k].filters_prechecked) {
+      for (const CompiledFilter& f : spec.filters) {
+        if (!EvalCompare((*rows[static_cast<size_t>(f.table)])
+                             [static_cast<size_t>(f.column)],
+                         f.op, f.literal)) {
+          return false;
+        }
       }
     }
     for (const CompiledJoin& j : spec.joins) {

@@ -214,6 +214,9 @@ CheckServiceStats CheckService::Snapshot() const {
   s.versions_retired = engine.versions_retired;
   s.commit_epoch = db_->commit_epoch();
   s.oldest_pinned_epoch = db_->oldest_pinned_epoch();
+  s.columnar_builds = engine.columnar_builds;
+  s.columnar_scan_rows = engine.columnar_scan_rows;
+  s.selection_vector_rows = engine.selection_vector_rows;
   s.wal_records = engine.wal_records;
   s.wal_fsyncs = engine.wal_fsyncs;
   s.wal_bytes = engine.wal_bytes;

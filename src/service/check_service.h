@@ -91,6 +91,13 @@ struct CheckServiceStats {
   uint64_t versions_retired = 0;
   uint64_t commit_epoch = 0;
   uint64_t oldest_pinned_epoch = 0;
+  /// Columnar read path (see relational/columnar.h): caches built for
+  /// pinned table versions, rows fed through vectorized predicate loops /
+  /// typed hash builds, and selection-vector survivors. Fast-path checks
+  /// pin a snapshot, so their scans are exactly what these count.
+  uint64_t columnar_builds = 0;
+  uint64_t columnar_scan_rows = 0;
+  uint64_t selection_vector_rows = 0;
   /// WAL durability counters (all zero while durability is off): records
   /// appended (one per committed epoch), fsyncs issued, bytes written, and
   /// the achieved group-commit batching factor (records per fsync,

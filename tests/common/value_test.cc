@@ -82,6 +82,42 @@ TEST(CompareOpTest, EvalCompareNullIsFalse) {
   EXPECT_FALSE(EvalCompare(Value::Int(1), CompareOp::kNe, Value::Null()));
 }
 
+TEST(CompareOpTest, NullCollapsesToFalseForEveryOp) {
+  // Three-valued logic with UNKNOWN collapsed to false: a NULL on either
+  // side (or both) makes every comparison — kNe and NULL = NULL included —
+  // evaluate to false. Pinned for all six ops so the vectorized columnar
+  // kernels have an exhaustive oracle to match.
+  const CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                           CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+  const Value samples[] = {Value::Int(0), Value::Int(-7), Value::Double(2.5),
+                           Value::String(""), Value::String("x")};
+  for (CompareOp op : ops) {
+    EXPECT_FALSE(EvalCompare(Value::Null(), op, Value::Null()))
+        << "NULL " << CompareOpSymbol(op) << " NULL";
+    for (const Value& v : samples) {
+      EXPECT_FALSE(EvalCompare(Value::Null(), op, v))
+          << "NULL " << CompareOpSymbol(op) << " " << v.ToSqlLiteral();
+      EXPECT_FALSE(EvalCompare(v, op, Value::Null()))
+          << v.ToSqlLiteral() << " " << CompareOpSymbol(op) << " NULL";
+    }
+  }
+  // Deliberate contrast: the *total order* (sort/index comparator) does
+  // group NULLs together — only EvalCompare collapses UNKNOWN.
+  EXPECT_TRUE(Value::Null() == Value::Null());
+  EXPECT_TRUE(Value::Null() < Value::Int(0));
+}
+
+TEST(CompareOpTest, CrossTypeComparisonsFollowTheTotalOrder) {
+  // Non-NULL operands of different type ranks are ordered, not errors:
+  // numbers sort below strings, so 5 < 'x' is true and 5 = 'x' is false.
+  EXPECT_TRUE(EvalCompare(Value::Int(5), CompareOp::kLt, Value::String("x")));
+  EXPECT_TRUE(EvalCompare(Value::Int(5), CompareOp::kNe, Value::String("x")));
+  EXPECT_FALSE(EvalCompare(Value::Int(5), CompareOp::kEq, Value::String("x")));
+  EXPECT_FALSE(EvalCompare(Value::Int(5), CompareOp::kGe, Value::String("")));
+  EXPECT_TRUE(
+      EvalCompare(Value::String(""), CompareOp::kGt, Value::Double(1e300)));
+}
+
 TEST(CompareOpTest, EvalCompareAllOps) {
   Value a = Value::Int(3), b = Value::Int(5);
   EXPECT_TRUE(EvalCompare(a, CompareOp::kLt, b));
