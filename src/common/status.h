@@ -34,6 +34,15 @@ enum class StatusCode {
   kNotSupported,
   /// Internal invariant violation; indicates a library bug.
   kInternal,
+  /// A deadline attached to the operation expired before it could run (or
+  /// finish). The operation was NOT executed — deadline rejections happen
+  /// at admission or before execution, never mid-apply — so retrying is
+  /// always safe.
+  kDeadlineExceeded,
+  /// The service cannot take the request right now (overloaded and
+  /// shedding, draining for shutdown, or the connection is gone). The
+  /// request was not executed; transient by design.
+  kUnavailable,
 };
 
 /// Returns a short stable name for a status code ("OK", "ParseError", ...).
@@ -75,6 +84,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -94,6 +109,10 @@ class Status {
   }
   bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// Message supplied when the status was created. Empty for OK.
   const std::string& message() const {

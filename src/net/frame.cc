@@ -1,0 +1,308 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "relational/wal.h"  // Crc32: the WAL's framing checksum, reused
+
+namespace ufilter::net {
+
+namespace {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Strict bounded reader over a payload; any underflow poisons it.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& payload) : p_(payload) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(p_[pos_++]);
+  }
+
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(p_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(p_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+
+  std::string Str() {
+    uint32_t n = U32();
+    if (!ok_ || !Need(n)) return std::string();
+    std::string s = p_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  /// Trailing garbage is as suspect as a short payload.
+  bool AtEnd() const { return ok_ && pos_ == p_.size(); }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || p_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& p_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Status Malformed(const char* what) {
+  return Status::ParseError(std::string("malformed ") + what + " message");
+}
+
+}  // namespace
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kExecuted:
+      return "executed";
+    case Verdict::kInvalid:
+      return "invalid";
+    case Verdict::kUntranslatable:
+      return "untranslatable";
+    case Verdict::kDataConflict:
+      return "data-conflict";
+    case Verdict::kNotRun:
+      return "not-run";
+    case Verdict::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case Verdict::kShed:
+      return "shed";
+    case Verdict::kDraining:
+      return "draining";
+    case Verdict::kError:
+      return "error";
+  }
+  return "?";
+}
+
+bool VerdictIsRetrySafe(Verdict v) {
+  return v == Verdict::kShed || v == Verdict::kDraining ||
+         v == Verdict::kDeadlineExceeded;
+}
+
+std::string EncodeCheckRequest(const CheckRequestMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kCheckRequest));
+  PutU64(&out, msg.request_id);
+  PutU32(&out, msg.deadline_ms);
+  PutU8(&out, msg.apply ? 1 : 0);
+  PutU8(&out, msg.strategy);
+  PutString(&out, msg.update_text);
+  return out;
+}
+
+std::string EncodeCheckResponse(const CheckResponseMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kCheckResponse));
+  PutU64(&out, msg.request_id);
+  PutU8(&out, static_cast<uint8_t>(msg.verdict));
+  PutU8(&out, msg.status_code);
+  PutU64(&out, static_cast<uint64_t>(msg.rows_affected));
+  PutU32(&out, msg.retry_after_ms);
+  PutString(&out, msg.message);
+  return out;
+}
+
+std::string EncodePing(uint64_t request_id) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kPing));
+  PutU64(&out, request_id);
+  return out;
+}
+
+std::string EncodePong(uint64_t request_id) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kPong));
+  PutU64(&out, request_id);
+  return out;
+}
+
+std::string EncodeStatsRequest() {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kStatsRequest));
+  return out;
+}
+
+std::string EncodeStatsResponse(const StatsMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kStatsResponse));
+  PutU64(&out, msg.submitted);
+  PutU64(&out, msg.completed);
+  PutU64(&out, msg.fast_path);
+  PutU64(&out, msg.writer_lane);
+  PutU64(&out, msg.shed);
+  PutU64(&out, msg.deadline_expired);
+  PutU64(&out, msg.queue_high_water);
+  PutU64(&out, msg.commit_epoch);
+  PutU64(&out, msg.wal_records);
+  PutU64(&out, msg.connections_accepted);
+  PutU64(&out, msg.protocol_errors);
+  PutU64(&out, msg.draining_rejects);
+  return out;
+}
+
+Result<MsgType> PeekType(const std::string& payload) {
+  if (payload.empty()) return Status::ParseError("empty message payload");
+  uint8_t t = static_cast<uint8_t>(payload[0]);
+  if (t < 1 || t > 6) {
+    return Status::ParseError("unknown message type " + std::to_string(t));
+  }
+  return static_cast<MsgType>(t);
+}
+
+Result<CheckRequestMsg> DecodeCheckRequest(const std::string& payload) {
+  Cursor c(payload);
+  if (c.U8() != static_cast<uint8_t>(MsgType::kCheckRequest)) {
+    return Malformed("check-request");
+  }
+  CheckRequestMsg msg;
+  msg.request_id = c.U64();
+  msg.deadline_ms = c.U32();
+  msg.apply = c.U8() != 0;
+  msg.strategy = c.U8();
+  msg.update_text = c.Str();
+  if (!c.AtEnd()) return Malformed("check-request");
+  if (msg.strategy > 2) return Malformed("check-request");
+  return msg;
+}
+
+Result<CheckResponseMsg> DecodeCheckResponse(const std::string& payload) {
+  Cursor c(payload);
+  if (c.U8() != static_cast<uint8_t>(MsgType::kCheckResponse)) {
+    return Malformed("check-response");
+  }
+  CheckResponseMsg msg;
+  msg.request_id = c.U64();
+  uint8_t verdict = c.U8();
+  msg.status_code = c.U8();
+  msg.rows_affected = static_cast<int64_t>(c.U64());
+  msg.retry_after_ms = c.U32();
+  msg.message = c.Str();
+  if (!c.AtEnd()) return Malformed("check-response");
+  if (verdict > static_cast<uint8_t>(Verdict::kError)) {
+    return Malformed("check-response");
+  }
+  msg.verdict = static_cast<Verdict>(verdict);
+  return msg;
+}
+
+Result<uint64_t> DecodePingPong(const std::string& payload) {
+  Cursor c(payload);
+  uint8_t t = c.U8();
+  if (t != static_cast<uint8_t>(MsgType::kPing) &&
+      t != static_cast<uint8_t>(MsgType::kPong)) {
+    return Malformed("ping/pong");
+  }
+  uint64_t id = c.U64();
+  if (!c.AtEnd()) return Malformed("ping/pong");
+  return id;
+}
+
+Result<StatsMsg> DecodeStatsResponse(const std::string& payload) {
+  Cursor c(payload);
+  if (c.U8() != static_cast<uint8_t>(MsgType::kStatsResponse)) {
+    return Malformed("stats-response");
+  }
+  StatsMsg msg;
+  msg.submitted = c.U64();
+  msg.completed = c.U64();
+  msg.fast_path = c.U64();
+  msg.writer_lane = c.U64();
+  msg.shed = c.U64();
+  msg.deadline_expired = c.U64();
+  msg.queue_high_water = c.U64();
+  msg.commit_epoch = c.U64();
+  msg.wal_records = c.U64();
+  msg.connections_accepted = c.U64();
+  msg.protocol_errors = c.U64();
+  msg.draining_rejects = c.U64();
+  if (!c.AtEnd()) return Malformed("stats-response");
+  return msg;
+}
+
+std::string FramePayload(const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderLen + payload.size());
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, relational::Crc32(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+Result<std::optional<std::string>> FrameReader::Next() {
+  if (magic_pending_) {
+    if (buf_.size() - pos_ < kNetMagicLen) return std::optional<std::string>();
+    if (::memcmp(buf_.data() + pos_, kNetMagic, kNetMagicLen) != 0) {
+      return Status::ParseError("bad connection magic");
+    }
+    pos_ += kNetMagicLen;
+    magic_pending_ = false;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderLen) {
+    Compact();
+    return std::optional<std::string>();
+  }
+  const unsigned char* h =
+      reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(h[i]) << (8 * i);
+    crc |= static_cast<uint32_t>(h[4 + i]) << (8 * i);
+  }
+  if (len > max_frame_) {
+    return Status::ParseError("frame length " + std::to_string(len) +
+                              " exceeds limit " + std::to_string(max_frame_) +
+                              " (corrupt length prefix?)");
+  }
+  if (buf_.size() - pos_ < kFrameHeaderLen + len) {
+    return std::optional<std::string>();  // torn mid-frame: need more bytes
+  }
+  std::string payload = buf_.substr(pos_ + kFrameHeaderLen, len);
+  if (relational::Crc32(payload.data(), payload.size()) != crc) {
+    return Status::ParseError("frame CRC mismatch");
+  }
+  pos_ += kFrameHeaderLen + len;
+  Compact();
+  return std::optional<std::string>(std::move(payload));
+}
+
+}  // namespace ufilter::net

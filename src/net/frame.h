@@ -1,0 +1,183 @@
+// The wire protocol of the network front end: a length-prefixed,
+// CRC-framed binary protocol reusing the WAL's framing discipline
+// (src/relational/wal.h). A connection is
+//
+//   [8-byte magic "UFNET001"]  (client -> server, once)
+//   then frames in both directions, each
+//   [u32 payload_len][u32 crc32(payload)][payload]   (little-endian)
+//
+// and every payload is one message: a type byte followed by fixed-width
+// little-endian fields and u32-length-prefixed strings. The CRC catches
+// corruption; the length prefix makes torn frames detectable (a frame is
+// either completely parsed or the connection is dead — there is no
+// resynchronization, exactly like a torn WAL tail). Decoders are strict:
+// short, overlong or type-confused payloads are ParseError, never UB —
+// these bytes arrive off a socket from arbitrary peers.
+//
+// Deadlines travel as a *relative* millisecond budget (clock-skew free):
+// the client computes the remaining budget when it serializes the request,
+// the server rebases it onto its own steady clock at decode. kNoDeadlineMs
+// means unbounded.
+#ifndef UFILTER_NET_FRAME_H_
+#define UFILTER_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+
+namespace ufilter::net {
+
+/// Connection preamble; versioned like the WAL's "UFWAL001".
+inline constexpr char kNetMagic[] = "UFNET001";
+inline constexpr size_t kNetMagicLen = 8;
+
+/// Frame header: payload length + CRC32 of the payload.
+inline constexpr size_t kFrameHeaderLen = 8;
+
+/// Default ceiling on a single frame (update texts are small; anything
+/// bigger is a corrupt length prefix or an abusive peer).
+inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Relative-deadline sentinel: no deadline.
+inline constexpr uint32_t kNoDeadlineMs = 0xFFFFFFFFu;
+
+enum class MsgType : uint8_t {
+  kCheckRequest = 1,
+  kCheckResponse = 2,
+  kPing = 3,
+  kPong = 4,
+  kStatsRequest = 5,
+  kStatsResponse = 6,
+};
+
+/// The server's answer class for one request. Distinct from CheckOutcome
+/// because the wire must also express service-level dispositions (shed,
+/// draining, deadline exceeded) that certify the request never executed.
+enum class Verdict : uint8_t {
+  kExecuted = 0,
+  kInvalid = 1,
+  kUntranslatable = 2,
+  kDataConflict = 3,
+  kNotRun = 4,
+  /// The deadline expired before execution (admission reject or queue
+  /// purge). Never executed; always safe to retry.
+  kDeadlineExceeded = 5,
+  /// Load shed: the admission queue stayed full for the request's whole
+  /// deadline budget. Never executed; retry after `retry_after_ms`.
+  kShed = 6,
+  /// The server is draining for shutdown. Never executed.
+  kDraining = 7,
+  /// Protocol/internal failure while serving the request.
+  kError = 8,
+};
+
+const char* VerdictName(Verdict v);
+
+/// True for verdicts that certify the request was never executed and can
+/// be retried even when it was an apply (shed / draining / deadline).
+bool VerdictIsRetrySafe(Verdict v);
+
+struct CheckRequestMsg {
+  uint64_t request_id = 0;
+  /// Remaining deadline budget in ms (relative); kNoDeadlineMs = none.
+  uint32_t deadline_ms = kNoDeadlineMs;
+  bool apply = false;
+  /// DataCheckStrategy as its enum integer (kInternal/kHybrid/kOutside).
+  uint8_t strategy = 2;
+  std::string update_text;
+};
+
+struct CheckResponseMsg {
+  uint64_t request_id = 0;
+  Verdict verdict = Verdict::kError;
+  /// StatusCode of the report's error (kOk when none).
+  uint8_t status_code = 0;
+  std::string message;
+  int64_t rows_affected = 0;
+  /// Advisory backoff for kShed/kDraining; 0 otherwise.
+  uint32_t retry_after_ms = 0;
+};
+
+/// Service counters exposed over the wire (bench_server scrapes these so
+/// shed/expired work is visible in BENCH_server.json).
+struct StatsMsg {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t fast_path = 0;
+  uint64_t writer_lane = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t queue_high_water = 0;
+  uint64_t commit_epoch = 0;
+  uint64_t wal_records = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t draining_rejects = 0;
+};
+
+// --- Message codecs (payloads, no framing) -------------------------------
+
+std::string EncodeCheckRequest(const CheckRequestMsg& msg);
+std::string EncodeCheckResponse(const CheckResponseMsg& msg);
+std::string EncodePing(uint64_t request_id);
+std::string EncodePong(uint64_t request_id);
+std::string EncodeStatsRequest();
+std::string EncodeStatsResponse(const StatsMsg& msg);
+
+Result<MsgType> PeekType(const std::string& payload);
+Result<CheckRequestMsg> DecodeCheckRequest(const std::string& payload);
+Result<CheckResponseMsg> DecodeCheckResponse(const std::string& payload);
+/// Decodes a kPing or kPong payload to its request id.
+Result<uint64_t> DecodePingPong(const std::string& payload);
+Result<StatsMsg> DecodeStatsResponse(const std::string& payload);
+
+// --- Framing -------------------------------------------------------------
+
+/// Wraps a payload as [len][crc][payload], ready for the socket.
+std::string FramePayload(const std::string& payload);
+
+/// \brief Incremental frame parser over an arbitrary byte stream.
+///
+/// Feed() whatever the socket delivered (any chunking — the chaos proxy
+/// tears frames mid-length-prefix on purpose); Next() yields complete
+/// payloads in order, nullopt when more bytes are needed, and a ParseError
+/// status on corruption (bad magic, CRC mismatch, absurd length). After an
+/// error the stream is unrecoverable by design — drop the connection.
+class FrameReader {
+ public:
+  /// `expect_magic`: the first kNetMagicLen bytes must be kNetMagic
+  /// (server side of a fresh connection).
+  explicit FrameReader(bool expect_magic = false,
+                       size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : magic_pending_(expect_magic), max_frame_(max_frame_bytes) {}
+
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// One complete payload, nullopt (need more bytes), or ParseError.
+  Result<std::optional<std::string>> Next();
+
+  /// Bytes buffered but not yet consumed (torn-frame visibility).
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  /// Drops the consumed prefix once it dominates the buffer, so a
+  /// long-lived connection never grows its buffer without bound.
+  void Compact() {
+    if (pos_ > 4096 && pos_ >= buf_.size() / 2) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+  }
+
+  std::string buf_;
+  size_t pos_ = 0;
+  bool magic_pending_;
+  size_t max_frame_;
+};
+
+}  // namespace ufilter::net
+
+#endif  // UFILTER_NET_FRAME_H_

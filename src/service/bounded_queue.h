@@ -2,11 +2,23 @@
 // queue of the check service. Bounded on purpose — when clients outrun the
 // worker pool, Push blocks (backpressure) instead of letting the queue grow
 // without limit; TryPush refuses instead, for callers that prefer shedding
-// load. Close() drains: producers are refused, consumers keep popping until
-// the queue is empty, then Pop returns false and workers exit.
+// load; PushFor/PopFor give up at a deadline, for callers (the network
+// front end, the drain path) that must never block forever. Close() drains:
+// producers are refused, consumers keep popping until the queue is empty,
+// then Pop returns false and workers exit.
+//
+// Close/race guarantees (regression-tested in
+// tests/service/bounded_queue_test.cc):
+//   - every push that reported success is popped by some consumer before
+//     any consumer observes "closed and drained" — an admitted item is
+//     never lost, even when Close() races the push;
+//   - a push racing Close() either succeeds (item will be drained) or
+//     reports failure (the item never entered the queue) — never both,
+//     never neither.
 #ifndef UFILTER_SERVICE_BOUNDED_QUEUE_H_
 #define UFILTER_SERVICE_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -15,23 +27,24 @@
 
 namespace ufilter::service {
 
+/// Outcome of a deadline-bounded queue wait.
+enum class QueueWaitResult {
+  kOk,        ///< pushed / popped
+  kTimedOut,  ///< the deadline passed first (item untouched / no item)
+  kClosed,    ///< push: queue refused; pop: closed *and* drained
+};
+
 template <typename T>
 class BoundedQueue {
  public:
+  using SteadyTime = std::chrono::steady_clock::time_point;
+
   explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
 
   /// Blocks until there is room (or the queue is closed). Returns false —
   /// and drops `item` — only when the queue was closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    if (items_.size() > high_water_) high_water_ = items_.size();
-    lock.unlock();
-    not_empty_.notify_one();
-    return true;
+    return PushUntil(std::move(item), nullptr) == QueueWaitResult::kOk;
   }
 
   /// Non-blocking variant: false when full or closed (load shedding).
@@ -46,17 +59,25 @@ class BoundedQueue {
     return true;
   }
 
+  /// Deadline-bounded Push: waits for room until `deadline`, then gives up
+  /// with kTimedOut (the caller still owns a meaningful decision — shed,
+  /// retry, or answer the client). kClosed when the queue refused it.
+  QueueWaitResult PushFor(T item, SteadyTime deadline) {
+    return PushUntil(std::move(item), &deadline);
+  }
+
   /// Blocks until an item arrives. False when the queue is closed *and*
   /// drained — the consumer's exit signal.
   bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;  // closed and drained
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
-    return true;
+    return PopUntil(out, nullptr) == QueueWaitResult::kOk;
+  }
+
+  /// Deadline-bounded Pop: kTimedOut when nothing arrived by `deadline`
+  /// (the queue stays usable), kClosed when closed and drained. Lets a
+  /// draining consumer re-check its own stop conditions instead of
+  /// blocking forever on an empty-but-open queue.
+  QueueWaitResult PopFor(T* out, SteadyTime deadline) {
+    return PopUntil(out, &deadline);
   }
 
   /// Refuses further pushes; consumers drain what is queued, then stop.
@@ -67,6 +88,11 @@ class BoundedQueue {
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
   }
 
   size_t size() const {
@@ -81,6 +107,60 @@ class BoundedQueue {
   }
 
  private:
+  // Shared push body; `deadline` null = wait forever. Loop-based rather
+  // than predicate-wait so every wakeup re-evaluates closed/full under the
+  // lock: a push that raced Close() is refused atomically (the item never
+  // entered), and one that won the race has its item safely queued before
+  // closed_ became visible — consumers drain it.
+  QueueWaitResult PushUntil(T item, const SteadyTime* deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (closed_) return QueueWaitResult::kClosed;
+      if (items_.size() < capacity_) break;
+      if (deadline == nullptr) {
+        not_full_.wait(lock);
+      } else if (not_full_.wait_until(lock, *deadline) ==
+                 std::cv_status::timeout) {
+        // Re-check once under the lock: a slot/close that appeared at the
+        // same instant as the timeout must win, or a caller could shed
+        // while the queue had room.
+        if (closed_) return QueueWaitResult::kClosed;
+        if (items_.size() < capacity_) break;
+        return QueueWaitResult::kTimedOut;
+      }
+    }
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return QueueWaitResult::kOk;
+  }
+
+  // Shared pop body; `deadline` null = wait forever. The close-vs-push
+  // window: an item admitted before Close() makes items_ non-empty, and
+  // closed_ is only ever set *after* such a push's critical section, so the
+  // empty+closed exit condition can never be observed while an admitted
+  // item is still queued — kClosed really means drained.
+  QueueWaitResult PopUntil(T* out, const SteadyTime* deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (!items_.empty()) break;
+      if (closed_) return QueueWaitResult::kClosed;
+      if (deadline == nullptr) {
+        not_empty_.wait(lock);
+      } else if (not_empty_.wait_until(lock, *deadline) ==
+                 std::cv_status::timeout) {
+        if (!items_.empty()) break;  // arrived with the timeout — take it
+        return closed_ ? QueueWaitResult::kClosed : QueueWaitResult::kTimedOut;
+      }
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return QueueWaitResult::kOk;
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;

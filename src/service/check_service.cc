@@ -18,7 +18,28 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
           .count());
 }
 
+CheckReport DeadlineExceededReport(const char* where) {
+  CheckReport report;
+  report.outcome = CheckOutcome::kDeadlineExceeded;
+  report.error = Status::DeadlineExceeded(where);
+  return report;
+}
+
 }  // namespace
+
+const char* AdmitResultName(AdmitResult r) {
+  switch (r) {
+    case AdmitResult::kAdmitted:
+      return "admitted";
+    case AdmitResult::kShed:
+      return "shed";
+    case AdmitResult::kExpired:
+      return "expired";
+    case AdmitResult::kClosed:
+      return "closed";
+  }
+  return "?";
+}
 
 CheckService::CheckService(check::UFilter* filter, CheckServiceOptions options)
     : filter_(filter),
@@ -114,10 +135,59 @@ bool CheckService::TrySubmit(std::shared_ptr<Session> session,
   return true;
 }
 
+AdmitResult CheckService::SubmitWithDeadline(
+    std::shared_ptr<Session> session, std::string update_text,
+    check::CheckOptions options, std::optional<SteadyTime> deadline,
+    std::future<CheckReport>* out) {
+  if (deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *deadline) {
+    ++deadline_expired_;
+    return AdmitResult::kExpired;
+  }
+  std::shared_ptr<Session> s = session;  // see Submit
+  auto req = std::make_unique<Request>();
+  req->session = std::move(session);
+  req->update_text = std::move(update_text);
+  req->options = options;
+  req->deadline = deadline;
+  std::future<CheckReport> future = req->promise.get_future();
+  // Count before the push: once the queue owns the request a worker may
+  // finish it immediately, and completed must never overtake submitted.
+  ++submitted_;
+  s->counters().submitted++;
+  // With a deadline, wait for queue room only until it expires — the
+  // caller is a socket handler that must answer the client either way.
+  // Without one, this is plain TryPush admission.
+  QueueWaitResult pushed =
+      deadline.has_value()
+          ? queue_.PushFor(std::move(req), *deadline)
+          : (queue_.TryPush(std::move(req)) ? QueueWaitResult::kOk
+                                            : QueueWaitResult::kTimedOut);
+  if (pushed != QueueWaitResult::kOk) {
+    submitted_ -= 1;
+    s->counters().submitted -= 1;
+    if (pushed == QueueWaitResult::kClosed) return AdmitResult::kClosed;
+    ++shed_;
+    return AdmitResult::kShed;
+  }
+  *out = std::move(future);
+  return AdmitResult::kAdmitted;
+}
+
 void CheckService::WorkerLoop() {
   std::unique_ptr<Request> req;
   while (queue_.Pop(&req)) {
-    CheckReport report = Process(req.get());
+    // Queue purge: a request whose deadline expired while it waited is
+    // answered without executing — the client already gave up, and the
+    // kDeadlineExceeded verdict certifies nothing ran (safe to retry).
+    CheckReport report =
+        (req->deadline.has_value() &&
+         std::chrono::steady_clock::now() >= *req->deadline)
+            ? DeadlineExceededReport("deadline expired in admission queue")
+            : Process(req.get());
+    if (report.outcome == CheckOutcome::kDeadlineExceeded) {
+      ++deadline_expired_;
+    }
     SessionCounters& counters = req->session->counters();
     switch (report.outcome) {
       case CheckOutcome::kExecuted:
@@ -206,6 +276,7 @@ CheckServiceStats CheckService::Snapshot() const {
   s.writer_lane = writer_lane_;
   s.escalations = escalations_;
   s.shed = shed_;
+  s.deadline_expired = deadline_expired_;
   s.queue_high_water = queue_.high_water();
   s.reader_wait_ns = reader_wait_ns_;
   s.writer_wait_ns = writer_wait_ns_;

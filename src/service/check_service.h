@@ -29,9 +29,11 @@
 #ifndef UFILTER_SERVICE_CHECK_SERVICE_H_
 #define UFILTER_SERVICE_CHECK_SERVICE_H_
 
+#include <chrono>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -78,6 +80,10 @@ struct CheckServiceStats {
   uint64_t escalations = 0;
   /// TrySubmit refusals (queue full).
   uint64_t shed = 0;
+  /// Requests whose deadline expired before execution: rejected at
+  /// admission or purged from the queue by a worker (answered with a
+  /// kDeadlineExceeded verdict — the request never executed).
+  uint64_t deadline_expired = 0;
   /// Deepest the admission queue has been.
   uint64_t queue_high_water = 0;
   /// Total time fast-path requests spent blocked acquiring their snapshot
@@ -110,8 +116,19 @@ struct CheckServiceStats {
   check::PlanCacheCounters plan_cache;
 };
 
+/// How SubmitWithDeadline disposed of a request at admission.
+enum class AdmitResult {
+  kAdmitted,  ///< queued; the future resolves when a worker finishes it
+  kShed,      ///< queue full past its deadline budget — retry later
+  kExpired,   ///< the deadline had already passed at admission
+  kClosed,    ///< the service is shut down / draining
+};
+
+const char* AdmitResultName(AdmitResult r);
+
 class CheckService {
  public:
+  using SteadyTime = std::chrono::steady_clock::time_point;
   /// Starts the worker pool immediately. `filter` (and its database) must
   /// outlive the service.
   explicit CheckService(check::UFilter* filter,
@@ -138,6 +155,21 @@ class CheckService {
                  check::CheckOptions options,
                  std::future<check::CheckReport>* out);
 
+  /// Deadline-carrying admission, the network front end's entry point.
+  /// An already-expired deadline is rejected as kExpired without touching
+  /// the queue; otherwise the request waits for queue room only until its
+  /// deadline (never a blocked socket) and is shed as kShed when the queue
+  /// stays full. An admitted request keeps its deadline: a worker that pops
+  /// it after expiry answers kDeadlineExceeded without executing (the queue
+  /// purge), so the verdict is authoritative — an expired/shed request was
+  /// *never* executed and is always safe to retry. `deadline` nullopt =
+  /// no deadline (plain TrySubmit admission).
+  AdmitResult SubmitWithDeadline(std::shared_ptr<Session> session,
+                                 std::string update_text,
+                                 check::CheckOptions options,
+                                 std::optional<SteadyTime> deadline,
+                                 std::future<check::CheckReport>* out);
+
   /// Refuses new submissions, drains everything queued, joins the workers.
   /// Idempotent.
   void Shutdown();
@@ -158,6 +190,9 @@ class CheckService {
     std::shared_ptr<Session> session;
     std::string update_text;
     check::CheckOptions options;
+    /// Absolute execution deadline; a worker popping the request after
+    /// this instant answers kDeadlineExceeded instead of executing.
+    std::optional<SteadyTime> deadline;
     std::promise<check::CheckReport> promise;
   };
 
@@ -181,6 +216,7 @@ class CheckService {
   relational::RelaxedCounter writer_lane_;
   relational::RelaxedCounter escalations_;
   relational::RelaxedCounter shed_;
+  relational::RelaxedCounter deadline_expired_;
   relational::RelaxedCounter reader_wait_ns_;
   relational::RelaxedCounter writer_wait_ns_;
   Status durability_status_;

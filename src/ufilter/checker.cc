@@ -44,6 +44,8 @@ const char* CheckOutcomeName(CheckOutcome o) {
       return "data conflict";
     case CheckOutcome::kExecuted:
       return "executed";
+    case CheckOutcome::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "?";
 }

@@ -51,6 +51,10 @@ enum class CheckOutcome {
   kUntranslatable,  ///< rejected by step 2 (STAR)
   kDataConflict,    ///< rejected by step 3 (data-driven check)
   kExecuted,        ///< translated (and executed unless apply=false)
+  /// The request's deadline expired before any pipeline step ran (rejected
+  /// at service admission or purged from the admission queue). Nothing was
+  /// executed — retrying is always safe.
+  kDeadlineExceeded,
 };
 
 const char* CheckOutcomeName(CheckOutcome o);

@@ -8,13 +8,19 @@ namespace ufilter::xml {
 
 namespace {
 
+/// Element-nesting ceiling: ParseElement recurses per level, so without a
+/// cap a hostile document ("<a><a><a>..." — a few hundred KB is enough)
+/// overflows the stack instead of returning Status. Far above any real
+/// view document, far below any stack limit.
+constexpr int kMaxElementDepth = 256;
+
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
 
   Result<NodePtr> ParseDocument() {
     SkipProlog();
-    UFILTER_ASSIGN_OR_RETURN(NodePtr root, ParseElement());
+    UFILTER_ASSIGN_OR_RETURN(NodePtr root, ParseElement(/*depth=*/0));
     SkipWhitespaceAndComments();
     if (pos_ != text_.size()) {
       return Status::ParseError("trailing content after root element at " +
@@ -91,7 +97,12 @@ class Parser {
     return out;
   }
 
-  Result<NodePtr> ParseElement() {
+  Result<NodePtr> ParseElement(int depth) {
+    if (depth >= kMaxElementDepth) {
+      return Status::ParseError("element nesting deeper than " +
+                                std::to_string(kMaxElementDepth) +
+                                " at offset " + std::to_string(pos_));
+    }
     if (pos_ >= text_.size() || text_[pos_] != '<') {
       return Status::ParseError("expected '<' at offset " +
                                 std::to_string(pos_));
@@ -152,7 +163,7 @@ class Parser {
       }
       if (text_[pos_] == '<') {
         UFILTER_RETURN_NOT_OK(FlushText());
-        UFILTER_ASSIGN_OR_RETURN(NodePtr child, ParseElement());
+        UFILTER_ASSIGN_OR_RETURN(NodePtr child, ParseElement(depth + 1));
         element->AddChild(std::move(child));
         continue;
       }

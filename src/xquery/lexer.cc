@@ -1,8 +1,24 @@
 #include "xquery/lexer.h"
 
 #include <cctype>
+#include <cstdio>
 
 namespace ufilter::xq {
+
+namespace {
+
+/// Renders a rejected byte printably: update text arrives off the wire, so
+/// error messages must stay readable for NULs, control bytes and non-ASCII
+/// instead of embedding the raw byte.
+std::string DescribeByte(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  if (std::isprint(u)) return std::string("'") + c + "'";
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%02X", u);
+  return std::string("byte ") + buf;
+}
+
+}  // namespace
 
 Lexer::Lexer(std::string source) : source_(std::move(source)) { Tokenize(); }
 
@@ -116,9 +132,8 @@ void Lexer::Tokenize() {
         Push(TokenKind::kIdent, std::string(1, c), start);
         break;
       default:
-        status_ = Status::ParseError(std::string("unexpected character '") +
-                                     c + "' at offset " +
-                                     std::to_string(start));
+        status_ = Status::ParseError("unexpected " + DescribeByte(c) +
+                                     " at offset " + std::to_string(start));
         return;
     }
     ++i;

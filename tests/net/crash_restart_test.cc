@@ -1,0 +1,226 @@
+// kill -9 the real server binary mid-stream, restart it on the same WAL,
+// and prove the recovered server gives the same verdicts as an in-process
+// database recovered from the very same log. This is the process-level
+// twin of tests/integration/crash_recovery_fuzz_test.cc: the WAL is the
+// only thing that survives, so verdict agreement after restart means the
+// recovered state is the certified state.
+//
+// Requires the ufilter_server binary, located via the UFILTER_SERVER_BIN
+// environment variable (set by CMake); skipped when absent.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fixtures/synthetic.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "relational/database.h"
+#include "ufilter/checker.h"
+
+#include "../support/temp_dir.h"
+
+namespace ufilter::net {
+namespace {
+
+constexpr int kDepth = 2;
+constexpr int kRows = 16;
+
+Verdict ExpectedVerdict(check::CheckOutcome outcome) {
+  switch (outcome) {
+    case check::CheckOutcome::kExecuted:
+      return Verdict::kExecuted;
+    case check::CheckOutcome::kInvalid:
+      return Verdict::kInvalid;
+    case check::CheckOutcome::kUntranslatable:
+      return Verdict::kUntranslatable;
+    case check::CheckOutcome::kDataConflict:
+      return Verdict::kDataConflict;
+    case check::CheckOutcome::kNotRun:
+      return Verdict::kNotRun;
+    case check::CheckOutcome::kDeadlineExceeded:
+      return Verdict::kDeadlineExceeded;
+  }
+  return Verdict::kError;
+}
+
+struct ServerProcess {
+  pid_t pid = -1;
+  uint16_t port = 0;
+
+  static ServerProcess Launch(const char* bin, const std::string& wal) {
+    ServerProcess proc;
+    int out[2];
+    if (pipe(out) != 0) return proc;
+    pid_t pid = fork();
+    if (pid < 0) {
+      close(out[0]);
+      close(out[1]);
+      return proc;
+    }
+    if (pid == 0) {
+      dup2(out[1], STDOUT_FILENO);
+      close(out[0]);
+      close(out[1]);
+      std::string wal_flag = "--wal=" + wal;
+      std::string depth_flag = "--depth=" + std::to_string(kDepth);
+      std::string rows_flag = "--rows=" + std::to_string(kRows);
+      execl(bin, bin, wal_flag.c_str(), depth_flag.c_str(), rows_flag.c_str(),
+            "--workers=2", "--fsync=always", static_cast<char*>(nullptr));
+      _exit(127);  // exec failed
+    }
+    close(out[1]);
+    // Wait for "READY <port>\n" on the child's stdout.
+    std::string line;
+    char c;
+    while (read(out[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+    close(out[0]);
+    proc.pid = pid;
+    if (line.rfind("READY ", 0) == 0) {
+      proc.port = static_cast<uint16_t>(std::atoi(line.c_str() + 6));
+    }
+    return proc;
+  }
+
+  void Kill9() {
+    kill(pid, SIGKILL);
+    int wstatus = 0;
+    waitpid(pid, &wstatus, 0);
+    pid = -1;
+  }
+
+  /// SIGTERM and expect a clean drain (exit 0).
+  int Terminate() {
+    kill(pid, SIGTERM);
+    int wstatus = 0;
+    waitpid(pid, &wstatus, 0);
+    pid = -1;
+    return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+  }
+
+  ~ServerProcess() {
+    if (pid > 0) Kill9();
+  }
+};
+
+/// The post-crash probe workload: verdicts and row counts depend on what
+/// survived the crash (deletes of maybe-already-deleted keys, replaces of
+/// maybe-deleted keys), so agreement implies state agreement.
+std::vector<std::string> ProbeUpdates() {
+  std::vector<std::string> updates;
+  for (int64_t key = 1; key <= 4; ++key) {
+    updates.push_back(fixtures::ChainReplaceUpdate(1, key, "after-crash"));
+  }
+  for (int64_t key = 5; key <= 8; ++key) {
+    updates.push_back(fixtures::ChainDeleteUpdate(1, key));
+  }
+  return updates;
+}
+
+TEST(CrashRestartTest, RecoveredServerMatchesWalRecoveredBaseline) {
+  const char* bin = std::getenv("UFILTER_SERVER_BIN");
+  if (bin == nullptr || *bin == '\0') {
+    GTEST_SKIP() << "UFILTER_SERVER_BIN not set";
+  }
+  test_support::TempDir tmp("ufilter_crash");
+  ASSERT_TRUE(tmp.ok());
+  const std::string wal = tmp.path("server.wal");
+
+  // --- Phase 1: fresh server, applies streaming in, kill -9 mid-stream.
+  ServerProcess first = ServerProcess::Launch(bin, wal);
+  ASSERT_GT(first.pid, 0);
+  ASSERT_GT(first.port, 0);
+  {
+    ClientOptions opts;
+    opts.port = first.port;
+    Client client(opts);
+    for (int64_t key = 1; key <= 6; ++key) {
+      auto resp = client.Check(
+          fixtures::ChainReplaceUpdate(1, key, "before-crash"), true);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      ASSERT_EQ(resp->verdict, Verdict::kExecuted) << resp->message;
+    }
+    // Deletes 5 and 6 land before the crash; their keys must stay gone
+    // after recovery.
+    for (int64_t key = 5; key <= 6; ++key) {
+      auto resp = client.Check(fixtures::ChainDeleteUpdate(1, key), true);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    }
+    // One more apply fired without waiting for its response — the crash
+    // races it; the WAL decides whether it survived, identically for the
+    // server and the baseline below.
+    std::thread racer([&] {
+      ClientOptions ropts;
+      ropts.port = first.port;
+      ropts.max_attempts = 1;
+      Client racing(ropts);
+      (void)racing.Check(fixtures::ChainReplaceUpdate(1, 2, "racing"), true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    first.Kill9();
+    racer.join();
+  }
+
+  // --- Phase 2: snapshot the WAL (the restarted server appends to the
+  // original) and build the in-process baseline from the snapshot.
+  const std::string wal_copy = tmp.path("server.wal.copy");
+  std::error_code ec;
+  std::filesystem::copy_file(wal, wal_copy, ec);
+  ASSERT_FALSE(ec) << ec.message();
+
+  auto baseline_db_result =
+      relational::Database::Create(fixtures::MakeChainSchema(kDepth));
+  ASSERT_TRUE(baseline_db_result.ok())
+      << baseline_db_result.status().ToString();
+  std::unique_ptr<relational::Database> baseline_db =
+      std::move(*baseline_db_result);
+  ASSERT_TRUE(baseline_db->RecoverFrom(wal_copy).ok());
+  auto baseline_uf = check::UFilter::Create(baseline_db.get(),
+                                            fixtures::ChainViewQuery(kDepth));
+  ASSERT_TRUE(baseline_uf.ok()) << baseline_uf.status().ToString();
+
+  // --- Phase 3: restart the server on the original WAL and run the same
+  // probe workload against both; every verdict and row count must agree.
+  ServerProcess second = ServerProcess::Launch(bin, wal);
+  ASSERT_GT(second.pid, 0);
+  ASSERT_GT(second.port, 0);
+  {
+    ClientOptions opts;
+    opts.port = second.port;
+    Client client(opts);
+    check::CheckOptions apply;
+    apply.apply = true;
+    int executed = 0;
+    for (const std::string& update : ProbeUpdates()) {
+      auto wire = client.Check(update, /*apply=*/true);
+      ASSERT_TRUE(wire.ok()) << update << ": " << wire.status().ToString();
+      check::CheckReport local = (*baseline_uf)->Check(update, apply);
+      // Pairwise agreement, field by field.
+      EXPECT_EQ(wire->verdict, ExpectedVerdict(local.outcome)) << update;
+      EXPECT_EQ(wire->rows_affected, local.rows_affected) << update;
+      EXPECT_EQ(wire->status_code, static_cast<uint8_t>(local.error.code()))
+          << update;
+      if (wire->verdict == Verdict::kExecuted) ++executed;
+    }
+    // Guard against vacuous agreement: if the seed never reached the WAL,
+    // both sides recover *empty* and every probe "agrees" on no-rows
+    // verdicts. Some probes hit seeded keys, so some must execute.
+    EXPECT_GT(executed, 0) << "recovered database lost the seeded rows";
+    // Clean shutdown this time: SIGTERM drains and exits 0.
+    EXPECT_EQ(second.Terminate(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace ufilter::net

@@ -1,0 +1,232 @@
+// Wire codec strictness and frame parsing: these bytes arrive off a
+// socket from arbitrary peers, so every decoder must treat truncation,
+// trailing garbage, type confusion and bit flips as ParseError (or "need
+// more bytes"), never as UB and never as a silently different message.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ufilter::net {
+namespace {
+
+CheckRequestMsg SampleRequest() {
+  CheckRequestMsg req;
+  req.request_id = 0x1122334455667788ull;
+  req.deadline_ms = 250;
+  req.apply = true;
+  req.strategy = 1;
+  req.update_text = "FOR $b IN document(\"default\")/book DELETE $b";
+  return req;
+}
+
+CheckResponseMsg SampleResponse() {
+  CheckResponseMsg resp;
+  resp.request_id = 42;
+  resp.verdict = Verdict::kDataConflict;
+  resp.status_code = 7;
+  resp.message = "side effect on another view row";
+  resp.rows_affected = -3;
+  resp.retry_after_ms = 0;
+  return resp;
+}
+
+TEST(FrameCodecTest, CheckRequestRoundTrip) {
+  CheckRequestMsg req = SampleRequest();
+  auto got = DecodeCheckRequest(EncodeCheckRequest(req));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->request_id, req.request_id);
+  EXPECT_EQ(got->deadline_ms, req.deadline_ms);
+  EXPECT_EQ(got->apply, req.apply);
+  EXPECT_EQ(got->strategy, req.strategy);
+  EXPECT_EQ(got->update_text, req.update_text);
+}
+
+TEST(FrameCodecTest, CheckResponseRoundTrip) {
+  CheckResponseMsg resp = SampleResponse();
+  auto got = DecodeCheckResponse(EncodeCheckResponse(resp));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->request_id, resp.request_id);
+  EXPECT_EQ(got->verdict, resp.verdict);
+  EXPECT_EQ(got->status_code, resp.status_code);
+  EXPECT_EQ(got->message, resp.message);
+  EXPECT_EQ(got->rows_affected, resp.rows_affected);
+  EXPECT_EQ(got->retry_after_ms, resp.retry_after_ms);
+}
+
+TEST(FrameCodecTest, PingPongAndStatsRoundTrip) {
+  auto ping = DecodePingPong(EncodePing(99));
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(*ping, 99u);
+  auto pong = DecodePingPong(EncodePong(100));
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(*pong, 100u);
+
+  StatsMsg stats;
+  stats.submitted = 1;
+  stats.completed = 2;
+  stats.fast_path = 3;
+  stats.writer_lane = 4;
+  stats.shed = 5;
+  stats.deadline_expired = 6;
+  stats.queue_high_water = 7;
+  stats.commit_epoch = 8;
+  stats.wal_records = 9;
+  stats.connections_accepted = 10;
+  stats.protocol_errors = 11;
+  stats.draining_rejects = 12;
+  auto got = DecodeStatsResponse(EncodeStatsResponse(stats));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->submitted, 1u);
+  EXPECT_EQ(got->deadline_expired, 6u);
+  EXPECT_EQ(got->queue_high_water, 7u);
+  EXPECT_EQ(got->draining_rejects, 12u);
+}
+
+TEST(FrameCodecTest, PeekTypeIdentifiesMessages) {
+  auto t = PeekType(EncodeCheckRequest(SampleRequest()));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, MsgType::kCheckRequest);
+  EXPECT_FALSE(PeekType("").ok());
+  EXPECT_FALSE(PeekType(std::string(1, '\x63')).ok());  // unknown type
+}
+
+TEST(FrameCodecTest, EveryTruncationIsParseError) {
+  const std::string payloads[] = {
+      EncodeCheckRequest(SampleRequest()),
+      EncodeCheckResponse(SampleResponse()),
+      EncodePing(7),
+      EncodeStatsResponse(StatsMsg{}),
+  };
+  for (const std::string& p : payloads) {
+    for (size_t cut = 0; cut < p.size(); ++cut) {
+      std::string prefix = p.substr(0, cut);
+      EXPECT_FALSE(DecodeCheckRequest(prefix).ok());
+      EXPECT_FALSE(DecodeCheckResponse(prefix).ok());
+      EXPECT_FALSE(DecodePingPong(prefix).ok());
+      EXPECT_FALSE(DecodeStatsResponse(prefix).ok());
+    }
+  }
+}
+
+TEST(FrameCodecTest, TrailingGarbageIsParseError) {
+  std::string p = EncodeCheckRequest(SampleRequest()) + "x";
+  auto got = DecodeCheckRequest(p);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsParseError()) << got.status().ToString();
+}
+
+TEST(FrameCodecTest, TypeConfusionIsParseError) {
+  // A well-formed request fed to the response decoder (and vice versa)
+  // must fail on the type byte, not misparse the remaining fields.
+  EXPECT_FALSE(DecodeCheckResponse(EncodeCheckRequest(SampleRequest())).ok());
+  EXPECT_FALSE(DecodeCheckRequest(EncodeCheckResponse(SampleResponse())).ok());
+  EXPECT_FALSE(DecodePingPong(EncodeStatsRequest()).ok());
+  EXPECT_FALSE(DecodeStatsResponse(EncodePong(1)).ok());
+}
+
+TEST(FrameCodecTest, OutOfRangeEnumsAreParseError) {
+  CheckRequestMsg req = SampleRequest();
+  req.strategy = 3;  // past kOutside
+  EXPECT_FALSE(DecodeCheckRequest(EncodeCheckRequest(req)).ok());
+
+  // Patch the verdict byte past kError: offset = type(1) + id(8).
+  std::string p = EncodeCheckResponse(SampleResponse());
+  p[1 + 8] = '\x2a';
+  EXPECT_FALSE(DecodeCheckResponse(p).ok());
+}
+
+TEST(FrameReaderTest, ByteAtATimeReassemblesMultipleFrames) {
+  std::string stream;
+  stream.append(kNetMagic, kNetMagicLen);
+  const std::string payload_a = EncodeCheckRequest(SampleRequest());
+  const std::string payload_b = EncodePing(5);
+  stream += FramePayload(payload_a);
+  stream += FramePayload(payload_b);
+
+  FrameReader reader(/*expect_magic=*/true);
+  std::vector<std::string> got;
+  for (char c : stream) {
+    reader.Feed(&c, 1);
+    while (true) {
+      auto next = reader.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next->has_value()) break;
+      got.push_back(**next);
+    }
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], payload_a);
+  EXPECT_EQ(got[1], payload_b);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, TornFrameIsJustIncomplete) {
+  // A frame cut mid-length-prefix (exactly what the chaos proxy does) is
+  // "need more bytes", not an error — the error is the hangup that
+  // follows, surfaced by the socket layer.
+  std::string frame = FramePayload(EncodePing(1));
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameReader reader;
+    reader.Feed(frame.data(), cut);
+    auto next = reader.Next();
+    ASSERT_TRUE(next.ok()) << "cut=" << cut;
+    EXPECT_FALSE(next->has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(FrameReaderTest, BadMagicIsParseError) {
+  FrameReader reader(/*expect_magic=*/true);
+  std::string junk = "GET / HT";  // a confused HTTP client
+  reader.Feed(junk.data(), junk.size());
+  auto next = reader.Next();
+  EXPECT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsParseError());
+}
+
+TEST(FrameReaderTest, EverysingleBitFlipIsDetected) {
+  // CRC32 catches all single-bit errors; a flipped length prefix either
+  // fails the CRC, waits for bytes that never come, or is rejected as
+  // absurd. No flip may ever yield a successfully parsed *different*
+  // payload.
+  const std::string payload = EncodeCheckRequest(SampleRequest());
+  const std::string frame = FramePayload(payload);
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = frame;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      FrameReader reader;
+      reader.Feed(damaged.data(), damaged.size());
+      auto next = reader.Next();
+      if (!next.ok()) continue;                // detected: CRC / length
+      if (!next->has_value()) continue;        // waiting for more bytes
+      FAIL() << "bit flip at byte " << byte << " bit " << bit
+             << " produced a successfully parsed frame";
+    }
+  }
+}
+
+TEST(FrameReaderTest, OversizedLengthIsRejectedImmediately) {
+  FrameReader reader(/*expect_magic=*/false, /*max_frame_bytes=*/1024);
+  std::string header;
+  uint32_t len = 1u << 30;
+  for (int i = 0; i < 4; ++i) header.push_back(char((len >> (8 * i)) & 0xFF));
+  header.append(4, '\0');  // CRC placeholder; never read
+  reader.Feed(header.data(), header.size());
+  auto next = reader.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsParseError());
+}
+
+TEST(VerdictTest, RetrySafetyClassification) {
+  EXPECT_TRUE(VerdictIsRetrySafe(Verdict::kShed));
+  EXPECT_TRUE(VerdictIsRetrySafe(Verdict::kDraining));
+  EXPECT_TRUE(VerdictIsRetrySafe(Verdict::kDeadlineExceeded));
+  EXPECT_FALSE(VerdictIsRetrySafe(Verdict::kExecuted));
+  EXPECT_FALSE(VerdictIsRetrySafe(Verdict::kError));
+  EXPECT_STREQ(VerdictName(Verdict::kShed), "shed");
+}
+
+}  // namespace
+}  // namespace ufilter::net

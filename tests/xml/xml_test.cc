@@ -116,5 +116,80 @@ TEST(DefaultViewTest, MirrorsDatabase) {
   EXPECT_EQ(first->ElementChildren().size(), 5u);
 }
 
+// --- Malformed-input corpus: these bytes arrive off a socket, so every
+// --- failure must be a ParseError Status — never a crash, hang, or UB.
+
+TEST(ParserHardeningTest, EmptyAndWhitespaceOnlyInputs) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("   \n\t  ").ok());
+  EXPECT_FALSE(Parse("<!-- only a comment -->").ok());
+  EXPECT_FALSE(Parse("<?xml version=\"1.0\"?>").ok());
+}
+
+TEST(ParserHardeningTest, TruncatedMidToken) {
+  const char* corpus[] = {
+      "<",
+      "<boo",
+      "<book>",
+      "<book><title>X</title>",
+      "<book></bo",
+      "<book></book",
+      "<book>text &am",
+      "<book><!-- unterminated",
+      "<?xml unterminated",
+  };
+  for (const char* text : corpus) {
+    auto got = Parse(text);
+    EXPECT_FALSE(got.ok()) << "accepted: " << text;
+    EXPECT_TRUE(got.status().IsParseError()) << got.status().ToString();
+  }
+}
+
+TEST(ParserHardeningTest, EmbeddedNulIsDataNotTerminator) {
+  // A NUL inside text content must not truncate parsing.
+  std::string text("<a>x\0y</a>", 10);
+  auto got = Parse(text);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  std::string expected("x\0y", 3);
+  EXPECT_EQ((*got)->TextContent(), expected);
+
+  // A NUL where a tag name belongs is a clean error.
+  std::string bad("<\0a>x</\0a>", 10);
+  EXPECT_FALSE(Parse(bad).ok());
+}
+
+TEST(ParserHardeningTest, MegabyteSingleTokenInputs) {
+  // One giant tag name and one giant text run: linear, no crash.
+  std::string giant_name(1 << 20, 'a');
+  EXPECT_FALSE(Parse("<" + giant_name).ok());
+  auto ok = Parse("<" + giant_name + ">t</" + giant_name + ">");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+
+  std::string giant_text(1 << 20, 'x');
+  auto got = Parse("<a>" + giant_text + "</a>");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ((*got)->TextContent().size(), giant_text.size());
+}
+
+TEST(ParserHardeningTest, DeepNestingIsAnErrorNotAStackOverflow) {
+  // Hostile nesting past any real document: must come back as Status.
+  constexpr int kDepth = 200000;
+  std::string deep;
+  deep.reserve(static_cast<size_t>(kDepth) * 7 + 16);
+  for (int i = 0; i < kDepth; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < kDepth; ++i) deep += "</a>";
+  auto got = Parse(deep);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsParseError()) << got.status().ToString();
+
+  // Depth just under the cap still parses.
+  std::string shallow;
+  for (int i = 0; i < 100; ++i) shallow += "<a>";
+  shallow += "x";
+  for (int i = 0; i < 100; ++i) shallow += "</a>";
+  EXPECT_TRUE(Parse(shallow).ok());
+}
+
 }  // namespace
 }  // namespace ufilter::xml

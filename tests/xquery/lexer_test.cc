@@ -61,5 +61,65 @@ TEST(LexerTest, PayloadPunctuationTolerated) {
   EXPECT_TRUE(lexer.status().ok()) << lexer.status().ToString();
 }
 
+// --- Malformed-input corpus: update text arrives off a socket, so every
+// --- lexer failure must be a readable ParseError, never a crash.
+
+TEST(LexerHardeningTest, EmptyInputIsJustEnd) {
+  Lexer lexer("");
+  EXPECT_TRUE(lexer.status().ok());
+  ASSERT_EQ(lexer.tokens().size(), 1u);
+  EXPECT_EQ(lexer.tokens()[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerHardeningTest, TruncatedMidToken) {
+  {
+    Lexer lexer("FOR $b IN document(\"defau");  // string cut mid-way
+    ASSERT_FALSE(lexer.status().ok());
+    EXPECT_TRUE(lexer.status().IsParseError());
+  }
+  {
+    Lexer lexer("FOR $");  // variable cut right after the sigil
+    ASSERT_FALSE(lexer.status().ok());
+    EXPECT_TRUE(lexer.status().IsParseError());
+  }
+}
+
+TEST(LexerHardeningTest, EmbeddedNulIsAReadableError) {
+  std::string src("FOR $b\0IN", 9);
+  Lexer lexer(src);
+  ASSERT_FALSE(lexer.status().ok());
+  const std::string& msg = lexer.status().message();
+  // The offending byte is reported in hex, not embedded raw.
+  EXPECT_NE(msg.find("0x00"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find('\0'), std::string::npos);
+}
+
+TEST(LexerHardeningTest, NonPrintableBytesAreReadableErrors) {
+  for (char c : {'\x01', '\x1B', '\x7F', '\xC3'}) {
+    Lexer lexer(std::string(1, c));
+    ASSERT_FALSE(lexer.status().ok()) << "accepted byte " << int(c);
+    EXPECT_TRUE(lexer.status().IsParseError());
+    EXPECT_NE(lexer.status().message().find("0x"), std::string::npos)
+        << lexer.status().ToString();
+  }
+}
+
+TEST(LexerHardeningTest, MegabyteSingleTokens) {
+  const size_t kBig = 1u << 20;
+  {
+    Lexer lexer(std::string(kBig, 'a'));  // one giant identifier
+    EXPECT_TRUE(lexer.status().ok()) << lexer.status().ToString();
+    ASSERT_EQ(lexer.tokens().size(), 2u);  // ident + kEnd
+    EXPECT_EQ(lexer.tokens()[0].text.size(), kBig);
+  }
+  {
+    Lexer lexer("\"" + std::string(kBig, 'x') + "\"");  // one giant string
+    EXPECT_TRUE(lexer.status().ok()) << lexer.status().ToString();
+    ASSERT_EQ(lexer.tokens().size(), 2u);
+    EXPECT_EQ(lexer.tokens()[0].kind, TokenKind::kString);
+    EXPECT_EQ(lexer.tokens()[0].text.size(), kBig);
+  }
+}
+
 }  // namespace
 }  // namespace ufilter::xq

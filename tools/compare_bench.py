@@ -63,6 +63,11 @@ def summarize(benches):
             "hash_join_probes_per_iter",
             "index_lookups_per_iter",
             "plan_replays_per_iter",
+            "requests_per_iter",
+            "completed_per_iter",
+            "shed_per_iter",
+            "deadline_expired_per_iter",
+            "client_errors_per_iter",
         ):
             if key in b:
                 counters.append(f"{key.replace('_per_iter', '')}={b[key]:.0f}")

@@ -1,0 +1,194 @@
+// ufilter_server: the network front end as a process. Serves the chain
+// fixture over the net/ wire protocol, with WAL durability and graceful
+// drain on SIGTERM/SIGINT.
+//
+//   ufilter_server [--port=N] [--wal=PATH] [--depth=N] [--rows=N]
+//                  [--workers=N] [--queue=N] [--fsync=always|group|never]
+//
+// Startup: if --wal names an existing non-empty file the database is
+// recovered from it (the seeding and every later apply replay from the
+// log); otherwise a fresh chain is populated *through* the WAL so a later
+// restart replays it identically. Once serving, the process prints
+//
+//   READY <port>
+//
+// on stdout (and flushes), which is the line the crash-restart test and
+// bench_server wait for. SIGTERM/SIGINT trigger a graceful drain: stop
+// accepting, finish or deadline-expire in-flight requests, sync the WAL,
+// exit 0. kill -9 at any point must lose nothing the WAL certified —
+// that is exactly what tests/net/crash_restart_test.cc proves.
+#include <signal.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+
+#include "fixtures/synthetic.h"
+#include "net/server.h"
+#include "relational/database.h"
+#include "relational/wal.h"
+#include "ufilter/checker.h"
+
+namespace {
+
+struct Args {
+  uint16_t port = 0;
+  std::string wal_path;
+  int depth = 3;
+  int rows = 64;
+  int workers = 2;
+  size_t queue = 256;
+  ufilter::relational::FsyncPolicy fsync =
+      ufilter::relational::FsyncPolicy::kGroup;
+};
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--port", &v)) {
+      args->port = static_cast<uint16_t>(std::atoi(v));
+    } else if (ParseFlag(argv[i], "--wal", &v)) {
+      args->wal_path = v;
+    } else if (ParseFlag(argv[i], "--depth", &v)) {
+      args->depth = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--rows", &v)) {
+      args->rows = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--workers", &v)) {
+      args->workers = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--queue", &v)) {
+      args->queue = static_cast<size_t>(std::atoll(v));
+    } else if (ParseFlag(argv[i], "--fsync", &v)) {
+      if (std::strcmp(v, "always") == 0) {
+        args->fsync = ufilter::relational::FsyncPolicy::kAlways;
+      } else if (std::strcmp(v, "group") == 0) {
+        args->fsync = ufilter::relational::FsyncPolicy::kGroup;
+      } else if (std::strcmp(v, "never") == 0) {
+        args->fsync = ufilter::relational::FsyncPolicy::kNever;
+      } else {
+        std::fprintf(stderr, "unknown --fsync policy: %s\n", v);
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FileHasBytes(const std::string& path) {
+  struct stat st;
+  return !path.empty() && ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  // Block the shutdown signals in every thread the server will spawn;
+  // the main thread collects them with sigwait below.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  auto db_result = ufilter::relational::Database::Create(
+      ufilter::fixtures::MakeChainSchema(args.depth));
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "Database::Create failed: %s\n",
+                 db_result.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<ufilter::relational::Database> db = std::move(*db_result);
+
+  const bool recovering = FileHasBytes(args.wal_path);
+  if (recovering) {
+    ufilter::Status st = db->RecoverFrom(args.wal_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "WAL recovery failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!args.wal_path.empty()) {
+    ufilter::relational::DurabilityOptions dopts;
+    dopts.wal_path = args.wal_path;
+    dopts.fsync_policy = args.fsync;
+    ufilter::Status st = db->EnableDurability(dopts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "EnableDurability failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!recovering) {
+    // Fresh start: seed through the WAL so a restart replays it.
+    ufilter::Status st =
+        ufilter::fixtures::PopulateChain(db.get(), args.depth, args.rows);
+    if (!st.ok()) {
+      std::fprintf(stderr, "PopulateChain failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    if (!args.wal_path.empty()) {
+      // Publication is lazy (first snapshot/writer triggers it). Force the
+      // seed epoch into the WAL now, or a zero-traffic kill would leave a
+      // magic-only file that a restart "recovers" into an empty database.
+      auto epoch = db->PublishVersion();
+      if (!epoch.ok()) {
+        std::fprintf(stderr, "seed publish failed: %s\n",
+                     epoch.status().ToString().c_str());
+        return 1;
+      }
+      st = db->SyncWal();
+      if (!st.ok()) {
+        std::fprintf(stderr, "seed WAL sync failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  auto uf = ufilter::check::UFilter::Create(
+      db.get(), ufilter::fixtures::ChainViewQuery(args.depth));
+  if (!uf.ok()) {
+    std::fprintf(stderr, "UFilter::Create failed: %s\n",
+                 uf.status().ToString().c_str());
+    return 1;
+  }
+
+  ufilter::net::ServerOptions sopts;
+  sopts.port = args.port;
+  sopts.service.worker_threads = args.workers;
+  sopts.service.queue_capacity = args.queue;
+  auto server = ufilter::net::Server::Start(uf->get(), sopts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "Server::Start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("READY %u\n", static_cast<unsigned>((*server)->port()));
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::fprintf(stderr, "signal %d: draining\n", sig);
+  (*server)->Drain();
+  return 0;
+}
