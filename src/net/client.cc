@@ -192,4 +192,26 @@ Result<StatsMsg> Client::ServerStats() {
   return last;
 }
 
+Result<MetricsMsg> Client::Metrics() {
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++metrics_.retries;
+      std::this_thread::sleep_for(BackoffDelay(attempt, 0));
+    }
+    bool sent = false;
+    auto raw = RoundTrip(EncodeMetricsRequest(), 0, &sent);
+    if (!raw.ok()) {
+      Disconnect();
+      last = raw.status();
+      continue;  // metric scrapes are idempotent
+    }
+    auto metrics = DecodeMetricsResponse(*raw);
+    if (metrics.ok()) return *std::move(metrics);
+    Disconnect();
+    last = metrics.status();
+  }
+  return last;
+}
+
 }  // namespace ufilter::net

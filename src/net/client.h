@@ -82,6 +82,10 @@ class Client {
   /// Fetches the server's service/transport counters.
   Result<StatsMsg> ServerStats();
 
+  /// Fetches the server's full metric registry (counters, gauges, latency
+  /// histograms) — everything obs::Registry::Collect() sees in-process.
+  Result<MetricsMsg> Metrics();
+
   const ClientMetrics& metrics() const { return metrics_; }
 
   /// Drops the connection; the next call reconnects.

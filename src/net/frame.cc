@@ -176,13 +176,93 @@ std::string EncodeStatsResponse(const StatsMsg& msg) {
   PutU64(&out, msg.connections_accepted);
   PutU64(&out, msg.protocol_errors);
   PutU64(&out, msg.draining_rejects);
+  PutU64(&out, msg.queue_wait_p50_ns);
+  PutU64(&out, msg.queue_wait_p99_ns);
+  return out;
+}
+
+std::string EncodeMetricsRequest() {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kMetricsRequest));
+  return out;
+}
+
+std::string EncodeMetricsResponse(const MetricsMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kMetricsResponse));
+  PutU32(&out, static_cast<uint32_t>(msg.metrics.size()));
+  for (const WireMetric& m : msg.metrics) {
+    PutString(&out, m.name);
+    PutU8(&out, m.kind);
+    PutU64(&out, m.value);
+    PutU64(&out, m.hist_count);
+    PutU64(&out, m.hist_sum);
+    PutU64(&out, m.hist_max);
+    PutU32(&out, static_cast<uint32_t>(m.hist_buckets.size()));
+    for (const auto& [idx, count] : m.hist_buckets) {
+      PutU8(&out, idx);
+      PutU64(&out, count);
+    }
+  }
+  return out;
+}
+
+const WireMetric* MetricsMsg::Find(const std::string& name) const {
+  for (const WireMetric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+MetricsMsg MetricsFromSnapshot(const obs::RegistrySnapshot& snapshot) {
+  MetricsMsg msg;
+  msg.metrics.reserve(snapshot.size());
+  for (const obs::MetricSample& s : snapshot) {
+    WireMetric m;
+    m.name = s.name;
+    m.kind = static_cast<uint8_t>(s.kind);
+    m.value = s.value;
+    if (s.kind == obs::MetricKind::kHistogram) {
+      m.hist_count = s.hist.count;
+      m.hist_sum = s.hist.sum;
+      m.hist_max = s.hist.max;
+      for (size_t i = 0; i < obs::kHistogramBuckets; ++i) {
+        if (s.hist.buckets[i] != 0) {
+          m.hist_buckets.emplace_back(static_cast<uint8_t>(i),
+                                      s.hist.buckets[i]);
+        }
+      }
+    }
+    msg.metrics.push_back(std::move(m));
+  }
+  return msg;
+}
+
+obs::RegistrySnapshot SnapshotFromMetrics(const MetricsMsg& msg) {
+  obs::RegistrySnapshot out;
+  out.reserve(msg.metrics.size());
+  for (const WireMetric& m : msg.metrics) {
+    obs::MetricSample s;
+    s.name = m.name;
+    s.kind = static_cast<obs::MetricKind>(m.kind);
+    s.value = m.value;
+    if (s.kind == obs::MetricKind::kHistogram) {
+      s.hist.count = m.hist_count;
+      s.hist.sum = m.hist_sum;
+      s.hist.max = m.hist_max;
+      for (const auto& [idx, count] : m.hist_buckets) {
+        s.hist.buckets[idx] = count;
+      }
+    }
+    out.push_back(std::move(s));
+  }
   return out;
 }
 
 Result<MsgType> PeekType(const std::string& payload) {
   if (payload.empty()) return Status::ParseError("empty message payload");
   uint8_t t = static_cast<uint8_t>(payload[0]);
-  if (t < 1 || t > 6) {
+  if (t < 1 || t > 8) {
     return Status::ParseError("unknown message type " + std::to_string(t));
   }
   return static_cast<MsgType>(t);
@@ -254,7 +334,42 @@ Result<StatsMsg> DecodeStatsResponse(const std::string& payload) {
   msg.connections_accepted = c.U64();
   msg.protocol_errors = c.U64();
   msg.draining_rejects = c.U64();
+  msg.queue_wait_p50_ns = c.U64();
+  msg.queue_wait_p99_ns = c.U64();
   if (!c.AtEnd()) return Malformed("stats-response");
+  return msg;
+}
+
+Result<MetricsMsg> DecodeMetricsResponse(const std::string& payload) {
+  Cursor c(payload);
+  if (c.U8() != static_cast<uint8_t>(MsgType::kMetricsResponse)) {
+    return Malformed("metrics-response");
+  }
+  MetricsMsg msg;
+  uint32_t n = c.U32();
+  for (uint32_t i = 0; i < n && c.ok(); ++i) {
+    WireMetric m;
+    m.name = c.Str();
+    m.kind = c.U8();
+    m.value = c.U64();
+    m.hist_count = c.U64();
+    m.hist_sum = c.U64();
+    m.hist_max = c.U64();
+    uint32_t buckets = c.U32();
+    for (uint32_t b = 0; b < buckets && c.ok(); ++b) {
+      uint8_t idx = c.U8();
+      uint64_t count = c.U64();
+      // A bucket index past the fixed histogram shape is corruption, not a
+      // future extension — SnapshotFromMetrics would index out of bounds.
+      if (idx >= static_cast<uint8_t>(obs::kHistogramBuckets)) {
+        return Malformed("metrics-response");
+      }
+      m.hist_buckets.emplace_back(idx, count);
+    }
+    if (m.kind > 2) return Malformed("metrics-response");
+    msg.metrics.push_back(std::move(m));
+  }
+  if (!c.AtEnd()) return Malformed("metrics-response");
   return msg;
 }
 

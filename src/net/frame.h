@@ -25,8 +25,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 
 namespace ufilter::net {
 
@@ -51,6 +54,13 @@ enum class MsgType : uint8_t {
   kPong = 4,
   kStatsRequest = 5,
   kStatsResponse = 6,
+  /// Full metric-registry scrape (counters, gauges, histograms) — the
+  /// wire form of obs::Registry::Collect(). kStats stays the cheap
+  /// fixed-size summary; kMetrics carries everything, including the
+  /// counters that used to be wire-invisible (WAL, columnar, plan cache,
+  /// MVCC) and the latency histograms.
+  kMetricsRequest = 7,
+  kMetricsResponse = 8,
 };
 
 /// The server's answer class for one request. Distinct from CheckOutcome
@@ -116,7 +126,40 @@ struct StatsMsg {
   uint64_t connections_accepted = 0;
   uint64_t protocol_errors = 0;
   uint64_t draining_rejects = 0;
+  /// Admission-queue residency percentiles (push -> worker pop), ns.
+  uint64_t queue_wait_p50_ns = 0;
+  uint64_t queue_wait_p99_ns = 0;
 };
+
+/// One metric in a kMetricsResponse: the wire form of obs::MetricSample.
+/// Histogram buckets travel sparse ([bucket-index, count] pairs) — latency
+/// distributions concentrate in a handful of buckets, so this is far
+/// smaller than 64 fixed u64s per histogram.
+struct WireMetric {
+  std::string name;
+  /// obs::MetricKind as its enum integer (0 counter, 1 gauge, 2 histogram).
+  uint8_t kind = 0;
+  /// Counter / gauge value (0 for histograms).
+  uint64_t value = 0;
+  uint64_t hist_count = 0;
+  uint64_t hist_sum = 0;
+  uint64_t hist_max = 0;
+  /// Non-empty buckets only: (bucket index < obs::kHistogramBuckets, count).
+  std::vector<std::pair<uint8_t, uint64_t>> hist_buckets;
+};
+
+struct MetricsMsg {
+  std::vector<WireMetric> metrics;
+
+  /// Finds a metric by exact name; nullptr when absent.
+  const WireMetric* Find(const std::string& name) const;
+};
+
+/// RegistrySnapshot <-> MetricsMsg: the server encodes its Collect() with
+/// the first, the scraper reconstructs percentiles/renders Prometheus text
+/// with the second. Round-tripping is lossless (tests/net/frame_test.cc).
+MetricsMsg MetricsFromSnapshot(const obs::RegistrySnapshot& snapshot);
+obs::RegistrySnapshot SnapshotFromMetrics(const MetricsMsg& msg);
 
 // --- Message codecs (payloads, no framing) -------------------------------
 
@@ -126,6 +169,8 @@ std::string EncodePing(uint64_t request_id);
 std::string EncodePong(uint64_t request_id);
 std::string EncodeStatsRequest();
 std::string EncodeStatsResponse(const StatsMsg& msg);
+std::string EncodeMetricsRequest();
+std::string EncodeMetricsResponse(const MetricsMsg& msg);
 
 Result<MsgType> PeekType(const std::string& payload);
 Result<CheckRequestMsg> DecodeCheckRequest(const std::string& payload);
@@ -133,6 +178,7 @@ Result<CheckResponseMsg> DecodeCheckResponse(const std::string& payload);
 /// Decodes a kPing or kPong payload to its request id.
 Result<uint64_t> DecodePingPong(const std::string& payload);
 Result<StatsMsg> DecodeStatsResponse(const std::string& payload);
+Result<MetricsMsg> DecodeMetricsResponse(const std::string& payload);
 
 // --- Framing -------------------------------------------------------------
 

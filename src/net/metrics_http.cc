@@ -1,0 +1,72 @@
+#include "net/metrics_http.h"
+
+#include <chrono>
+
+#include "net/socket.h"
+
+namespace ufilter::net {
+
+namespace {
+constexpr int kAcceptPollMs = 100;
+constexpr std::chrono::milliseconds kIoTimeout{2000};
+}  // namespace
+
+Status MetricsHttpServer::Start(uint16_t port,
+                                std::function<std::string()> render) {
+  if (thread_.joinable()) return Status::InvalidArgument("already started");
+  auto listen = ListenTcp(port);
+  if (!listen.ok()) return listen.status();
+  auto got_port = LocalPort(*listen);
+  if (!got_port.ok()) {
+    CloseFd(*listen);
+    return got_port.status();
+  }
+  listen_fd_ = *listen;
+  port_ = *got_port;
+  render_ = std::move(render);
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  ShutdownFd(listen_fd_);
+  thread_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsHttpServer::ServeLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto fd = AcceptWithTimeout(listen_fd_, kAcceptPollMs);
+    if (!fd.ok()) {
+      if (fd.status().IsDeadlineExceeded()) continue;  // idle tick
+      break;  // listener gone: Stop() in progress
+    }
+    auto deadline = std::chrono::steady_clock::now() + kIoTimeout;
+    // Read (and ignore) whatever request the client sent: one recv is
+    // enough for any curl/Prometheus GET line, and a client that sends
+    // nothing still gets its metrics.
+    char buf[2048];
+    (void)RecvSome(*fd, buf, sizeof(buf), deadline);
+    std::string body = render_();
+    std::string resp =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    // Count before the bytes go out: a client that has read the full
+    // response must observe the scrape as counted.
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+    (void)SendAll(*fd, resp.data(), resp.size(), deadline);
+    ShutdownFd(*fd);
+    CloseFd(*fd);
+  }
+}
+
+}  // namespace ufilter::net

@@ -1,0 +1,51 @@
+// A minimal HTTP/1.0 exporter for Prometheus scrapes: one accept loop, one
+// response per connection (render callback -> 200 text/plain -> close).
+// Deliberately not a real HTTP server — the request line is read and
+// discarded (every path serves the metrics), keep-alive is not offered,
+// and the whole thing exists so `curl localhost:PORT/metrics` and a
+// Prometheus scrape_config work against ufilter_server --metrics-port.
+#ifndef UFILTER_NET_METRICS_HTTP_H_
+#define UFILTER_NET_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+
+namespace ufilter::net {
+
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { Stop(); }
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral, read back via port()) and
+  /// starts serving. `render` is called once per scrape, from the serving
+  /// thread — it must be thread-safe (Registry::Collect is).
+  Status Start(uint16_t port, std::function<std::string()> render);
+
+  /// Stops the accept loop and joins; idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t scrapes() const { return scrapes_.load(std::memory_order_relaxed); }
+
+ private:
+  void ServeLoop();
+
+  std::function<std::string()> render_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> scrapes_{0};
+};
+
+}  // namespace ufilter::net
+
+#endif  // UFILTER_NET_METRICS_HTTP_H_

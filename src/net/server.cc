@@ -78,18 +78,25 @@ Server::Server(check::UFilter* filter, ServerOptions options, int listen_fd,
                uint16_t port)
     : options_(std::move(options)), listen_fd_(listen_fd), port_(port) {
   service_ = std::make_unique<service::CheckService>(filter, options_.service);
+  obs::Registry& registry = service_->registry();
+  connections_accepted_ = registry.GetCounter("server_connections_accepted");
+  protocol_errors_ = registry.GetCounter("server_protocol_errors");
+  requests_ = registry.GetCounter("server_requests");
+  responses_ = registry.GetCounter("server_responses");
+  admission_expired_ = registry.GetCounter("server_admission_expired");
+  draining_rejects_ = registry.GetCounter("server_draining_rejects");
 }
 
 Server::~Server() { Drain(); }
 
 ServerStats Server::stats() const {
   ServerStats s;
-  s.connections_accepted = connections_accepted_;
-  s.protocol_errors = protocol_errors_;
-  s.requests = requests_;
-  s.responses = responses_;
-  s.admission_expired = admission_expired_;
-  s.draining_rejects = draining_rejects_;
+  s.connections_accepted = connections_accepted_->Value();
+  s.protocol_errors = protocol_errors_->Value();
+  s.requests = requests_->Value();
+  s.responses = responses_->Value();
+  s.admission_expired = admission_expired_->Value();
+  s.draining_rejects = draining_rejects_->Value();
   return s;
 }
 
@@ -101,7 +108,7 @@ void Server::AcceptLoop() {
       if (fd.status().IsDeadlineExceeded()) continue;  // idle tick
       break;  // listener gone: drain in progress
     }
-    ++connections_accepted_;
+    connections_accepted_->Inc();
     auto conn = std::make_unique<Conn>(options_.max_pipeline);
     conn->fd = *fd;
     conn->session = service_->OpenSession();
@@ -165,7 +172,7 @@ void Server::ReaderLoop(Conn* conn) {
     }
     if (drop) break;
   }
-  if (protocol_error) ++protocol_errors_;
+  if (protocol_error) protocol_errors_->Inc();
   conn->stop.store(true, std::memory_order_relaxed);
   // Writer drains whatever is still pending (futures resolve via the
   // service), then exits on the closed-and-drained signal.
@@ -196,19 +203,29 @@ Status Server::HandlePayload(Conn* conn, std::string payload) {
       stats.queue_high_water = svc.queue_high_water;
       stats.commit_epoch = svc.commit_epoch;
       stats.wal_records = svc.wal_records;
-      stats.connections_accepted = connections_accepted_;
-      stats.protocol_errors = protocol_errors_;
-      stats.draining_rejects = draining_rejects_;
+      stats.connections_accepted = connections_accepted_->Value();
+      stats.protocol_errors = protocol_errors_->Value();
+      stats.draining_rejects = draining_rejects_->Value();
+      stats.queue_wait_p50_ns = svc.queue_wait_p50_ns;
+      stats.queue_wait_p99_ns = svc.queue_wait_p99_ns;
       pending->ready_payload = EncodeStatsResponse(stats);
+      break;
+    }
+    case MsgType::kMetricsRequest: {
+      // The full registry scrape: one Collect(), encoded sparse. This is
+      // what ufilter_metrics and the parity test in
+      // tests/net/server_client_test.cc consume.
+      pending->ready_payload = EncodeMetricsResponse(
+          MetricsFromSnapshot(service_->registry().Collect()));
       break;
     }
     case MsgType::kCheckRequest: {
       auto req = DecodeCheckRequest(payload);
       if (!req.ok()) return req.status();
-      ++requests_;
+      requests_->Inc();
       pending->request_id = req->request_id;
       if (draining_.load(std::memory_order_relaxed)) {
-        ++draining_rejects_;
+        draining_rejects_->Inc();
         pending->ready_payload = EncodeCheckResponse(ServiceResponse(
             req->request_id, Verdict::kDraining,
             Status::Unavailable("server is draining"),
@@ -223,14 +240,18 @@ Status Server::HandlePayload(Conn* conn, std::string payload) {
       check::CheckOptions opts;
       opts.apply = req->apply;
       opts.strategy = static_cast<check::DataCheckStrategy>(req->strategy);
+      // Born here, before admission, so queue-wait is inside the trace;
+      // finished by the writer thread after the response write.
+      std::shared_ptr<obs::TraceContext> trace = service_->StartTrace();
       std::future<CheckReport> future;
       AdmitResult admitted = service_->SubmitWithDeadline(
           conn->session, std::move(req->update_text), opts, deadline,
-          &future);
+          &future, trace);
       switch (admitted) {
         case AdmitResult::kAdmitted:
           pending->has_future = true;
           pending->future = std::move(future);
+          pending->trace = std::move(trace);
           break;
         case AdmitResult::kShed:
           pending->ready_payload = EncodeCheckResponse(ServiceResponse(
@@ -239,7 +260,7 @@ Status Server::HandlePayload(Conn* conn, std::string payload) {
               options_.shed_retry_after_ms));
           break;
         case AdmitResult::kExpired:
-          ++admission_expired_;
+          admission_expired_->Inc();
           pending->ready_payload = EncodeCheckResponse(ServiceResponse(
               req->request_id, Verdict::kDeadlineExceeded,
               Status::DeadlineExceeded("deadline expired at admission"), 0));
@@ -256,6 +277,7 @@ Status Server::HandlePayload(Conn* conn, std::string payload) {
     case MsgType::kCheckResponse:
     case MsgType::kPong:
     case MsgType::kStatsResponse:
+    case MsgType::kMetricsResponse:
       return Status::ParseError("client sent a server-only message type");
   }
   // Blocks when max_pipeline responses are unanswered: per-connection
@@ -284,18 +306,36 @@ void Server::WriterLoop(Conn* conn) {
     } else {
       payload = std::move(p->ready_payload);
     }
-    if (write_failed) continue;  // drain mode: discard, keep futures resolved
+    if (write_failed) {
+      // Drain mode: discard, keep futures resolved — but still seal any
+      // deferred trace so sampled traces aren't leaked half-open.
+      if (p->trace != nullptr) service_->tracer().Finish(*p->trace);
+      continue;
+    }
     std::string frame = FramePayload(payload);
+    auto write_start = std::chrono::steady_clock::now();
     Status st = SendAll(conn->fd, frame.data(), frame.size(),
-                        std::chrono::steady_clock::now() +
-                            options_.write_timeout);
+                        write_start + options_.write_timeout);
     if (!st.ok()) {
       // Slow or dead client: stop reading from it and discard the rest of
       // its responses — but keep popping so admitted futures resolve.
       write_failed = true;
       conn->stop.store(true, std::memory_order_relaxed);
     } else {
-      ++responses_;
+      responses_->Inc();
+    }
+    if (p->trace != nullptr) {
+      // The last span of the request's trace, then the deferred finish
+      // (fixes total_ns = decode -> response written).
+      auto write_end = std::chrono::steady_clock::now();
+      p->trace->RecordSpan(obs::Stage::kResponseWrite, write_start, write_end);
+      service_->ObserveStage(
+          obs::Stage::kResponseWrite,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  write_end - write_start)
+                  .count()));
+      service_->tracer().Finish(*p->trace);
     }
   }
   conn->live_loops.fetch_sub(1, std::memory_order_release);

@@ -108,6 +108,10 @@ class Server {
     /// Pre-encoded payload for immediate answers (shed, expired, draining,
     /// pong, stats) — no future involved.
     std::string ready_payload;
+    /// The request's trace (deferred finish): the writer thread appends
+    /// the response_write span and seals it. Null when metrics are off or
+    /// the request never reached the service.
+    std::shared_ptr<obs::TraceContext> trace;
   };
 
   struct Conn {
@@ -148,12 +152,15 @@ class Server {
   std::mutex lifecycle_mu_;
   bool drained_ = false;
 
-  relational::RelaxedCounter connections_accepted_;
-  relational::RelaxedCounter protocol_errors_;
-  relational::RelaxedCounter requests_;
-  relational::RelaxedCounter responses_;
-  relational::RelaxedCounter admission_expired_;
-  relational::RelaxedCounter draining_rejects_;
+  // Registered in the service's metric registry (stable pointers owned by
+  // it), so ServerStats is a registry view and the transport counters are
+  // scrapable remotely alongside everything else.
+  obs::Counter* connections_accepted_;
+  obs::Counter* protocol_errors_;
+  obs::Counter* requests_;
+  obs::Counter* responses_;
+  obs::Counter* admission_expired_;
+  obs::Counter* draining_rejects_;
 };
 
 }  // namespace ufilter::net

@@ -1,0 +1,59 @@
+#include "obs/prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ufilter::obs {
+namespace {
+
+void AppendValueLine(std::string* out, const std::string& name, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", v);
+  *out += name;
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const RegistrySnapshot& snapshot,
+                             const std::string& prefix) {
+  std::string out;
+  char buf[128];
+  for (const MetricSample& s : snapshot) {
+    const std::string name = prefix + s.name;
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += "# TYPE " + name +
+               (s.kind == MetricKind::kCounter ? " counter\n" : " gauge\n");
+        AppendValueLine(&out, name, s.value);
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < kHistogramBuckets; ++i) {
+          cumulative += s.hist.buckets[i];
+          if (i + 1 < kHistogramBuckets) {
+            // Skip empty tail buckets below the overflow to keep the
+            // exposition compact; cumulative counts stay correct because
+            // a skipped bucket adds nothing.
+            if (s.hist.buckets[i] == 0 && cumulative == 0) continue;
+            std::snprintf(buf, sizeof(buf), "{le=\"%" PRIu64 "\"} ",
+                          HistogramBucketBound(i));
+            out += name + "_bucket" + buf;
+          } else {
+            out += name + "_bucket{le=\"+Inf\"} ";
+          }
+          std::snprintf(buf, sizeof(buf), "%" PRIu64 "\n", cumulative);
+          out += buf;
+        }
+        AppendValueLine(&out, name + "_sum", s.hist.sum);
+        AppendValueLine(&out, name + "_count", s.hist.count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ufilter::obs

@@ -1,0 +1,21 @@
+// Prometheus text-exposition renderer over a RegistrySnapshot. Counters
+// and gauges become single samples; histograms become the standard
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`, with
+// bucket bounds in nanoseconds (the unit every histogram in this codebase
+// records). Metric names are already lower_snake_case, so the only
+// transformation is the `ufilter_` prefix.
+#ifndef UFILTER_OBS_PROMETHEUS_H_
+#define UFILTER_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ufilter::obs {
+
+std::string RenderPrometheus(const RegistrySnapshot& snapshot,
+                             const std::string& prefix = "ufilter_");
+
+}  // namespace ufilter::obs
+
+#endif  // UFILTER_OBS_PROMETHEUS_H_

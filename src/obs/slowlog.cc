@@ -1,0 +1,129 @@
+#include "obs/slowlog.h"
+
+#include <chrono>
+#include <cinttypes>
+
+namespace ufilter::obs {
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64Field(std::string* out, const char* key, uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, key, v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string FormatSlowCheckRecord(const SlowCheckRecord& record) {
+  std::string out = "{";
+  out += "\"event\":\"slow_check\",";
+  AppendU64Field(&out, "request_id", record.request_id);
+  out += ",\"session\":";
+  AppendJsonString(&out, record.session);
+  out += ",\"verdict\":\"";
+  out += record.verdict;
+  out += "\",";
+  AppendU64Field(&out, "total_ns", record.total_ns);
+  out += ",\"stages\":{";
+  for (size_t i = 0; i < kStageCount; ++i) {
+    if (i != 0) out += ",";
+    out += "\"";
+    out += StageName(static_cast<Stage>(i));
+    out += "\":";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, record.stage_ns[i]);
+    out += buf;
+  }
+  out += "},";
+  AppendU64Field(&out, "template_hash", record.template_hash);
+  out += ",\"from_plan_cache\":";
+  out += record.from_plan_cache ? "true" : "false";
+  out += ",\"normalized\":";
+  AppendJsonString(&out, record.normalized_text);
+  out += "}";
+  return out;
+}
+
+SlowLog::~SlowLog() {
+  if (owned_ != nullptr) std::fclose(owned_);
+}
+
+void SlowLog::Configure(const SlowLogOptions& options) {
+  if (owned_ != nullptr) {
+    std::fclose(owned_);
+    owned_ = nullptr;
+  }
+  threshold_ns_ = options.threshold_ns;
+  max_per_sec_ = options.max_per_sec;
+  stream_ = options.stream;
+  if (threshold_ns_ != 0 && !options.path.empty()) {
+    owned_ = std::fopen(options.path.c_str(), "a");
+    if (owned_ == nullptr) {
+      std::fprintf(stderr, "slowlog: cannot open %s, falling back to stderr\n",
+                   options.path.c_str());
+    }
+  }
+}
+
+void SlowLog::Log(const SlowCheckRecord& record) {
+  if (threshold_ns_ == 0 || record.total_ns < threshold_ns_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t now_sec = std::chrono::duration_cast<std::chrono::seconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+    if (now_sec != window_sec_) {
+      window_sec_ = now_sec;
+      window_count_ = 0;
+    }
+    if (max_per_sec_ != 0 && window_count_ >= max_per_sec_) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++window_count_;
+  }
+  std::string line = FormatSlowCheckRecord(record);
+  line.push_back('\n');
+  std::FILE* dst = owned_ != nullptr ? owned_
+                   : stream_ != nullptr ? stream_
+                                        : stderr;
+  // One fwrite per record keeps lines whole even with concurrent loggers.
+  std::fwrite(line.data(), 1, line.size(), dst);
+  std::fflush(dst);
+  logged_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ufilter::obs

@@ -1,0 +1,137 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ufilter::obs {
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kSnapshotPin:
+      return "snapshot_pin";
+    case Stage::kPlanCache:
+      return "plan_cache";
+    case Stage::kCompile:
+      return "compile";
+    case Stage::kProbe:
+      return "probe";
+    case Stage::kApply:
+      return "apply";
+    case Stage::kWalSync:
+      return "wal_sync";
+    case Stage::kResponseWrite:
+      return "response_write";
+  }
+  return "unknown";
+}
+
+uint32_t CurrentThreadLane() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t lane = next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+void TraceContext::RecordSpan(Stage stage, TraceClock::time_point begin,
+                              TraceClock::time_point end) {
+  RecordSpanLane(stage, begin, end, CurrentThreadLane());
+}
+
+void TraceContext::RecordSpanLane(Stage stage, TraceClock::time_point begin,
+                                  TraceClock::time_point end, uint32_t lane) {
+  if (!active_) return;
+  if (end < begin) end = begin;
+  uint64_t dur = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+          .count());
+  stage_totals_[static_cast<size_t>(stage)] += dur;
+  if (sampled_) {
+    TraceSpan span;
+    span.stage = stage;
+    // Spans can begin before the context (queue-wait starts at the queue
+    // push that preceded Tracer::Begin on a racing clock read); clamp.
+    span.start_ns = begin <= born_
+                        ? 0
+                        : static_cast<uint64_t>(
+                              std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(begin - born_)
+                                  .count());
+    span.dur_ns = dur;
+    span.lane = lane;
+    spans_.push_back(span);
+  }
+}
+
+void TraceContext::RecordDuration(Stage stage, uint64_t dur_ns) {
+  if (!active_) return;
+  stage_totals_[static_cast<size_t>(stage)] += dur_ns;
+}
+
+TraceContext Tracer::Begin(uint64_t request_id) {
+  TraceContext t;
+  t.request_id_ = request_id;
+  t.active_ = true;
+  t.born_ = TraceClock::now();
+  if (options_.sample_every > 0) {
+    uint64_t n = next_.fetch_add(1, std::memory_order_relaxed);
+    t.sampled_ = (n % options_.sample_every) == 0;
+    if (t.sampled_) t.spans_.reserve(kStageCount);
+  }
+  return t;
+}
+
+void Tracer::Finish(TraceContext& trace) {
+  if (!trace.active_) return;
+  trace.active_ = false;
+  if (trace.total_ns_ == 0) trace.total_ns_ = trace.NowRelNs();
+  if (!trace.sampled_) return;
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  CompletedTrace done;
+  done.request_id = trace.request_id_;
+  done.total_ns = trace.total_ns_;
+  done.spans = std::move(trace.spans_);
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(done));
+  while (ring_.size() > options_.ring_capacity) {
+    ring_.pop_front();
+  }
+}
+
+std::vector<CompletedTrace> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<CompletedTrace>(ring_.begin(), ring_.end());
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::vector<CompletedTrace> traces = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  // Each trace gets its own disjoint time window: span timestamps are
+  // relative to the trace's birth, so laying traces end to end (with 1us
+  // padding) keeps every thread track overlap-free in the viewer.
+  uint64_t base_ns = 0;
+  for (const CompletedTrace& t : traces) {
+    uint64_t span_end = t.total_ns;
+    for (const TraceSpan& s : t.spans) {
+      span_end = std::max(span_end, s.start_ns + s.dur_ns);
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"name\":\"%s\",\"cat\":\"check\",\"ph\":\"X\","
+          "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+          "\"args\":{\"request_id\":%llu}}",
+          first ? "" : ",", StageName(s.stage),
+          static_cast<double>(base_ns + s.start_ns) / 1000.0,
+          static_cast<double>(s.dur_ns) / 1000.0, s.lane,
+          static_cast<unsigned long long>(t.request_id));
+      out += buf;
+      first = false;
+    }
+    base_ns += span_end + 1000;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ufilter::obs

@@ -37,7 +37,8 @@ enum class QueueWaitResult {
 template <typename T>
 class BoundedQueue {
  public:
-  using SteadyTime = std::chrono::steady_clock::time_point;
+  using Clock = std::chrono::steady_clock;
+  using SteadyTime = Clock::time_point;
 
   explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
 
@@ -52,7 +53,7 @@ class BoundedQueue {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      items_.push_back(Entry{std::move(item), Clock::now()});
       if (items_.size() > high_water_) high_water_ = items_.size();
     }
     not_empty_.notify_one();
@@ -67,17 +68,20 @@ class BoundedQueue {
   }
 
   /// Blocks until an item arrives. False when the queue is closed *and*
-  /// drained — the consumer's exit signal.
-  bool Pop(T* out) {
-    return PopUntil(out, nullptr) == QueueWaitResult::kOk;
+  /// drained — the consumer's exit signal. When `pushed_at` is non-null it
+  /// receives the steady-clock instant the item was pushed, so the
+  /// consumer can attribute queue residency (the queue_wait histogram).
+  bool Pop(T* out, SteadyTime* pushed_at = nullptr) {
+    return PopUntil(out, nullptr, pushed_at) == QueueWaitResult::kOk;
   }
 
   /// Deadline-bounded Pop: kTimedOut when nothing arrived by `deadline`
   /// (the queue stays usable), kClosed when closed and drained. Lets a
   /// draining consumer re-check its own stop conditions instead of
   /// blocking forever on an empty-but-open queue.
-  QueueWaitResult PopFor(T* out, SteadyTime deadline) {
-    return PopUntil(out, &deadline);
+  QueueWaitResult PopFor(T* out, SteadyTime deadline,
+                         SteadyTime* pushed_at = nullptr) {
+    return PopUntil(out, &deadline, pushed_at);
   }
 
   /// Refuses further pushes; consumers drain what is queued, then stop.
@@ -129,7 +133,7 @@ class BoundedQueue {
         return QueueWaitResult::kTimedOut;
       }
     }
-    items_.push_back(std::move(item));
+    items_.push_back(Entry{std::move(item), Clock::now()});
     if (items_.size() > high_water_) high_water_ = items_.size();
     lock.unlock();
     not_empty_.notify_one();
@@ -141,7 +145,8 @@ class BoundedQueue {
   // closed_ is only ever set *after* such a push's critical section, so the
   // empty+closed exit condition can never be observed while an admitted
   // item is still queued — kClosed really means drained.
-  QueueWaitResult PopUntil(T* out, const SteadyTime* deadline) {
+  QueueWaitResult PopUntil(T* out, const SteadyTime* deadline,
+                           SteadyTime* pushed_at) {
     std::unique_lock<std::mutex> lock(mu_);
     while (true) {
       if (!items_.empty()) break;
@@ -154,18 +159,27 @@ class BoundedQueue {
         return closed_ ? QueueWaitResult::kClosed : QueueWaitResult::kTimedOut;
       }
     }
-    *out = std::move(items_.front());
+    *out = std::move(items_.front().item);
+    if (pushed_at != nullptr) *pushed_at = items_.front().pushed_at;
     items_.pop_front();
     lock.unlock();
     not_full_.notify_one();
     return QueueWaitResult::kOk;
   }
 
+  // Every entry is stamped at push so consumers can measure queue
+  // residency (push -> pop) without the producer threading a timestamp
+  // through T itself.
+  struct Entry {
+    T item;
+    SteadyTime pushed_at;
+  };
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  std::deque<Entry> items_;
   size_t high_water_ = 0;
   bool closed_ = false;
 };

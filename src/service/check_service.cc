@@ -45,7 +45,77 @@ CheckService::CheckService(check::UFilter* filter, CheckServiceOptions options)
     : filter_(filter),
       db_(filter->database()),
       options_(options),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity),
+      tracer_(options.trace) {
+  // Service-owned metrics. The named counters below ARE the
+  // CheckServiceStats fields: Snapshot() reads them back out of the
+  // registry objects, and Collect() exposes the same objects remotely.
+  submitted_ = registry_.GetCounter("service_submitted");
+  completed_ = registry_.GetCounter("service_completed");
+  fast_path_ = registry_.GetCounter("service_fast_path");
+  writer_lane_ = registry_.GetCounter("service_writer_lane");
+  escalations_ = registry_.GetCounter("service_escalations");
+  shed_ = registry_.GetCounter("service_shed");
+  deadline_expired_ = registry_.GetCounter("service_deadline_expired");
+  reader_wait_ns_ = registry_.GetCounter("service_reader_wait_ns");
+  writer_wait_ns_ = registry_.GetCounter("service_writer_wait_ns");
+  check_latency_ = registry_.GetHistogram("check_latency_ns");
+  for (size_t i = 0; i < obs::kStageCount; ++i) {
+    stage_hist_[i] = registry_.GetHistogram(
+        std::string("stage_") + obs::StageName(static_cast<obs::Stage>(i)) +
+        "_ns");
+  }
+  queue_wait_ = stage_hist_[static_cast<size_t>(obs::Stage::kQueueWait)];
+  // Everything computed outside the service — engine work counters, WAL
+  // and columnar tallies, MVCC epochs, plan-cache counters, queue gauges —
+  // joins the registry through one collector, so a single Collect() is the
+  // full observable state of the process.
+  registry_.AddCollector([this](obs::RegistrySnapshot* out) {
+    auto add = [out](const char* name, obs::MetricKind kind, uint64_t v) {
+      obs::MetricSample s;
+      s.name = name;
+      s.kind = kind;
+      s.value = v;
+      out->push_back(std::move(s));
+    };
+    const auto kCounter = obs::MetricKind::kCounter;
+    const auto kGauge = obs::MetricKind::kGauge;
+    relational::EngineStats e = db_->SnapshotWorkCounters();
+    add("engine_rows_scanned", kCounter, e.rows_scanned);
+    add("engine_rows_inserted", kCounter, e.rows_inserted);
+    add("engine_rows_deleted", kCounter, e.rows_deleted);
+    add("engine_rows_updated", kCounter, e.rows_updated);
+    add("engine_index_lookups", kCounter, e.index_lookups);
+    add("engine_plans_compiled", kCounter, e.plans_compiled);
+    add("engine_plan_replays", kCounter, e.plan_replays);
+    add("engine_hash_join_builds", kCounter, e.hash_join_builds);
+    add("engine_hash_join_probes", kCounter, e.hash_join_probes);
+    add("engine_queries_executed", kCounter, e.queries_executed);
+    add("engine_updates_compiled", kCounter, e.updates_compiled);
+    add("engine_star_checks", kCounter, e.star_checks);
+    add("columnar_builds", kCounter, e.columnar_builds);
+    add("columnar_scan_rows", kCounter, e.columnar_scan_rows);
+    add("selection_vector_rows", kCounter, e.selection_vector_rows);
+    add("wal_records", kCounter, e.wal_records);
+    add("wal_fsyncs", kCounter, e.wal_fsyncs);
+    add("wal_bytes", kCounter, e.wal_bytes);
+    add("mvcc_snapshots_opened", kCounter, e.snapshots_opened);
+    add("mvcc_versions_retired", kCounter, e.versions_retired);
+    add("db_commit_epoch", kGauge, db_->commit_epoch());
+    add("db_oldest_pinned_epoch", kGauge, db_->oldest_pinned_epoch());
+    check::PlanCacheCounters pc = filter_->plan_cache().counters();
+    add("plan_cache_hits", kCounter, pc.hits);
+    add("plan_cache_misses", kCounter, pc.misses);
+    add("plan_cache_insertions", kCounter, pc.insertions);
+    add("plan_cache_evictions", kCounter, pc.evictions);
+    add("queue_depth", kGauge, queue_.size());
+    add("queue_high_water", kGauge, queue_.high_water());
+    add("queue_capacity", kGauge, queue_.capacity());
+    add("slow_checks_logged", kCounter, slow_log_.logged());
+    add("slow_checks_suppressed", kCounter, slow_log_.suppressed());
+    add("traces_sampled", kCounter, tracer_.sampled_count());
+  });
+  slow_log_.Configure(options_.slow_log);
   if (!options_.durability.wal_path.empty() && !db_->durability_enabled()) {
     // Before the workers start: EnableDurability is a setup-time call, and
     // every epoch committed through the writer lane below must be logged.
@@ -80,6 +150,36 @@ std::shared_ptr<Session> CheckService::OpenSession(std::string name) {
   return std::make_shared<Session>(id, std::move(name), db_->CreateContext());
 }
 
+std::shared_ptr<obs::TraceContext> CheckService::StartTrace() {
+  if (!options_.metrics_enabled) return nullptr;
+  auto trace =
+      std::make_shared<obs::TraceContext>(tracer_.Begin(next_request_id_++));
+  trace->set_defer_finish(true);
+  return trace;
+}
+
+void CheckService::ObserveStage(obs::Stage stage, uint64_t dur_ns) {
+  if (!options_.metrics_enabled) return;
+  stage_hist_[static_cast<size_t>(stage)]->Record(dur_ns);
+}
+
+std::unique_ptr<CheckService::Request> CheckService::MakeRequest(
+    std::shared_ptr<Session> session, std::string update_text,
+    check::CheckOptions options,
+    std::shared_ptr<obs::TraceContext> trace) {
+  auto req = std::make_unique<Request>();
+  req->session = std::move(session);
+  req->update_text = std::move(update_text);
+  req->options = options;
+  if (trace != nullptr) {
+    req->trace = std::move(trace);
+  } else if (options_.metrics_enabled) {
+    req->trace =
+        std::make_shared<obs::TraceContext>(tracer_.Begin(next_request_id_++));
+  }
+  return req;
+}
+
 std::future<CheckReport> CheckService::Submit(std::shared_ptr<Session> session,
                                               std::string update_text,
                                               CheckOptions options) {
@@ -87,19 +187,17 @@ std::future<CheckReport> CheckService::Submit(std::shared_ptr<Session> session,
   // worker may finish it (and drop the request's Session reference) at any
   // moment.
   std::shared_ptr<Session> s = session;
-  auto req = std::make_unique<Request>();
-  req->session = std::move(session);
-  req->update_text = std::move(update_text);
-  req->options = options;
+  auto req = MakeRequest(std::move(session), std::move(update_text), options,
+                         nullptr);
   std::future<CheckReport> future = req->promise.get_future();
   // Counted only once actually admitted, so submitted == completed holds
   // after a drain (a rejected push below is neither).
-  ++submitted_;
+  submitted_->Inc();
   s->counters().submitted++;
   if (!queue_.Push(std::move(req))) {
     // Shut down: resolve immediately instead of hanging the caller. (Push
     // moved the request out; rebuild the rejection inline.)
-    ++completed_;
+    completed_->Inc();
     std::promise<CheckReport> rejected;
     CheckReport report;
     report.outcome = CheckOutcome::kInvalid;
@@ -116,19 +214,17 @@ bool CheckService::TrySubmit(std::shared_ptr<Session> session,
                              std::string update_text, CheckOptions options,
                              std::future<CheckReport>* out) {
   std::shared_ptr<Session> s = session;  // see Submit
-  auto req = std::make_unique<Request>();
-  req->session = std::move(session);
-  req->update_text = std::move(update_text);
-  req->options = options;
+  auto req = MakeRequest(std::move(session), std::move(update_text), options,
+                         nullptr);
   std::future<CheckReport> future = req->promise.get_future();
   // Count before the push: once the queue owns the request a worker may
   // finish it immediately, and completed must never overtake submitted.
-  ++submitted_;
+  submitted_->Inc();
   s->counters().submitted++;
   if (!queue_.TryPush(std::move(req))) {
-    submitted_ -= 1;
+    submitted_->Sub(1);
     s->counters().submitted -= 1;
-    ++shed_;
+    shed_->Inc();
     return false;
   }
   *out = std::move(future);
@@ -138,22 +234,20 @@ bool CheckService::TrySubmit(std::shared_ptr<Session> session,
 AdmitResult CheckService::SubmitWithDeadline(
     std::shared_ptr<Session> session, std::string update_text,
     check::CheckOptions options, std::optional<SteadyTime> deadline,
-    std::future<CheckReport>* out) {
+    std::future<CheckReport>* out, std::shared_ptr<obs::TraceContext> trace) {
   if (deadline.has_value() &&
       std::chrono::steady_clock::now() >= *deadline) {
-    ++deadline_expired_;
+    deadline_expired_->Inc();
     return AdmitResult::kExpired;
   }
   std::shared_ptr<Session> s = session;  // see Submit
-  auto req = std::make_unique<Request>();
-  req->session = std::move(session);
-  req->update_text = std::move(update_text);
-  req->options = options;
+  auto req = MakeRequest(std::move(session), std::move(update_text), options,
+                         std::move(trace));
   req->deadline = deadline;
   std::future<CheckReport> future = req->promise.get_future();
   // Count before the push: once the queue owns the request a worker may
   // finish it immediately, and completed must never overtake submitted.
-  ++submitted_;
+  submitted_->Inc();
   s->counters().submitted++;
   // With a deadline, wait for queue room only until it expires — the
   // caller is a socket handler that must answer the client either way.
@@ -164,10 +258,10 @@ AdmitResult CheckService::SubmitWithDeadline(
           : (queue_.TryPush(std::move(req)) ? QueueWaitResult::kOk
                                             : QueueWaitResult::kTimedOut);
   if (pushed != QueueWaitResult::kOk) {
-    submitted_ -= 1;
+    submitted_->Sub(1);
     s->counters().submitted -= 1;
     if (pushed == QueueWaitResult::kClosed) return AdmitResult::kClosed;
-    ++shed_;
+    shed_->Inc();
     return AdmitResult::kShed;
   }
   *out = std::move(future);
@@ -176,7 +270,22 @@ AdmitResult CheckService::SubmitWithDeadline(
 
 void CheckService::WorkerLoop() {
   std::unique_ptr<Request> req;
-  while (queue_.Pop(&req)) {
+  BoundedQueue<std::unique_ptr<Request>>::SteadyTime pushed_at{};
+  while (queue_.Pop(&req, &pushed_at)) {
+    if (options_.metrics_enabled) {
+      // Queue residency is attributed at pop (the only point that knows
+      // both ends): always into the stage histogram, and into the span
+      // list of a sampled trace.
+      auto popped = std::chrono::steady_clock::now();
+      queue_wait_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(popped -
+                                                               pushed_at)
+              .count()));
+      if (req->trace != nullptr) {
+        req->trace->RecordSpanLane(obs::Stage::kQueueWait, pushed_at, popped,
+                                   obs::CurrentThreadLane());
+      }
+    }
     // Queue purge: a request whose deadline expired while it waited is
     // answered without executing — the client already gave up, and the
     // kDeadlineExceeded verdict certifies nothing ran (safe to retry).
@@ -185,25 +294,62 @@ void CheckService::WorkerLoop() {
          std::chrono::steady_clock::now() >= *req->deadline)
             ? DeadlineExceededReport("deadline expired in admission queue")
             : Process(req.get());
-    if (report.outcome == CheckOutcome::kDeadlineExceeded) {
-      ++deadline_expired_;
-    }
-    SessionCounters& counters = req->session->counters();
-    switch (report.outcome) {
-      case CheckOutcome::kExecuted:
-        counters.executed++;
-        break;
-      case CheckOutcome::kDataConflict:
-        counters.data_conflicts++;
-        break;
-      default:
-        counters.rejected++;
-        break;
-    }
-    ++completed_;
-    req->promise.set_value(std::move(report));
+    FinishRequest(req.get(), std::move(report));
     req.reset();
   }
+}
+
+void CheckService::FinishRequest(Request* req, CheckReport report) {
+  if (report.outcome == CheckOutcome::kDeadlineExceeded) {
+    deadline_expired_->Inc();
+  }
+  SessionCounters& counters = req->session->counters();
+  switch (report.outcome) {
+    case CheckOutcome::kExecuted:
+      counters.executed++;
+      break;
+    case CheckOutcome::kDataConflict:
+      counters.data_conflicts++;
+      break;
+    default:
+      counters.rejected++;
+      break;
+  }
+  completed_->Inc();
+  obs::TraceContext* trace = req->trace.get();
+  if (options_.metrics_enabled && trace != nullptr) {
+    // End-to-end latency as seen by the service (response write, if any,
+    // is appended by the network front end before it finishes the trace).
+    uint64_t total = trace->NowRelNs();
+    check_latency_->Record(total);
+    // Queue-wait was recorded at pop; response-write hasn't happened yet —
+    // both naturally excluded by the skip-zero rule (stages that didn't
+    // run must not contribute zeros to their distributions).
+    for (size_t i = 1; i < obs::kStageCount; ++i) {
+      uint64_t ns = trace->stage_totals()[i];
+      if (ns != 0) stage_hist_[i]->Record(ns);
+    }
+    if (slow_log_.enabled() && total >= slow_log_.threshold_ns()) {
+      obs::SlowCheckRecord rec;
+      rec.request_id = trace->request_id();
+      rec.session = req->session->name();
+      rec.verdict = check::CheckOutcomeName(report.outcome);
+      rec.total_ns = total;
+      rec.stage_ns = trace->stage_totals();
+      if (req->plan != nullptr) {
+        rec.normalized_text = req->plan->normalized_text();
+        rec.template_hash = req->plan->template_hash();
+      }
+      rec.from_plan_cache = req->plan_from_cache;
+      slow_log_.Log(rec);
+    }
+    if (!trace->defer_finish()) {
+      tracer_.Finish(*trace);
+    }
+  }
+  // Resolve the caller's future last: for the network path the writer
+  // thread takes over (response write + deferred trace finish) from here.
+  req->promise.set_value(std::move(report));
 }
 
 CheckReport CheckService::Process(Request* req) {
@@ -214,6 +360,7 @@ CheckReport CheckService::Process(Request* req) {
   std::lock_guard<std::mutex> session_lock(
       req->session->processing_mutex());
   relational::ExecutionContext* ctx = req->session->context();
+  obs::TraceContext* trace = req->trace.get();
   std::shared_ptr<const check::PreparedUpdate> plan;
   bool tried_fast_path = false;
   {
@@ -224,20 +371,29 @@ CheckReport CheckService::Process(Request* req) {
     // held, so this runs concurrently with every other reader *and* with a
     // writer-lane occupant committing new versions.
     auto wait_start = std::chrono::steady_clock::now();
-    std::shared_ptr<const relational::Snapshot> snapshot =
-        db_->OpenSnapshot();
+    std::shared_ptr<const relational::Snapshot> snapshot;
+    {
+      obs::ScopedSpan span(trace, obs::Stage::kSnapshotPin);
+      snapshot = db_->OpenSnapshot();
+    }
     tried_fast_path = !req->options.apply;
     // Only genuine fast-path candidates account into the reader-wait
     // counter: an apply=true request's snapshot open is writer-side work
     // and must not pollute the readers-never-block metric.
-    if (tried_fast_path) reader_wait_ns_ += ElapsedNs(wait_start);
+    if (tried_fast_path) reader_wait_ns_->Add(ElapsedNs(wait_start));
     ctx->PinReadSnapshot(std::move(snapshot));
-    plan = filter_->Prepare(req->update_text, nullptr, ctx);
-    std::optional<CheckReport> fast =
-        filter_->TryCheckReadOnly(*plan, req->options, ctx);
+    bool cache_hit = false;
+    plan = filter_->Prepare(req->update_text, &cache_hit, ctx, trace);
+    req->plan = plan;
+    req->plan_from_cache = cache_hit;
+    std::optional<CheckReport> fast;
+    {
+      obs::ScopedSpan span(trace, obs::Stage::kProbe);
+      fast = filter_->TryCheckReadOnly(*plan, req->options, ctx);
+    }
     ctx->ClearReadSnapshot();
     if (fast.has_value()) {
-      ++fast_path_;
+      fast_path_->Inc();
       return *std::move(fast);
     }
   }
@@ -246,40 +402,55 @@ CheckReport CheckService::Process(Request* req) {
   // snapshots stable), and the guard publishes the outcome as one commit.
   auto wait_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> write_lock(writer_mu_);
-  writer_wait_ns_ += ElapsedNs(wait_start);
-  relational::Database::WriterGuard guard(db_);
-  if (!req->options.apply) {
-    // Escalated check-only traffic executes and fully rolls back: no net
-    // change, so don't commit a byte-identical epoch per check.
-    guard.AbandonPublish();
+  writer_wait_ns_->Add(ElapsedNs(wait_start));
+  CheckReport report;
+  bool timing = trace != nullptr && trace->active();
+  obs::TraceClock::time_point publish_start{};
+  {
+    relational::Database::WriterGuard guard(db_);
+    if (!req->options.apply) {
+      // Escalated check-only traffic executes and fully rolls back: no net
+      // change, so don't commit a byte-identical epoch per check.
+      guard.AbandonPublish();
+    }
+    writer_lane_->Inc();
+    if (tried_fast_path) escalations_->Inc();
+    {
+      obs::ScopedSpan span(trace, obs::Stage::kApply);
+      if (options_.writer_lane_hold_ms_for_testing > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            options_.writer_lane_hold_ms_for_testing));
+      }
+      report = filter_->Execute(*plan, req->options, ctx);
+    }
+    if (report.outcome != CheckOutcome::kExecuted) {
+      // A rejected apply rolled everything back too — don't commit a no-op
+      // epoch for it.
+      guard.AbandonPublish();
+    }
+    if (timing) publish_start = obs::TraceClock::now();
+    // The guard's destruction publishes the commit epoch and appends it to
+    // the WAL (fsync per policy) — that is the wal_sync span.
   }
-  ++writer_lane_;
-  if (tried_fast_path) ++escalations_;
-  if (options_.writer_lane_hold_ms_for_testing > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(options_.writer_lane_hold_ms_for_testing));
-  }
-  CheckReport report = filter_->Execute(*plan, req->options, ctx);
-  if (report.outcome != CheckOutcome::kExecuted) {
-    // A rejected apply rolled everything back too — don't commit a no-op
-    // epoch for it.
-    guard.AbandonPublish();
+  if (timing) {
+    trace->RecordSpan(obs::Stage::kWalSync, publish_start,
+                      obs::TraceClock::now());
   }
   return report;
 }
 
 CheckServiceStats CheckService::Snapshot() const {
   CheckServiceStats s;
-  s.submitted = submitted_;
-  s.completed = completed_;
-  s.fast_path = fast_path_;
-  s.writer_lane = writer_lane_;
-  s.escalations = escalations_;
-  s.shed = shed_;
-  s.deadline_expired = deadline_expired_;
+  s.submitted = submitted_->Value();
+  s.completed = completed_->Value();
+  s.fast_path = fast_path_->Value();
+  s.writer_lane = writer_lane_->Value();
+  s.escalations = escalations_->Value();
+  s.shed = shed_->Value();
+  s.deadline_expired = deadline_expired_->Value();
   s.queue_high_water = queue_.high_water();
-  s.reader_wait_ns = reader_wait_ns_;
-  s.writer_wait_ns = writer_wait_ns_;
+  s.reader_wait_ns = reader_wait_ns_->Value();
+  s.writer_wait_ns = writer_wait_ns_->Value();
   relational::EngineStats engine = db_->SnapshotWorkCounters();
   s.snapshots_opened = engine.snapshots_opened;
   s.versions_retired = engine.versions_retired;
@@ -294,6 +465,9 @@ CheckServiceStats CheckService::Snapshot() const {
   s.wal_group_commit_size =
       engine.wal_fsyncs > 0 ? engine.wal_records / engine.wal_fsyncs : 0;
   s.plan_cache = filter_->plan_cache().counters();
+  obs::HistogramSnapshot queue_wait = queue_wait_->Snapshot();
+  s.queue_wait_p50_ns = queue_wait.Percentile(50);
+  s.queue_wait_p99_ns = queue_wait.Percentile(99);
   return s;
 }
 

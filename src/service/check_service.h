@@ -38,6 +38,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
 #include "relational/wal.h"
 #include "service/bounded_queue.h"
 #include "service/session.h"
@@ -64,6 +67,16 @@ struct CheckServiceOptions {
   /// way. If the database already has durability enabled the service just
   /// uses it; a failed enable is surfaced via durability_status().
   relational::DurabilityOptions durability;
+  /// Per-check timing instrumentation: stage spans, latency/stage/queue
+  /// histograms, trace sampling, slow-check log. Counters (submitted /
+  /// shed / engine work) stay on regardless — they predate this knob and
+  /// cost one relaxed add each. Off = the clock is never read on the check
+  /// path; bench_obs gates the on-vs-off gap at <3%.
+  bool metrics_enabled = true;
+  /// Full-trace sampling (1-in-N requests) and ring size.
+  obs::Tracer::Options trace;
+  /// Slow-check log threshold / rate limit / sink (threshold 0 = off).
+  obs::SlowLogOptions slow_log;
 };
 
 /// Point-in-time service counters.
@@ -114,6 +127,11 @@ struct CheckServiceStats {
   uint64_t wal_group_commit_size = 0;
   /// The shared plan cache's counters (hits/misses/insertions/evictions).
   check::PlanCacheCounters plan_cache;
+  /// Admission-queue residency percentiles (push -> worker pop), from the
+  /// queue_wait_ns histogram; 0 when metrics are disabled or nothing has
+  /// been popped yet.
+  uint64_t queue_wait_p50_ns = 0;
+  uint64_t queue_wait_p99_ns = 0;
 };
 
 /// How SubmitWithDeadline disposed of a request at admission.
@@ -168,7 +186,9 @@ class CheckService {
                                  std::string update_text,
                                  check::CheckOptions options,
                                  std::optional<SteadyTime> deadline,
-                                 std::future<check::CheckReport>* out);
+                                 std::future<check::CheckReport>* out,
+                                 std::shared_ptr<obs::TraceContext> trace =
+                                     nullptr);
 
   /// Refuses new submissions, drains everything queued, joins the workers.
   /// Idempotent.
@@ -185,6 +205,28 @@ class CheckService {
   /// when durability was not requested or the database already had it on).
   const Status& durability_status() const { return durability_status_; }
 
+  /// The service-wide metric registry: every service counter, the stage /
+  /// latency / queue-wait histograms, and (via collectors) the engine,
+  /// WAL, columnar, MVCC and plan-cache counters. Snapshot() and every
+  /// remote exposition path render from Collect() of this registry.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+  obs::Tracer& tracer() { return tracer_; }
+  obs::SlowLog& slow_log() { return slow_log_; }
+  bool metrics_enabled() const { return options_.metrics_enabled; }
+
+  /// Starts a trace for a request whose lifetime extends beyond the
+  /// service (the network front end: the response write belongs in the
+  /// trace). Returns nullptr when metrics are disabled. The returned
+  /// context has defer_finish set — the caller must call
+  /// tracer().Finish(*trace) after its final span.
+  std::shared_ptr<obs::TraceContext> StartTrace();
+
+  /// Records an out-of-band stage duration into that stage's always-on
+  /// histogram (no-op when metrics are disabled). Used by the network
+  /// front end for response_write, which happens after the worker is done.
+  void ObserveStage(obs::Stage stage, uint64_t dur_ns);
+
  private:
   struct Request {
     std::shared_ptr<Session> session;
@@ -194,10 +236,20 @@ class CheckService {
     /// this instant answers kDeadlineExceeded instead of executing.
     std::optional<SteadyTime> deadline;
     std::promise<check::CheckReport> promise;
+    /// Null when metrics are disabled. Shared with the network front end
+    /// when it owns the finish (defer_finish).
+    std::shared_ptr<obs::TraceContext> trace;
+    /// Set by Process for the slow-check log (the plan fingerprint).
+    std::shared_ptr<const check::PreparedUpdate> plan;
+    bool plan_from_cache = false;
   };
 
   void WorkerLoop();
   check::CheckReport Process(Request* req);
+  std::unique_ptr<Request> MakeRequest(
+      std::shared_ptr<Session> session, std::string update_text,
+      check::CheckOptions options, std::shared_ptr<obs::TraceContext> trace);
+  void FinishRequest(Request* req, check::CheckReport report);
 
   check::UFilter* filter_;
   relational::Database* db_;
@@ -210,15 +262,27 @@ class CheckService {
   std::mutex writer_mu_;
 
   relational::RelaxedCounter next_session_id_{1};
-  relational::RelaxedCounter submitted_;
-  relational::RelaxedCounter completed_;
-  relational::RelaxedCounter fast_path_;
-  relational::RelaxedCounter writer_lane_;
-  relational::RelaxedCounter escalations_;
-  relational::RelaxedCounter shed_;
-  relational::RelaxedCounter deadline_expired_;
-  relational::RelaxedCounter reader_wait_ns_;
-  relational::RelaxedCounter writer_wait_ns_;
+  relational::RelaxedCounter next_request_id_{1};
+
+  // All owned by registry_ (declared before the pointers so destruction
+  // order is safe); the named counters double as the CheckServiceStats
+  // fields — Snapshot() is a view, not a second set of books.
+  obs::Registry registry_;
+  obs::Counter* submitted_;
+  obs::Counter* completed_;
+  obs::Counter* fast_path_;
+  obs::Counter* writer_lane_;
+  obs::Counter* escalations_;
+  obs::Counter* shed_;
+  obs::Counter* deadline_expired_;
+  obs::Counter* reader_wait_ns_;
+  obs::Counter* writer_wait_ns_;
+  obs::Histogram* check_latency_;
+  obs::Histogram* queue_wait_;
+  obs::Histogram* stage_hist_[obs::kStageCount];
+
+  obs::Tracer tracer_;
+  obs::SlowLog slow_log_;
   Status durability_status_;
 };
 

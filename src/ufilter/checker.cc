@@ -185,10 +185,15 @@ std::shared_ptr<PreparedUpdate> UFilter::CompileUpdate(
 
 std::shared_ptr<const PreparedUpdate> UFilter::Prepare(
     const std::string& update_text, bool* cache_hit,
-    relational::ExecutionContext* ctx) {
-  std::string normalized = xq::NormalizeUpdateText(update_text);
-  if (std::shared_ptr<const PreparedUpdate> hit =
-          plan_cache_.Lookup(normalized)) {
+    relational::ExecutionContext* ctx, obs::TraceContext* trace) {
+  std::string normalized;
+  std::shared_ptr<const PreparedUpdate> hit;
+  {
+    obs::ScopedSpan span(trace, obs::Stage::kPlanCache);
+    normalized = xq::NormalizeUpdateText(update_text);
+    hit = plan_cache_.Lookup(normalized);
+  }
+  if (hit != nullptr) {
     db_->stats().plan_cache_hits += 1;
     if (cache_hit != nullptr) *cache_hit = true;
     return hit;
@@ -197,6 +202,7 @@ std::shared_ptr<const PreparedUpdate> UFilter::Prepare(
   if (cache_hit != nullptr) *cache_hit = false;
   // Cached plans always carry STAR: a later Execute with run_star=true must
   // be able to consume this plan.
+  obs::ScopedSpan span(trace, obs::Stage::kCompile);
   std::shared_ptr<PreparedUpdate> plan =
       CompileUpdate(update_text, normalized, /*compute_star=*/true, ctx);
   plan_cache_.Insert(normalized, plan);

@@ -32,6 +32,7 @@
 
 #include "asg/view_asg.h"
 #include "common/result.h"
+#include "obs/trace.h"
 #include "relational/database.h"
 #include "ufilter/datacheck.h"
 #include "ufilter/plan_cache.h"
@@ -121,9 +122,11 @@ class UFilter {
   /// snapshot-pinned context lets Prepare run with no lock while a writer
   /// commits concurrently (the physical plans re-resolve tables by name at
   /// execution, so a plan compiled at one epoch replays at any other).
+  /// `trace`, when non-null, receives plan_cache / compile stage spans.
   std::shared_ptr<const PreparedUpdate> Prepare(
       const std::string& update_text, bool* cache_hit = nullptr,
-      relational::ExecutionContext* ctx = nullptr);
+      relational::ExecutionContext* ctx = nullptr,
+      obs::TraceContext* trace = nullptr);
 
   /// Runs step 3 + translation for a prepared plan against current data.
   /// Rejects plans prepared against a different UFilter or view definition.

@@ -76,18 +76,110 @@ TEST(FrameCodecTest, PingPongAndStatsRoundTrip) {
   stats.connections_accepted = 10;
   stats.protocol_errors = 11;
   stats.draining_rejects = 12;
+  stats.queue_wait_p50_ns = 13;
+  stats.queue_wait_p99_ns = 14;
   auto got = DecodeStatsResponse(EncodeStatsResponse(stats));
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   EXPECT_EQ(got->submitted, 1u);
   EXPECT_EQ(got->deadline_expired, 6u);
   EXPECT_EQ(got->queue_high_water, 7u);
   EXPECT_EQ(got->draining_rejects, 12u);
+  EXPECT_EQ(got->queue_wait_p50_ns, 13u);
+  EXPECT_EQ(got->queue_wait_p99_ns, 14u);
+}
+
+obs::RegistrySnapshot SampleRegistry() {
+  obs::RegistrySnapshot snap;
+  obs::MetricSample counter;
+  counter.name = "service_completed";
+  counter.kind = obs::MetricKind::kCounter;
+  counter.value = 12345;
+  snap.push_back(counter);
+  obs::MetricSample gauge;
+  gauge.name = "db_commit_epoch";
+  gauge.kind = obs::MetricKind::kGauge;
+  gauge.value = 9;
+  snap.push_back(gauge);
+  obs::MetricSample hist;
+  hist.name = "check_latency_ns";
+  hist.kind = obs::MetricKind::kHistogram;
+  hist.hist.buckets[0] = 3;
+  hist.hist.buckets[17] = 5;
+  hist.hist.buckets[obs::kHistogramBuckets - 1] = 1;
+  hist.hist.count = 9;
+  hist.hist.sum = 777777;
+  hist.hist.max = 650000;
+  snap.push_back(hist);
+  return snap;
+}
+
+TEST(FrameCodecTest, MetricsRoundTripIsLossless) {
+  MetricsMsg msg = MetricsFromSnapshot(SampleRegistry());
+  // Sparse histogram transport: only the three populated buckets travel.
+  const WireMetric* h = msg.Find("check_latency_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->hist_buckets.size(), 3u);
+
+  auto got = DecodeMetricsResponse(EncodeMetricsResponse(msg));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  obs::RegistrySnapshot back = SnapshotFromMetrics(*got);
+  obs::RegistrySnapshot orig = SampleRegistry();
+  ASSERT_EQ(back.size(), orig.size());
+  for (size_t i = 0; i < orig.size(); ++i) {
+    const obs::MetricSample* b = obs::FindSample(back, orig[i].name);
+    ASSERT_NE(b, nullptr) << orig[i].name;
+    EXPECT_EQ(b->kind, orig[i].kind);
+    EXPECT_EQ(b->value, orig[i].value);
+    EXPECT_EQ(b->hist.buckets, orig[i].hist.buckets);
+    EXPECT_EQ(b->hist.count, orig[i].hist.count);
+    EXPECT_EQ(b->hist.sum, orig[i].hist.sum);
+    EXPECT_EQ(b->hist.max, orig[i].hist.max);
+  }
+  // Percentiles survive the wire: remote rendering equals in-process.
+  const obs::MetricSample* lat = obs::FindSample(back, "check_latency_ns");
+  EXPECT_EQ(lat->hist.Percentile(99),
+            obs::FindSample(orig, "check_latency_ns")->hist.Percentile(99));
+  EXPECT_EQ(got->Find("missing"), nullptr);
+}
+
+TEST(FrameCodecTest, MetricsDecoderRejectsHostileInput) {
+  MetricsMsg msg = MetricsFromSnapshot(SampleRegistry());
+  std::string p = EncodeMetricsResponse(msg);
+  // Bucket index past the histogram width: find the first bucket-index
+  // byte of the histogram metric and poke it out of range.
+  for (size_t i = 0; i + 1 < p.size(); ++i) {
+    std::string damaged = p;
+    damaged[i] = '\x7f';  // 127 >= kHistogramBuckets anywhere it lands
+    auto got = DecodeMetricsResponse(damaged);
+    if (got.ok()) {
+      // The flip must at least not have produced an out-of-range bucket.
+      for (const WireMetric& m : got->metrics) {
+        for (const auto& [idx, count] : m.hist_buckets) {
+          EXPECT_LT(idx, obs::kHistogramBuckets);
+          (void)count;
+        }
+      }
+    }
+  }
+  // A kind byte past kHistogram is a ParseError, not a mystery metric.
+  WireMetric bad;
+  bad.name = "x";
+  bad.kind = 3;
+  MetricsMsg bad_msg;
+  bad_msg.metrics.push_back(bad);
+  EXPECT_FALSE(DecodeMetricsResponse(EncodeMetricsResponse(bad_msg)).ok());
 }
 
 TEST(FrameCodecTest, PeekTypeIdentifiesMessages) {
   auto t = PeekType(EncodeCheckRequest(SampleRequest()));
   ASSERT_TRUE(t.ok());
   EXPECT_EQ(*t, MsgType::kCheckRequest);
+  auto mreq = PeekType(EncodeMetricsRequest());
+  ASSERT_TRUE(mreq.ok());
+  EXPECT_EQ(*mreq, MsgType::kMetricsRequest);
+  auto mresp = PeekType(EncodeMetricsResponse(MetricsMsg{}));
+  ASSERT_TRUE(mresp.ok());
+  EXPECT_EQ(*mresp, MsgType::kMetricsResponse);
   EXPECT_FALSE(PeekType("").ok());
   EXPECT_FALSE(PeekType(std::string(1, '\x63')).ok());  // unknown type
 }
@@ -98,6 +190,7 @@ TEST(FrameCodecTest, EveryTruncationIsParseError) {
       EncodeCheckResponse(SampleResponse()),
       EncodePing(7),
       EncodeStatsResponse(StatsMsg{}),
+      EncodeMetricsResponse(MetricsFromSnapshot(SampleRegistry())),
   };
   for (const std::string& p : payloads) {
     for (size_t cut = 0; cut < p.size(); ++cut) {
@@ -106,6 +199,7 @@ TEST(FrameCodecTest, EveryTruncationIsParseError) {
       EXPECT_FALSE(DecodeCheckResponse(prefix).ok());
       EXPECT_FALSE(DecodePingPong(prefix).ok());
       EXPECT_FALSE(DecodeStatsResponse(prefix).ok());
+      EXPECT_FALSE(DecodeMetricsResponse(prefix).ok());
     }
   }
 }

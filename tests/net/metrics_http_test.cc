@@ -1,0 +1,86 @@
+#include "net/metrics_http.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+
+namespace ufilter::net {
+namespace {
+
+// One raw HTTP GET against the exporter, the way curl / a Prometheus
+// scrape would issue it.
+std::string HttpGet(uint16_t port) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  auto fd = ConnectTcp("127.0.0.1", port, std::chrono::milliseconds(2000));
+  if (!fd.ok()) return "";
+  std::string req = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (!SendAll(*fd, req.data(), req.size(), deadline).ok()) {
+    CloseFd(*fd);
+    return "";
+  }
+  std::string out;
+  char buf[4096];
+  while (true) {
+    auto n = RecvSome(*fd, buf, sizeof(buf), deadline);
+    if (!n.ok()) break;  // EOF: server closes after one response
+    out.append(buf, *n);
+  }
+  CloseFd(*fd);
+  return out;
+}
+
+TEST(MetricsHttpTest, ServesPrometheusText) {
+  obs::Registry registry;
+  registry.GetCounter("scrape_me")->Add(11);
+  registry.GetHistogram("lat_ns")->Record(250);
+
+  MetricsHttpServer server;
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [&registry] {
+                           return obs::RenderPrometheus(registry.Collect());
+                         })
+                  .ok());
+  ASSERT_NE(server.port(), 0);
+
+  for (int scrape = 1; scrape <= 2; ++scrape) {  // connection-per-scrape
+    std::string response = HttpGet(server.port());
+    ASSERT_FALSE(response.empty());
+    EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+    EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+              std::string::npos);
+    // Headers end, then the rendered registry.
+    size_t body_at = response.find("\r\n\r\n");
+    ASSERT_NE(body_at, std::string::npos);
+    std::string body = response.substr(body_at + 4);
+    EXPECT_NE(body.find("# TYPE ufilter_scrape_me counter\n"),
+              std::string::npos);
+    EXPECT_NE(body.find("ufilter_scrape_me 11\n"), std::string::npos);
+    EXPECT_NE(body.find("ufilter_lat_ns_bucket{le=\"+Inf\"} 1\n"),
+              std::string::npos);
+    // Content-Length matches the body exactly (HTTP/1.0 clients need it).
+    size_t len_at = response.find("Content-Length: ");
+    ASSERT_NE(len_at, std::string::npos);
+    EXPECT_EQ(static_cast<size_t>(
+                  std::stoul(response.substr(len_at + 16))),
+              body.size());
+  }
+  EXPECT_EQ(server.scrapes(), 2u);
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+TEST(MetricsHttpTest, StartOnBusyStateFails) {
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(0, [] { return std::string("x"); }).ok());
+  EXPECT_FALSE(server.Start(0, [] { return std::string("y"); }).ok());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ufilter::net

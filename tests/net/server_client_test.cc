@@ -13,11 +13,13 @@
 #include <thread>
 #include <vector>
 
+#include "../support/temp_dir.h"
 #include "fixtures/bookdb.h"
 #include "fixtures/synthetic.h"
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace ufilter::net {
 namespace {
@@ -376,6 +378,111 @@ TEST(ServerClientTest, StatsTravelOverTheWire) {
   EXPECT_GE(stats->completed, 3u);
   EXPECT_GE(stats->connections_accepted, 1u);
   EXPECT_EQ(stats->protocol_errors, 0u);
+  // The queue-wait percentiles come from the always-on histogram: after
+  // three pops they must be real (nonzero) readings.
+  EXPECT_GT(stats->queue_wait_p99_ns, 0u);
+  EXPECT_LE(stats->queue_wait_p50_ns, stats->queue_wait_p99_ns);
+}
+
+// --- Full registry over the wire -----------------------------------------
+
+// The parity acceptance: a remote Client::Metrics() scrape must agree with
+// the in-process registry Collect() and with CheckServiceStats — including
+// the counters that used to be wire-invisible (WAL, columnar, plan cache,
+// MVCC) and the latency histograms.
+TEST(ServerClientTest, MetricsParityOverWire) {
+  test_support::TempDir tmp("net_metrics");
+  ASSERT_TRUE(tmp.ok());
+  Instance inst = MakeChainInstance(3, 32);
+  ServerOptions opts;
+  opts.service.worker_threads = 2;
+  opts.service.durability.wal_path = tmp.path("parity.wal");
+  // Fsync per commit so wal_fsyncs is deterministically nonzero at scrape
+  // time (kGroup would defer it to the shutdown barrier).
+  opts.service.durability.fsync_policy = relational::FsyncPolicy::kAlways;
+  auto server = Server::Start(inst.uf.get(), opts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_TRUE((*server)->service().durability_status().ok());
+
+  Client client(ClientFor(**server));
+  // Traffic that exercises every counter family: checks (columnar scans,
+  // plan cache) and applies (writer lane, WAL records + fsyncs). The
+  // i % 3 cycle repeats each delete text once — the plan-cache key is the
+  // whitespace-normalized text, so only an exact repeat can hit.
+  for (int i = 0; i < 6; ++i) {
+    auto resp = client.Check(fixtures::ChainDeleteUpdate(2, i % 3), false);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->verdict, Verdict::kExecuted) << resp->message;
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto resp = client.Check(
+        fixtures::ChainReplaceUpdate(2, i, "metrics-apply"), true);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->verdict, Verdict::kExecuted) << resp->message;
+  }
+
+  auto wire = client.Metrics();
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  obs::RegistrySnapshot remote = SnapshotFromMetrics(*wire);
+  obs::RegistrySnapshot local = (*server)->service().registry().Collect();
+  auto stats = (*server)->service().Snapshot();
+
+  // Every local series crossed the wire (the scrape is the full registry).
+  for (const obs::MetricSample& l : local) {
+    ASSERT_NE(wire->Find(l.name), nullptr) << l.name;
+  }
+
+  // Monotonic counters: the wire value was read between our last request
+  // and the local Collect(), so local >= wire >= the known traffic floor.
+  auto wire_value = [&wire](const char* name) {
+    const WireMetric* m = wire->Find(name);
+    EXPECT_NE(m, nullptr) << name;
+    return m == nullptr ? 0 : m->value;
+  };
+  struct FloorCheck {
+    const char* name;
+    uint64_t floor;
+    uint64_t local;
+  };
+  const FloorCheck checks[] = {
+      {"service_submitted", 8, stats.submitted},
+      {"service_completed", 8, stats.completed},
+      {"service_fast_path", 6, stats.fast_path},
+      {"service_writer_lane", 2, stats.writer_lane},
+      {"wal_records", 2, stats.wal_records},
+      {"wal_fsyncs", 1, stats.wal_fsyncs},
+      {"wal_bytes", 1, stats.wal_bytes},
+      {"columnar_builds", 1, stats.columnar_builds},
+      {"columnar_scan_rows", 1, stats.columnar_scan_rows},
+      {"plan_cache_hits", 1, stats.plan_cache.hits},
+      {"plan_cache_misses", 1, stats.plan_cache.misses},
+      {"mvcc_snapshots_opened", 8, stats.snapshots_opened},
+  };
+  for (const FloorCheck& c : checks) {
+    uint64_t wired = wire_value(c.name);
+    EXPECT_GE(wired, c.floor) << c.name;
+    EXPECT_GE(c.local, wired) << c.name;  // the stats view agrees
+  }
+  // Gauges match the database's current state exactly (quiescent now).
+  EXPECT_EQ(wire_value("db_commit_epoch"), stats.commit_epoch);
+
+  // The latency histogram crossed the wire with its full shape: count
+  // covers all 8 requests and percentile math works on the remote copy.
+  const obs::MetricSample* lat = obs::FindSample(remote, "check_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GE(lat->hist.count, 8u);
+  EXPECT_GT(lat->hist.Percentile(50), 0u);
+  EXPECT_LE(lat->hist.Percentile(50), lat->hist.Percentile(99));
+  const obs::MetricSample* local_lat =
+      obs::FindSample(local, "check_latency_ns");
+  ASSERT_NE(local_lat, nullptr);
+  EXPECT_EQ(local_lat->hist.count, lat->hist.count);
+  EXPECT_EQ(local_lat->hist.sum, lat->hist.sum);
+  EXPECT_EQ(local_lat->hist.max, lat->hist.max);
+
+  // Server transport counters live in the same registry.
+  EXPECT_GE(wire_value("server_requests"), 8u);  // check requests only
+  EXPECT_GE(wire_value("server_connections_accepted"), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,224 @@
+#include "obs/slowlog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../support/mini_json.h"
+#include "../support/temp_dir.h"
+#include "fixtures/synthetic.h"
+#include "service/check_service.h"
+#include "xquery/normalize.h"
+
+namespace ufilter::obs {
+namespace {
+
+using ufilter::test_support::JsonValue;
+using ufilter::test_support::MiniJsonParser;
+using ufilter::test_support::TempDir;
+
+SlowCheckRecord MakeRecord(uint64_t total_ns) {
+  SlowCheckRecord rec;
+  rec.request_id = 42;
+  rec.session = "sess-1";
+  rec.verdict = "executed";
+  rec.total_ns = total_ns;
+  rec.stage_ns[static_cast<size_t>(Stage::kQueueWait)] = 1000;
+  rec.stage_ns[static_cast<size_t>(Stage::kProbe)] = 2000;
+  rec.normalized_text = "FOR $b IN doc()//x";
+  rec.template_hash = 7;
+  rec.from_plan_cache = true;
+  return rec;
+}
+
+TEST(SlowLogFormatTest, RecordIsOneValidJsonObject) {
+  std::string line = FormatSlowCheckRecord(MakeRecord(5000000));
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(MiniJsonParser::Parse(line, &doc, &err)) << err << ": " << line;
+  EXPECT_EQ(doc.Get("event")->str, "slow_check");
+  EXPECT_EQ(doc.Get("request_id")->num, 42.0);
+  EXPECT_EQ(doc.Get("session")->str, "sess-1");
+  EXPECT_EQ(doc.Get("verdict")->str, "executed");
+  EXPECT_EQ(doc.Get("total_ns")->num, 5000000.0);
+  EXPECT_EQ(doc.Get("template_hash")->num, 7.0);
+  EXPECT_TRUE(doc.Get("from_plan_cache")->b);
+  EXPECT_EQ(doc.Get("normalized")->str, "FOR $b IN doc()//x");
+  const JsonValue* stages = doc.Get("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_TRUE(stages->is_object());
+  // All eight taxonomy keys, every time (zeros included — the breakdown is
+  // the point of the record).
+  ASSERT_EQ(stages->obj.size(), kStageCount);
+  for (size_t i = 0; i < kStageCount; ++i) {
+    ASSERT_NE(stages->Get(StageName(static_cast<Stage>(i))), nullptr) << i;
+  }
+  EXPECT_EQ(stages->Get("queue_wait")->num, 1000.0);
+  EXPECT_EQ(stages->Get("probe")->num, 2000.0);
+  EXPECT_EQ(stages->Get("wal_sync")->num, 0.0);
+}
+
+TEST(SlowLogFormatTest, EscapesHostileStrings) {
+  SlowCheckRecord rec = MakeRecord(1);
+  rec.session = "quote\" slash\\ nl\n tab\t ctl\x01";
+  rec.normalized_text = "text with \"quotes\" and \\back\\slashes\\";
+  std::string line = FormatSlowCheckRecord(rec);
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(MiniJsonParser::Parse(line, &doc, &err)) << err << ": " << line;
+  EXPECT_EQ(doc.Get("session")->str, rec.session);
+  EXPECT_EQ(doc.Get("normalized")->str, rec.normalized_text);
+}
+
+TEST(SlowLogTest, ThresholdGates) {
+  TempDir tmp("slowlog");
+  SlowLogOptions opts;
+  opts.threshold_ns = 1000000;  // 1ms
+  opts.path = tmp.path("slow.log");
+  SlowLog log;
+  log.Configure(opts);
+  ASSERT_TRUE(log.enabled());
+  log.Log(MakeRecord(999999));   // under: dropped silently
+  log.Log(MakeRecord(1000000));  // at threshold: logged
+  log.Log(MakeRecord(5000000));  // over: logged
+  EXPECT_EQ(log.logged(), 2u);
+  EXPECT_EQ(log.suppressed(), 0u);
+}
+
+TEST(SlowLogTest, DisabledLogsNothing) {
+  SlowLog log;
+  SlowLogOptions opts;  // threshold 0 = off
+  log.Configure(opts);
+  EXPECT_FALSE(log.enabled());
+  log.Log(MakeRecord(UINT64_MAX));
+  EXPECT_EQ(log.logged(), 0u);
+}
+
+TEST(SlowLogTest, RateLimitSuppresssesAndCounts) {
+  TempDir tmp("slowlog");
+  SlowLogOptions opts;
+  opts.threshold_ns = 1;
+  opts.max_per_sec = 2;
+  opts.path = tmp.path("slow.log");
+  SlowLog log;
+  log.Configure(opts);
+  for (int i = 0; i < 6; ++i) log.Log(MakeRecord(100));
+  // The burst may straddle one wall-second boundary, so up to two windows
+  // of 2 may pass; at least two records must be suppressed either way.
+  EXPECT_GE(log.logged(), 2u);
+  EXPECT_LE(log.logged(), 4u);
+  EXPECT_GE(log.suppressed(), 2u);
+  EXPECT_EQ(log.logged() + log.suppressed(), 6u);
+}
+
+TEST(SlowLogTest, FileSinkWritesParsableLines) {
+  TempDir tmp("slowlog");
+  std::string path = tmp.path("slow.log");
+  {
+    SlowLogOptions opts;
+    opts.threshold_ns = 1;
+    opts.path = path;
+    SlowLog log;
+    log.Configure(opts);
+    log.Log(MakeRecord(1111));
+    log.Log(MakeRecord(2222));
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(MiniJsonParser::Parse(line, &doc, &err)) << err;
+    EXPECT_EQ(doc.Get("event")->str, "slow_check");
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+// End to end through a real service: a writer-lane apply with an injected
+// 50ms lane hold must cross the 10ms threshold, and its logged stage
+// breakdown must account for the end-to-end latency (the ±5% acceptance:
+// the stages cover everything but scheduling gaps).
+TEST(SlowLogServiceTest, SlowApplyIsLoggedWithAccountedStages) {
+  constexpr int kDepth = 3;
+  TempDir tmp("slowlog_svc");
+  std::string path = tmp.path("slow.log");
+  auto db = ufilter::fixtures::MakeChainDatabase(kDepth, 16);
+  ASSERT_TRUE(db.ok());
+  auto uf = check::UFilter::Create(db->get(),
+                                   ufilter::fixtures::ChainViewQuery(kDepth));
+  ASSERT_TRUE(uf.ok());
+
+  service::CheckServiceOptions opts;
+  opts.worker_threads = 1;
+  opts.writer_lane_hold_ms_for_testing = 50;
+  opts.slow_log.threshold_ns = 10000000;  // 10ms
+  opts.slow_log.path = path;
+  service::CheckService svc(uf->get(), opts);
+  auto session = svc.OpenSession("slowpoke");
+
+  check::CheckOptions dry;
+  dry.apply = false;
+  check::CheckOptions apply;
+  // A fast check first: it must NOT be logged (well under 10ms)...
+  auto fast =
+      svc.Submit(session, ufilter::fixtures::ChainDeleteUpdate(kDepth - 1, 1),
+                 dry)
+          .get();
+  ASSERT_EQ(fast.outcome, check::CheckOutcome::kExecuted);
+  // ...then the slow apply, which must.
+  std::string update =
+      ufilter::fixtures::ChainReplaceUpdate(kDepth - 1, 0, "slow");
+  auto slow = svc.Submit(session, update, apply).get();
+  ASSERT_EQ(slow.outcome, check::CheckOutcome::kExecuted);
+  EXPECT_EQ(svc.slow_log().logged(), 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(MiniJsonParser::Parse(line, &doc, &err)) << err << ": " << line;
+  EXPECT_EQ(doc.Get("event")->str, "slow_check");
+  EXPECT_EQ(doc.Get("session")->str, "slowpoke");
+  EXPECT_EQ(doc.Get("verdict")->str, "executed");
+
+  double total = doc.Get("total_ns")->num;
+  EXPECT_GE(total, 50000000.0);  // the injected lane hold is inside it
+  const JsonValue* stages = doc.Get("stages");
+  ASSERT_NE(stages, nullptr);
+  double sum = 0;
+  for (const auto& [name, v] : stages->obj) sum += v.num;
+  // The breakdown accounts for the latency: stages are disjoint wall-time
+  // intervals of one request, so their sum can only fall short of total by
+  // the untimed gaps (scheduling, lane-mutex wait) — which the 50ms hold
+  // dwarfs. ±5% is the documented acceptance.
+  EXPECT_GE(sum, 0.95 * total) << line;
+  EXPECT_LE(sum, 1.05 * total) << line;
+  // The apply stage itself carries the hold.
+  EXPECT_GE(stages->Get("apply")->num, 50000000.0);
+
+  // Plan fingerprint: normalized text + hash identify the template.
+  std::string normalized = doc.Get("normalized")->str;
+  EXPECT_EQ(normalized, xq::NormalizeUpdateText(update));
+  ASSERT_TRUE(doc.Get("template_hash")->is_u64);
+  EXPECT_EQ(doc.Get("template_hash")->u64, xq::HashUpdateTemplate(normalized));
+
+  // The suppression/logged counters surface in the registry.
+  auto reg = svc.registry().Collect();
+  const obs::MetricSample* logged =
+      obs::FindSample(reg, "slow_checks_logged");
+  ASSERT_NE(logged, nullptr);
+  EXPECT_EQ(logged->value, 1u);
+}
+
+}  // namespace
+}  // namespace ufilter::obs

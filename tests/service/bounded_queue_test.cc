@@ -32,6 +32,37 @@ TEST(BoundedQueueTest, FifoAndSize) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+// The per-entry push timestamp is what the service's queue_wait histogram
+// is built on: Pop must hand back the instant the item entered the queue,
+// so residency (pop − pushed_at) reflects real queue wait.
+TEST(BoundedQueueTest, PopReturnsPushTimestamp) {
+  BoundedQueue<int> q(4);
+  auto before_push = steady_clock::now();
+  ASSERT_TRUE(q.Push(1));
+  auto after_push = steady_clock::now();
+  std::this_thread::sleep_for(milliseconds(20));
+  int out = 0;
+  steady_clock::time_point pushed_at{};
+  ASSERT_TRUE(q.Pop(&out, &pushed_at));
+  EXPECT_EQ(out, 1);
+  auto popped_at = steady_clock::now();
+  // The stamp brackets the Push call, not the Pop.
+  EXPECT_GE(pushed_at, before_push);
+  EXPECT_LE(pushed_at, after_push);
+  // Residency covers the sleep between push and pop.
+  EXPECT_GE(popped_at - pushed_at, milliseconds(20));
+
+  // PopFor reports the stamp too (the drain path uses it).
+  ASSERT_TRUE(q.TryPush(2));
+  steady_clock::time_point pushed_at2{};
+  EXPECT_EQ(q.PopFor(&out, steady_clock::now() + milliseconds(1000),
+                     &pushed_at2),
+            QueueWaitResult::kOk);
+  EXPECT_EQ(out, 2);
+  EXPECT_GE(pushed_at2, after_push);
+  EXPECT_LE(pushed_at2, steady_clock::now());
+}
+
 TEST(BoundedQueueTest, TryPushShedsWhenFull) {
   BoundedQueue<int> q(2);
   EXPECT_TRUE(q.TryPush(1));

@@ -1,0 +1,251 @@
+// A tiny recursive-descent JSON parser for tests that validate JSON our
+// code *emits* (Chrome trace exports, slow-check log lines). Test-only on
+// purpose: strict enough to reject malformed output (unbalanced structure,
+// bad escapes, trailing garbage), small enough to read in one sitting.
+// Numbers are kept as double (all values we emit fit exactly: span
+// timestamps are µs with 3 decimals, everything else is an integer well
+// under 2^53).
+#ifndef UFILTER_TESTS_SUPPORT_MINI_JSON_H_
+#define UFILTER_TESTS_SUPPORT_MINI_JSON_H_
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ufilter::test_support {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0;
+  /// Exact value when the token was a plain unsigned integer (no '.', no
+  /// exponent, no sign) — doubles lose integers past 2^53, and 64-bit
+  /// hashes don't fit. is_u64 marks it valid.
+  uint64_t u64 = 0;
+  bool is_u64 = false;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parses strict JSON. Returns false (and fills *error) on any syntax
+/// problem, including trailing non-whitespace after the document.
+class MiniJsonParser {
+ public:
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error = nullptr) {
+    MiniJsonParser p(text);
+    if (!p.ParseValue(out)) {
+      if (error != nullptr) *error = p.error_;
+      return false;
+    }
+    p.SkipWs();
+    if (p.pos_ != text.size()) {
+      if (error != nullptr) *error = "trailing garbage";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  explicit MiniJsonParser(const std::string& text) : text_(text) {}
+
+  bool Fail(const char* what) {
+    error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          out->type = JsonValue::Type::kBool;
+          out->b = true;
+          return true;
+        }
+        return Fail("bad literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          out->type = JsonValue::Type::kBool;
+          out->b = false;
+          return true;
+        }
+        return Fail("bad literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          out->type = JsonValue::Type::kNull;
+          return true;
+        }
+        return Fail("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
+        return Fail("expected object key");
+      }
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->obj[key] = std::move(v);
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->arr.push_back(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return Fail("raw control char");
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // Tests only emit ASCII escapes; store BMP points as UTF-8.
+          if (v < 0x80) {
+            out->push_back(static_cast<char>(v));
+          } else if (v < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (v >> 6)));
+            out->push_back(static_cast<char>(0x80 | (v & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (v >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((v >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (v & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    char* end = nullptr;
+    std::string tok = text_.substr(start, pos_ - start);
+    out->num = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    out->type = JsonValue::Type::kNumber;
+    if (tok.find_first_not_of("0123456789") == std::string::npos) {
+      out->u64 = std::strtoull(tok.c_str(), nullptr, 10);
+      out->is_u64 = true;
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace ufilter::test_support
+
+#endif  // UFILTER_TESTS_SUPPORT_MINI_JSON_H_

@@ -1,0 +1,106 @@
+// ufilter_metrics: scrapes a running ufilter_server's full metric
+// registry over the wire protocol (kMetricsRequest) and prints it as
+// Prometheus text. Doubles as the CI health gate:
+//
+//   ufilter_metrics --port=N [--host=H]
+//                   [--require=NAME]...   # fail unless present AND nonzero
+//                   [--expect=NAME]...    # fail unless present
+//
+// Exit codes: 0 all gates passed, 1 a gate failed, 2 usage, 3 unreachable.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "obs/prometheus.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+/// A metric's scalar reading: counter/gauge value, or a histogram's count.
+uint64_t MetricReading(const ufilter::net::WireMetric& m) {
+  return m.kind == 2 ? m.hist_count : m.value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ufilter::net::ClientOptions copts;
+  std::vector<std::string> require;
+  std::vector<std::string> expect;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--host", &v)) {
+      copts.host = v;
+    } else if (ParseFlag(argv[i], "--port", &v)) {
+      copts.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (ParseFlag(argv[i], "--require", &v)) {
+      require.push_back(v);
+    } else if (ParseFlag(argv[i], "--expect", &v)) {
+      expect.push_back(v);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (copts.port == 0) {
+    std::fprintf(stderr, "usage: ufilter_metrics --port=N [--host=H] "
+                         "[--require=NAME]... [--expect=NAME]... [--quiet]\n");
+    return 2;
+  }
+
+  ufilter::net::Client client(copts);
+  auto metrics = client.Metrics();
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "scrape failed: %s\n",
+                 metrics.status().ToString().c_str());
+    return 3;
+  }
+
+  if (!quiet) {
+    std::fputs(
+        ufilter::obs::RenderPrometheus(ufilter::net::SnapshotFromMetrics(
+                                           *metrics))
+            .c_str(),
+        stdout);
+  }
+
+  int failures = 0;
+  for (const std::string& name : expect) {
+    if (metrics->Find(name) == nullptr) {
+      std::fprintf(stderr, "FAIL: expected series '%s' is missing\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  for (const std::string& name : require) {
+    const ufilter::net::WireMetric* m = metrics->Find(name);
+    if (m == nullptr) {
+      std::fprintf(stderr, "FAIL: required series '%s' is missing\n",
+                   name.c_str());
+      ++failures;
+    } else if (MetricReading(*m) == 0) {
+      std::fprintf(stderr, "FAIL: required series '%s' is zero\n",
+                   name.c_str());
+      ++failures;
+    } else {
+      std::fprintf(stderr, "ok: %s = %" PRIu64 "\n", name.c_str(),
+                   MetricReading(*m));
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

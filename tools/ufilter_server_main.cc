@@ -4,6 +4,17 @@
 //
 //   ufilter_server [--port=N] [--wal=PATH] [--depth=N] [--rows=N]
 //                  [--workers=N] [--queue=N] [--fsync=always|group|never]
+//                  [--metrics-port=N] [--metrics-dump=PATH]
+//                  [--trace-dump=PATH] [--trace-sample=M]
+//                  [--slow-check-ms=N] [--slow-check-log=PATH]
+//
+// Observability: --metrics-port starts a Prometheus text endpoint (curl
+// it or point a scrape_config at it); --metrics-dump / --trace-dump write
+// a final Prometheus snapshot / the sampled-trace ring (Chrome trace-event
+// JSON, loadable in chrome://tracing or Perfetto) at drain;
+// --trace-sample=M samples one full trace per M requests (default 64,
+// 0 = off); --slow-check-ms logs a structured JSON line for every check
+// slower than N ms (to stderr, or --slow-check-log=PATH).
 //
 // Startup: if --wal names an existing non-empty file the database is
 // recovered from it (the seeding and every later apply replay from the
@@ -28,7 +39,9 @@
 #include <sys/stat.h>
 
 #include "fixtures/synthetic.h"
+#include "net/metrics_http.h"
 #include "net/server.h"
+#include "obs/prometheus.h"
 #include "relational/database.h"
 #include "relational/wal.h"
 #include "ufilter/checker.h"
@@ -44,6 +57,13 @@ struct Args {
   size_t queue = 256;
   ufilter::relational::FsyncPolicy fsync =
       ufilter::relational::FsyncPolicy::kGroup;
+  /// 0 = no Prometheus HTTP endpoint.
+  int metrics_port = -1;
+  std::string metrics_dump_path;
+  std::string trace_dump_path;
+  uint32_t trace_sample = 64;
+  int slow_check_ms = 0;
+  std::string slow_check_log_path;
 };
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -70,6 +90,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->workers = std::atoi(v);
     } else if (ParseFlag(argv[i], "--queue", &v)) {
       args->queue = static_cast<size_t>(std::atoll(v));
+    } else if (ParseFlag(argv[i], "--metrics-port", &v)) {
+      args->metrics_port = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--metrics-dump", &v)) {
+      args->metrics_dump_path = v;
+    } else if (ParseFlag(argv[i], "--trace-dump", &v)) {
+      args->trace_dump_path = v;
+    } else if (ParseFlag(argv[i], "--trace-sample", &v)) {
+      args->trace_sample = static_cast<uint32_t>(std::atoi(v));
+    } else if (ParseFlag(argv[i], "--slow-check-ms", &v)) {
+      args->slow_check_ms = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--slow-check-log", &v)) {
+      args->slow_check_log_path = v;
     } else if (ParseFlag(argv[i], "--fsync", &v)) {
       if (std::strcmp(v, "always") == 0) {
         args->fsync = ufilter::relational::FsyncPolicy::kAlways;
@@ -176,11 +208,34 @@ int main(int argc, char** argv) {
   sopts.port = args.port;
   sopts.service.worker_threads = args.workers;
   sopts.service.queue_capacity = args.queue;
+  sopts.service.trace.sample_every = args.trace_sample;
+  sopts.service.slow_log.threshold_ns =
+      static_cast<uint64_t>(args.slow_check_ms) * 1000000ull;
+  if (!args.slow_check_log_path.empty()) {
+    sopts.service.slow_log.path = args.slow_check_log_path;
+  }
   auto server = ufilter::net::Server::Start(uf->get(), sopts);
   if (!server.ok()) {
     std::fprintf(stderr, "Server::Start failed: %s\n",
                  server.status().ToString().c_str());
     return 1;
+  }
+
+  auto render = [&server] {
+    return ufilter::obs::RenderPrometheus(
+        (*server)->service().registry().Collect());
+  };
+  ufilter::net::MetricsHttpServer metrics_http;
+  if (args.metrics_port >= 0) {
+    ufilter::Status st = metrics_http.Start(
+        static_cast<uint16_t>(args.metrics_port), render);
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics endpoint failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(metrics_http.port()));
   }
 
   std::printf("READY %u\n", static_cast<unsigned>((*server)->port()));
@@ -190,5 +245,29 @@ int main(int argc, char** argv) {
   sigwait(&sigs, &sig);
   std::fprintf(stderr, "signal %d: draining\n", sig);
   (*server)->Drain();
+  metrics_http.Stop();
+
+  // Post-drain dumps: every in-flight request has finished, so the
+  // snapshot and the trace ring are final.
+  if (!args.metrics_dump_path.empty()) {
+    std::FILE* f = std::fopen(args.metrics_dump_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_dump_path.c_str());
+      return 1;
+    }
+    std::string text = render();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  if (!args.trace_dump_path.empty()) {
+    std::FILE* f = std::fopen(args.trace_dump_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_dump_path.c_str());
+      return 1;
+    }
+    std::string json = (*server)->service().tracer().ExportChromeJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
   return 0;
 }
