@@ -1,5 +1,6 @@
 #include "net/frame.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "relational/wal.h"  // Crc32: the WAL's framing checksum, reused
@@ -109,6 +110,8 @@ const char* VerdictName(Verdict v) {
       return "draining";
     case Verdict::kError:
       return "error";
+    case Verdict::kRedirectToPrimary:
+      return "redirect-to-primary";
   }
   return "?";
 }
@@ -262,7 +265,7 @@ obs::RegistrySnapshot SnapshotFromMetrics(const MetricsMsg& msg) {
 Result<MsgType> PeekType(const std::string& payload) {
   if (payload.empty()) return Status::ParseError("empty message payload");
   uint8_t t = static_cast<uint8_t>(payload[0]);
-  if (t < 1 || t > 8) {
+  if (t < 1 || t > kMaxMsgType) {
     return Status::ParseError("unknown message type " + std::to_string(t));
   }
   return static_cast<MsgType>(t);
@@ -297,7 +300,7 @@ Result<CheckResponseMsg> DecodeCheckResponse(const std::string& payload) {
   msg.retry_after_ms = c.U32();
   msg.message = c.Str();
   if (!c.AtEnd()) return Malformed("check-response");
-  if (verdict > static_cast<uint8_t>(Verdict::kError)) {
+  if (verdict > static_cast<uint8_t>(Verdict::kRedirectToPrimary)) {
     return Malformed("check-response");
   }
   msg.verdict = static_cast<Verdict>(verdict);
@@ -370,6 +373,93 @@ Result<MetricsMsg> DecodeMetricsResponse(const std::string& payload) {
     msg.metrics.push_back(std::move(m));
   }
   if (!c.AtEnd()) return Malformed("metrics-response");
+  return msg;
+}
+
+std::string EncodeReplSubscribe(const ReplSubscribeMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kReplSubscribe));
+  PutU64(&out, msg.start_epoch);
+  PutU64(&out, msg.max_batch_bytes);
+  return out;
+}
+
+Result<ReplSubscribeMsg> DecodeReplSubscribe(const std::string& payload) {
+  Cursor c(payload);
+  if (c.U8() != static_cast<uint8_t>(MsgType::kReplSubscribe)) {
+    return Malformed("repl-subscribe");
+  }
+  ReplSubscribeMsg msg;
+  msg.start_epoch = c.U64();
+  msg.max_batch_bytes = c.U64();
+  if (!c.AtEnd()) return Malformed("repl-subscribe");
+  return msg;
+}
+
+std::string EncodeReplSnapshot(const ReplSnapshotMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kReplSnapshot));
+  PutU64(&out, msg.epoch);
+  PutString(&out, msg.state_payload);
+  return out;
+}
+
+Result<ReplSnapshotMsg> DecodeReplSnapshot(const std::string& payload) {
+  Cursor c(payload);
+  if (c.U8() != static_cast<uint8_t>(MsgType::kReplSnapshot)) {
+    return Malformed("repl-snapshot");
+  }
+  ReplSnapshotMsg msg;
+  msg.epoch = c.U64();
+  msg.state_payload = c.Str();
+  if (!c.AtEnd()) return Malformed("repl-snapshot");
+  return msg;
+}
+
+std::string EncodeReplRecords(const ReplRecordsMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kReplRecords));
+  PutU64(&out, msg.primary_epoch);
+  PutU64(&out, msg.primary_wal_bytes);
+  PutU64(&out, msg.shipped_wal_bytes);
+  PutU32(&out, static_cast<uint32_t>(msg.records.size()));
+  for (const std::string& r : msg.records) PutString(&out, r);
+  return out;
+}
+
+Result<ReplRecordsMsg> DecodeReplRecords(const std::string& payload) {
+  Cursor c(payload);
+  if (c.U8() != static_cast<uint8_t>(MsgType::kReplRecords)) {
+    return Malformed("repl-records");
+  }
+  ReplRecordsMsg msg;
+  msg.primary_epoch = c.U64();
+  msg.primary_wal_bytes = c.U64();
+  msg.shipped_wal_bytes = c.U64();
+  uint32_t n = c.U32();
+  msg.records.reserve(std::min<uint32_t>(n, 1024));
+  for (uint32_t i = 0; i < n && c.ok(); ++i) {
+    msg.records.push_back(c.Str());
+  }
+  if (!c.AtEnd()) return Malformed("repl-records");
+  return msg;
+}
+
+std::string EncodeReplAck(const ReplAckMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kReplAck));
+  PutU64(&out, msg.applied_epoch);
+  return out;
+}
+
+Result<ReplAckMsg> DecodeReplAck(const std::string& payload) {
+  Cursor c(payload);
+  if (c.U8() != static_cast<uint8_t>(MsgType::kReplAck)) {
+    return Malformed("repl-ack");
+  }
+  ReplAckMsg msg;
+  msg.applied_epoch = c.U64();
+  if (!c.AtEnd()) return Malformed("repl-ack");
   return msg;
 }
 

@@ -44,6 +44,12 @@ inline constexpr size_t kFrameHeaderLen = 8;
 /// bigger is a corrupt length prefix or an abusive peer).
 inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
 
+/// Ceiling for replication-stream frames: a kReplSnapshot carries the full
+/// serialized database state and a kReplRecords batch carries many WAL
+/// payloads, so subscription connections negotiate a much larger frame
+/// budget than the request/response plane.
+inline constexpr size_t kReplMaxFrameBytes = 64u << 20;
+
 /// Relative-deadline sentinel: no deadline.
 inline constexpr uint32_t kNoDeadlineMs = 0xFFFFFFFFu;
 
@@ -61,7 +67,19 @@ enum class MsgType : uint8_t {
   /// MVCC) and the latency histograms.
   kMetricsRequest = 7,
   kMetricsResponse = 8,
+  /// Replication plane (epoch-stream snapshot shipping). A follower sends
+  /// kReplSubscribe once after the magic; the primary answers with an
+  /// optional kReplSnapshot bootstrap followed by a stream of kReplRecords
+  /// batches (empty batch = heartbeat); the follower acks applied epochs
+  /// with kReplAck so the primary can export subscriber lag.
+  kReplSubscribe = 9,
+  kReplSnapshot = 10,
+  kReplRecords = 11,
+  kReplAck = 12,
 };
+
+inline constexpr uint8_t kMaxMsgType =
+    static_cast<uint8_t>(MsgType::kReplAck);
 
 /// The server's answer class for one request. Distinct from CheckOutcome
 /// because the wire must also express service-level dispositions (shed,
@@ -82,6 +100,11 @@ enum class Verdict : uint8_t {
   kDraining = 7,
   /// Protocol/internal failure while serving the request.
   kError = 8,
+  /// Read-only follower refusing an apply: the caller must re-issue the
+  /// request against the primary named in `message`. Never executed here,
+  /// but NOT retry-safe against this server — retrying the same follower
+  /// would loop forever.
+  kRedirectToPrimary = 9,
 };
 
 const char* VerdictName(Verdict v);
@@ -161,6 +184,50 @@ struct MetricsMsg {
 MetricsMsg MetricsFromSnapshot(const obs::RegistrySnapshot& snapshot);
 obs::RegistrySnapshot SnapshotFromMetrics(const MetricsMsg& msg);
 
+// --- Replication-plane messages ------------------------------------------
+
+/// Follower -> primary, once per connection: start (or resume) an epoch
+/// stream. start_epoch is the last epoch the follower has durably applied;
+/// 0 means "bootstrap me" and the primary answers with a kReplSnapshot
+/// before any records.
+struct ReplSubscribeMsg {
+  uint64_t start_epoch = 0;
+  /// Soft cap on the WAL-payload bytes per kReplRecords batch; 0 = primary
+  /// default. A hint, not a contract — one oversized record still ships.
+  uint64_t max_batch_bytes = 0;
+};
+
+/// Primary -> follower bootstrap: the full serialized state
+/// (relational::EncodeDatabaseState) as of `epoch`. Sent exactly once, and
+/// only for start_epoch == 0 subscriptions.
+struct ReplSnapshotMsg {
+  uint64_t epoch = 0;
+  std::string state_payload;
+};
+
+/// Primary -> follower: a batch of WAL record payloads in strictly
+/// increasing epoch order. `primary_epoch` is the primary's commit epoch at
+/// send time (lag is primary_epoch - last applied); `primary_wal_bytes` the
+/// primary's WAL offset after the last record in the batch (byte lag). An
+/// empty batch is a heartbeat: it refreshes lag while the primary idles.
+struct ReplRecordsMsg {
+  uint64_t primary_epoch = 0;
+  uint64_t primary_wal_bytes = 0;
+  /// Primary WAL offset just past the last record in this batch (equal to
+  /// primary_wal_bytes when the batch drains the log). The follower's byte
+  /// lag is primary_wal_bytes - shipped_wal_bytes.
+  uint64_t shipped_wal_bytes = 0;
+  /// Each entry is one EncodeWalPayload blob (epoch + redo ops), decodable
+  /// with relational::DecodeWalPayload.
+  std::vector<std::string> records;
+};
+
+/// Follower -> primary: everything up to applied_epoch is applied and
+/// published locally.
+struct ReplAckMsg {
+  uint64_t applied_epoch = 0;
+};
+
 // --- Message codecs (payloads, no framing) -------------------------------
 
 std::string EncodeCheckRequest(const CheckRequestMsg& msg);
@@ -171,6 +238,10 @@ std::string EncodeStatsRequest();
 std::string EncodeStatsResponse(const StatsMsg& msg);
 std::string EncodeMetricsRequest();
 std::string EncodeMetricsResponse(const MetricsMsg& msg);
+std::string EncodeReplSubscribe(const ReplSubscribeMsg& msg);
+std::string EncodeReplSnapshot(const ReplSnapshotMsg& msg);
+std::string EncodeReplRecords(const ReplRecordsMsg& msg);
+std::string EncodeReplAck(const ReplAckMsg& msg);
 
 Result<MsgType> PeekType(const std::string& payload);
 Result<CheckRequestMsg> DecodeCheckRequest(const std::string& payload);
@@ -179,6 +250,10 @@ Result<CheckResponseMsg> DecodeCheckResponse(const std::string& payload);
 Result<uint64_t> DecodePingPong(const std::string& payload);
 Result<StatsMsg> DecodeStatsResponse(const std::string& payload);
 Result<MetricsMsg> DecodeMetricsResponse(const std::string& payload);
+Result<ReplSubscribeMsg> DecodeReplSubscribe(const std::string& payload);
+Result<ReplSnapshotMsg> DecodeReplSnapshot(const std::string& payload);
+Result<ReplRecordsMsg> DecodeReplRecords(const std::string& payload);
+Result<ReplAckMsg> DecodeReplAck(const std::string& payload);
 
 // --- Framing -------------------------------------------------------------
 

@@ -85,6 +85,7 @@ Server::Server(check::UFilter* filter, ServerOptions options, int listen_fd,
   responses_ = registry.GetCounter("server_responses");
   admission_expired_ = registry.GetCounter("server_admission_expired");
   draining_rejects_ = registry.GetCounter("server_draining_rejects");
+  redirected_applies_ = registry.GetCounter("server_redirected_applies");
 }
 
 Server::~Server() { Drain(); }
@@ -97,6 +98,7 @@ ServerStats Server::stats() const {
   s.responses = responses_->Value();
   s.admission_expired = admission_expired_->Value();
   s.draining_rejects = draining_rejects_->Value();
+  s.redirected_applies = redirected_applies_->Value();
   return s;
 }
 
@@ -232,6 +234,19 @@ Status Server::HandlePayload(Conn* conn, std::string payload) {
             options_.drain_retry_after_ms));
         break;
       }
+      if (req->apply && !options_.redirect_primary.empty()) {
+        // Follower mode: applies never run here — the caller must go to
+        // the primary named in the message. Deliberately not retry-safe:
+        // retrying the same follower would loop forever.
+        redirected_applies_->Inc();
+        pending->ready_payload = EncodeCheckResponse(ServiceResponse(
+            req->request_id, Verdict::kRedirectToPrimary,
+            Status::InvalidArgument("read-only follower: apply this update "
+                                    "against the primary at " +
+                                    options_.redirect_primary),
+            0));
+        break;
+      }
       std::optional<service::CheckService::SteadyTime> deadline;
       if (req->deadline_ms != kNoDeadlineMs) {
         deadline = std::chrono::steady_clock::now() +
@@ -279,6 +294,13 @@ Status Server::HandlePayload(Conn* conn, std::string payload) {
     case MsgType::kStatsResponse:
     case MsgType::kMetricsResponse:
       return Status::ParseError("client sent a server-only message type");
+    case MsgType::kReplSubscribe:
+    case MsgType::kReplSnapshot:
+    case MsgType::kReplRecords:
+    case MsgType::kReplAck:
+      // The replication plane has its own listener (net::ReplicationSource);
+      // these never belong on the request/response port.
+      return Status::ParseError("replication message on the request plane");
   }
   // Blocks when max_pipeline responses are unanswered: per-connection
   // backpressure. Refused only when the connection is already closing.

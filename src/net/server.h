@@ -59,6 +59,11 @@ struct ServerOptions {
   /// Drain(): how long to wait for in-flight work before forcing the rest
   /// through the deadline-expiry path.
   std::chrono::milliseconds drain_grace{5000};
+  /// Read-only follower mode: when non-empty ("host:port" of the primary),
+  /// every apply request is refused immediately with kRedirectToPrimary
+  /// carrying this address; check-only requests are served normally from
+  /// pinned snapshots.
+  std::string redirect_primary;
   service::CheckServiceOptions service;
 };
 
@@ -74,6 +79,8 @@ struct ServerStats {
   uint64_t admission_expired = 0;
   /// Check requests answered kDraining during graceful shutdown.
   uint64_t draining_rejects = 0;
+  /// Apply requests answered kRedirectToPrimary (follower mode).
+  uint64_t redirected_applies = 0;
 };
 
 class Server {
@@ -161,6 +168,7 @@ class Server {
   obs::Counter* responses_;
   obs::Counter* admission_expired_;
   obs::Counter* draining_rejects_;
+  obs::Counter* redirected_applies_;
 };
 
 }  // namespace ufilter::net

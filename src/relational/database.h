@@ -430,6 +430,8 @@ class Database;
 class ExecutionContext;
 class WalWriter;
 struct DurabilityOptions;
+struct WalRecord;       // wal.h
+struct CheckpointImage;  // wal.h
 
 /// One logical row-level redo operation destined for the WAL. Captured at
 /// every base-table mutation site, right next to the matching undo record;
@@ -808,6 +810,36 @@ class Database {
   /// — e.g. one recovered, one live — compare byte-equal. Test oracle.
   Result<std::string> SerializePublishedState();
 
+  // --- Replication (the follower's apply path; implemented in wal.cc) ---
+
+  /// Bootstraps a freshly created, never-published database from a shipped
+  /// state payload (wal.h EncodeDatabaseState) as of `epoch`: the wire twin
+  /// of RecoverFrom's checkpoint phase. The loaded state is published under
+  /// `epoch` through the normal MVCC path. Durability may already be
+  /// enabled — the snapshot itself is never logged (the follower persists
+  /// it as a local checkpoint file instead).
+  Status LoadReplicatedSnapshot(uint64_t epoch,
+                                const std::string& state_payload);
+
+  /// Applies one shipped WAL record and publishes it under exactly
+  /// `record.epoch` — Database::RecoverFrom running continuously. Records
+  /// at or below the current commit epoch are skipped (idempotent
+  /// resume-from-epoch after a reconnect). Requires writer quiescence
+  /// (the follower serves check-only traffic; the service's writer lane
+  /// serializes the applier with escalated check-only writers): a dirty
+  /// live state or an active WriterGuard is an Internal error. When
+  /// durability is enabled the record is also appended to the local WAL,
+  /// so a restarted follower resumes from its own log. Any apply failure
+  /// leaves the database poisoned for replication purposes — the follower
+  /// must stop, not skip.
+  Status ApplyReplicatedEpoch(const WalRecord& record);
+
+  /// Drains pending WAL records into the log file *without* forcing an
+  /// fsync (kGroup staging is flushed to the fd, the fsync schedule is
+  /// untouched): makes every published record visible to a WalTailer (the
+  /// replication source) at its poll cadence. No-op when durability is off.
+  Status FlushWalToFile();
+
   /// Forwards to WalWriter::set_crash_after_bytes_for_testing (the kill -9
   /// fuzz harness's torn-tail injector). No-op when durability is off.
   void set_wal_crash_after_bytes_for_testing(int64_t n);
@@ -859,6 +891,10 @@ class Database {
   /// Freezes the live tables into a DatabaseVersion stamped `epoch` and
   /// makes it the published version (snapshot_mu_ held).
   void BuildVersionLocked(uint64_t epoch);
+  /// Slot-exact restore of a checkpoint image into the (empty) live tables
+  /// (snapshot_mu_ held; the RecoverFrom checkpoint phase and the wire
+  /// bootstrap share this).
+  Status ApplyCheckpointImageLocked(CheckpointImage&& image);
   /// Publish + GC with snapshot_mu_ held; reclaimed versions land in
   /// `graveyard`.
   Result<uint64_t> PublishLocked(Graveyard* graveyard);

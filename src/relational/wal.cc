@@ -149,6 +149,23 @@ Status ErrnoStatus(const std::string& what) {
   return Status::Internal(what + ": " + std::strerror(errno));
 }
 
+/// fsyncs the directory holding `path` so a rename/create/truncate of the
+/// entry itself is durable. Best-effort by design: some filesystems refuse
+/// directory fsync, and the file-level fsync already happened.
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+/// See SetRecoveryCrashPointForTesting.
+int g_recovery_crash_point = 0;
+
 Status ReadFileContents(const std::string& path, std::string* out) {
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -377,6 +394,13 @@ Status WalWriter::Sync() {
   return Status::OK();
 }
 
+Status WalWriter::Flush() {
+  if (group_buf_.empty()) return Status::OK();
+  UFILTER_RETURN_NOT_OK(WriteRaw(group_buf_.data(), group_buf_.size()));
+  group_buf_.clear();
+  return Status::OK();
+}
+
 // ------------------------------------------------------------ ReadWal ---
 
 Result<WalReadResult> ReadWal(const std::string& path) {
@@ -411,6 +435,80 @@ Result<WalReadResult> ReadWal(const std::string& path) {
   }
   result.tail_truncated = result.valid_bytes < contents.size();
   return result;
+}
+
+// ---------------------------------------------------------- WalTailer ---
+
+WalTailer::~WalTailer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::vector<WalTailer::TailedRecord>> WalTailer::Poll(
+    size_t max_batch_bytes) {
+  std::vector<TailedRecord> batch;
+  if (fd_ < 0) {
+    fd_ = ::open(path_.c_str(), O_RDONLY);
+    if (fd_ < 0) {
+      if (errno == ENOENT) return batch;  // log not created yet
+      return ErrnoStatus("open wal '" + path_ + "'");
+    }
+  }
+  // Pull everything new past (offset_ + pending_) into the pending buffer.
+  for (;;) {
+    char buf[1 << 16];
+    ssize_t n = ::pread(fd_, buf, sizeof buf,
+                        static_cast<off_t>(offset_ + pending_.size()));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread wal '" + path_ + "'");
+    }
+    if (n == 0) break;
+    pending_.append(buf, static_cast<size_t>(n));
+    if (pending_.size() > max_batch_bytes + (64u << 10)) break;  // plenty
+  }
+  size_t pos = 0;
+  if (!magic_checked_) {
+    if (pending_.size() < kMagicLen) return batch;  // magic still torn
+    if (std::memcmp(pending_.data(), kWalMagic, kMagicLen) != 0) {
+      return Status::InvalidArgument("'" + path_ + "' is not a ufilter WAL");
+    }
+    magic_checked_ = true;
+    pos = kMagicLen;
+  }
+  size_t batch_bytes = 0;
+  while (pending_.size() - pos >= kFrameHeaderLen &&
+         batch_bytes < max_batch_bytes) {
+    ByteReader header(pending_);
+    header.pos = pos;
+    const uint32_t len = header.ReadU32();
+    const uint32_t crc = header.ReadU32();
+    if (len > pending_.size() - pos - kFrameHeaderLen) break;  // mid-append
+    std::string payload = pending_.substr(pos + kFrameHeaderLen, len);
+    // Bytes *behind* a complete frame came from finished append calls, so
+    // unlike ReadWal's tolerant tail scan this is permanent corruption.
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      return Status::Internal("wal '" + path_ + "': CRC mismatch at offset " +
+                              std::to_string(offset_ + pos));
+    }
+    Result<WalRecord> record = DecodeWalPayload(payload);
+    if (!record.ok()) {
+      return Status::Internal("wal '" + path_ + "': undecodable record at " +
+                              std::to_string(offset_ + pos) + ": " +
+                              record.status().message());
+    }
+    pos += kFrameHeaderLen + len;
+    TailedRecord out;
+    out.epoch = record->epoch;
+    out.payload = std::move(payload);
+    out.end_offset = offset_ + pos;
+    batch_bytes += out.payload.size();
+    batch.push_back(std::move(out));
+  }
+  if (pos > 0) {
+    pending_.erase(0, pos);
+    offset_ += pos;
+  }
+  return batch;
 }
 
 // -------------------------------------------------------- Checkpoints ---
@@ -476,16 +574,31 @@ Result<CheckpointImage> ReadCheckpointFile(const std::string& path) {
     return Status::InvalidArgument("checkpoint '" + path +
                                    "': checksum mismatch");
   }
-  ByteReader r(payload);
+  ByteReader epoch_reader(payload);
+  const uint64_t epoch = epoch_reader.ReadU64();
+  if (!epoch_reader.ok) {
+    return Status::InvalidArgument("checkpoint '" + path + "': truncated");
+  }
+  Result<CheckpointImage> image =
+      DecodeDatabaseState(epoch, payload.substr(8));
+  if (!image.ok()) {
+    return Status::InvalidArgument("checkpoint '" + path +
+                                   "': " + image.status().message());
+  }
+  return image;
+}
+
+Result<CheckpointImage> DecodeDatabaseState(uint64_t epoch,
+                                            const std::string& state_payload) {
+  ByteReader r(state_payload);
   CheckpointImage image;
-  image.epoch = r.ReadU64();
+  image.epoch = epoch;
   uint32_t ntables = r.ReadU32();
   for (uint32_t t = 0; t < ntables && r.ok; ++t) {
     std::string name = r.ReadString();
     uint64_t slots = r.ReadU64();
     if (!r.Need(slots)) {  // >= 1 presence byte per slot
-      return Status::InvalidArgument("checkpoint '" + path +
-                                     "': implausible slot count");
+      return Status::InvalidArgument("state payload: implausible slot count");
     }
     std::vector<std::optional<Row>> rows;
     rows.reserve(static_cast<size_t>(slots));
@@ -498,9 +611,8 @@ Result<CheckpointImage> ReadCheckpointFile(const std::string& path) {
     }
     image.tables.emplace_back(std::move(name), std::move(rows));
   }
-  if (!r.ok || r.pos != payload.size()) {
-    return Status::InvalidArgument("checkpoint '" + path +
-                                   "': truncated or trailing bytes");
+  if (!r.ok || r.pos != state_payload.size()) {
+    return Status::InvalidArgument("state payload: truncated or trailing bytes");
   }
   return image;
 }
@@ -529,14 +641,12 @@ Status WriteFileAtomicSynced(const std::string& path,
     return ErrnoStatus("rename '" + tmp + "' -> '" + path + "'");
   }
   // Make the rename itself durable.
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    (void)::fsync(dfd);
-    ::close(dfd);
-  }
+  FsyncParentDir(path);
   return Status::OK();
+}
+
+void SetRecoveryCrashPointForTesting(int point) {
+  g_recovery_crash_point = point;
 }
 
 // ------------------------------------------ Database durability glue ---
@@ -675,32 +785,8 @@ Status Database::RecoverFrom(const DurabilityOptions& opts) {
     } else if (!image.ok()) {
       return image.status();
     } else {
-      for (auto& [name, slots] : image->tables) {
-        auto it = table_index_.find(name);
-        if (it == table_index_.end()) {
-          return Status::InvalidArgument(
-              "checkpoint table '" + name + "' is not in the schema");
-        }
-        Table* table = tables_[it->second].get();
-        const size_t arity = table->schema().columns().size();
-        for (size_t slot = 0; slot < slots.size(); ++slot) {
-          if (!slots[slot].has_value()) {
-            // Tombstone: materialize the empty slot so later AppendRows
-            // (and WAL-replayed inserts) land on the same RowIds.
-            if (table->SlotCount() <= slot) {
-              table->rows_.resize(slot + 1);
-            }
-            continue;
-          }
-          if (slots[slot]->size() != arity) {
-            return Status::Internal("checkpoint row arity mismatch in '" +
-                                    name + "'");
-          }
-          table->PutSlotForRecovery(static_cast<RowId>(slot),
-                                    std::move(*slots[slot]));
-        }
-      }
       recovered_epoch = image->epoch;
+      UFILTER_RETURN_NOT_OK(ApplyCheckpointImageLocked(std::move(*image)));
     }
   }
 
@@ -761,17 +847,194 @@ Status Database::RecoverFrom(const DurabilityOptions& opts) {
     }
     if (wal->tail_truncated) {
       // Physically discard the torn tail so a later EnableDurability
-      // appends after the last complete record, not after garbage.
-      if (::truncate(opts.wal_path.c_str(),
-                     static_cast<off_t>(wal->valid_bytes)) != 0) {
-        return ErrnoStatus("truncate wal '" + opts.wal_path + "'");
+      // appends after the last complete record, not after garbage. The
+      // truncation itself must be durable: without the fd fsync (and the
+      // parent-directory fsync for the metadata change) a crash right here
+      // could resurrect the torn tail on the *next* recovery, after new
+      // records were already appended past the truncation point.
+      int fd = ::open(opts.wal_path.c_str(), O_WRONLY);
+      if (fd < 0) return ErrnoStatus("open wal '" + opts.wal_path + "'");
+      if (::ftruncate(fd, static_cast<off_t>(wal->valid_bytes)) != 0) {
+        ::close(fd);
+        return ErrnoStatus("ftruncate wal '" + opts.wal_path + "'");
       }
+      if (g_recovery_crash_point == 1) {
+        // Crash-fuzz window: truncation issued but not yet durable.
+        std::raise(SIGKILL);
+        _exit(137);
+      }
+      if (::fsync(fd) != 0) {
+        ::close(fd);
+        return ErrnoStatus("fsync wal '" + opts.wal_path + "'");
+      }
+      ::close(fd);
+      FsyncParentDir(opts.wal_path);
     }
   }
 
   commit_epoch_ = recovered_epoch;
   if (recovered_epoch > 0) BuildVersionLocked(recovered_epoch);
   return Status::OK();
+}
+
+Status Database::ApplyCheckpointImageLocked(CheckpointImage&& image) {
+  for (auto& [name, slots] : image.tables) {
+    auto it = table_index_.find(name);
+    if (it == table_index_.end()) {
+      return Status::InvalidArgument(
+          "checkpoint table '" + name + "' is not in the schema");
+    }
+    Table* table = tables_[it->second].get();
+    const size_t arity = table->schema().columns().size();
+    for (size_t slot = 0; slot < slots.size(); ++slot) {
+      if (!slots[slot].has_value()) {
+        // Tombstone: materialize the empty slot so later AppendRows
+        // (and WAL-replayed inserts) land on the same RowIds.
+        if (table->SlotCount() <= slot) {
+          table->rows_.resize(slot + 1);
+        }
+        continue;
+      }
+      if (slots[slot]->size() != arity) {
+        return Status::Internal("checkpoint row arity mismatch in '" + name +
+                                "'");
+      }
+      table->PutSlotForRecovery(static_cast<RowId>(slot),
+                                std::move(*slots[slot]));
+    }
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------- Replication apply ---
+
+Status Database::LoadReplicatedSnapshot(uint64_t epoch,
+                                        const std::string& state_payload) {
+  Result<CheckpointImage> image = DecodeDatabaseState(epoch, state_payload);
+  if (!image.ok()) return image.status();
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (commit_epoch_ != 0 || published_ != nullptr || live_dirty_) {
+    return Status::InvalidArgument(
+        "LoadReplicatedSnapshot requires a freshly created database");
+  }
+  for (const auto& table : tables_) {
+    if (table->SlotCount() != 0) {
+      return Status::InvalidArgument(
+          "LoadReplicatedSnapshot requires a freshly created database "
+          "(table '" + table->schema().name() + "' is not empty)");
+    }
+  }
+  UFILTER_RETURN_NOT_OK(ApplyCheckpointImageLocked(std::move(*image)));
+  commit_epoch_ = epoch;
+  if (epoch > 0) BuildVersionLocked(epoch);
+  return Status::OK();
+}
+
+Status Database::ApplyReplicatedEpoch(const WalRecord& record) {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    if (record.epoch <= commit_epoch_) {
+      // Resume-from-epoch duplicate (the primary re-ships from the
+      // follower's last durable epoch after a reconnect): already applied.
+      return Status::OK();
+    }
+    if (live_dirty_ || writer_depth_ > 0) {
+      return Status::Internal(
+          "ApplyReplicatedEpoch: local writer activity on a follower "
+          "(dirty=" + std::to_string(live_dirty_) +
+          " depth=" + std::to_string(writer_depth_) + ")");
+    }
+    // Hold writer_depth_ while ops land so OpenSnapshot's
+    // publish-on-demand can never pin a half-applied epoch.
+    ++writer_depth_;
+  }
+  auto fail = [this](Status st) {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    --writer_depth_;
+    // live_dirty_ may remain set: the database is poisoned for
+    // replication purposes and the follower must stop.
+    return st;
+  };
+  const bool log_locally = wal_enabled_.load(std::memory_order_acquire);
+  std::vector<RedoOp> local_ops;
+  if (log_locally) local_ops.reserve(record.ops.size());
+  for (const RedoOp& op : record.ops) {
+    auto it = table_index_.find(op.table);
+    if (it == table_index_.end()) {
+      return fail(Status::InvalidArgument(
+          "replicated record references unknown table '" + op.table + "'"));
+    }
+    // Copy-on-write keeps every pinned snapshot byte-stable while the
+    // record lands — the same guarantee local writers get.
+    Table* table = WritableBaseTable(it->second);
+    switch (op.kind) {
+      case RedoOp::Kind::kInsert:
+        if (op.row.size() != table->schema().columns().size()) {
+          return fail(Status::Internal("replicated row arity mismatch in '" +
+                                       op.table + "'"));
+        }
+        if (table->GetRow(op.row_id) != nullptr) {
+          return fail(
+              Status::Internal("replicated apply: insert into live slot"));
+        }
+        table->PutSlotForRecovery(op.row_id, op.row);
+        break;
+      case RedoOp::Kind::kDelete:
+        if (table->GetRow(op.row_id) == nullptr) {
+          return fail(
+              Status::Internal("replicated apply: delete of a dead slot"));
+        }
+        table->EraseRow(op.row_id);
+        break;
+      case RedoOp::Kind::kUpdate:
+        if (op.row.size() != table->schema().columns().size()) {
+          return fail(Status::Internal("replicated row arity mismatch in '" +
+                                       op.table + "'"));
+        }
+        if (table->GetRow(op.row_id) == nullptr) {
+          return fail(
+              Status::Internal("replicated apply: update of a dead slot"));
+        }
+        table->OverwriteRow(op.row_id, op.row);
+        break;
+    }
+    if (log_locally) {
+      // Re-log into the follower's own WAL (sealed: no undo pairing), so a
+      // restarted follower resumes from its local log instead of
+      // re-bootstrapping. Published below under exactly record.epoch.
+      RedoOp copy;
+      copy.kind = op.kind;
+      copy.table = op.table;
+      copy.row_id = op.row_id;
+      copy.row = op.row;
+      local_ops.push_back(std::move(copy));
+    }
+  }
+  Graveyard graveyard;
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    --writer_depth_;
+    commit_epoch_ = record.epoch;
+    BuildVersionLocked(record.epoch);
+    if (log_locally) {
+      wal_pending_.emplace_back(record.epoch, std::move(local_ops));
+    }
+    CollectRetiredLocked(&graveyard);
+    flush = WalFlushNeededLocked();
+  }
+  if (flush) FlushWalPending();
+  return Status::OK();
+}
+
+Status Database::FlushWalToFile() {
+  if (!durability_enabled()) return Status::OK();
+  FlushWalPending();
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_writer_ == nullptr) return Status::OK();
+  Status st = wal_writer_->Flush();
+  if (!st.ok() && wal_status_.ok()) wal_status_ = st;
+  return st;
 }
 
 }  // namespace ufilter::relational

@@ -96,6 +96,12 @@ class WalWriter {
   /// everything appended is already synced.
   Status Sync();
 
+  /// Pushes any kGroup-staged frames into the file *without* fsyncing, so
+  /// a concurrent WalTailer (the replication source) sees every appended
+  /// record immediately while the group-commit fsync schedule stays
+  /// untouched. No-op for kNever/kAlways (nothing is ever staged).
+  Status Flush();
+
   uint64_t records_appended() const { return records_; }
   uint64_t fsyncs() const { return fsyncs_; }
   uint64_t bytes_written() const { return total_bytes_; }
@@ -149,6 +155,53 @@ struct WalReadResult {
 /// InvalidArgument.
 Result<WalReadResult> ReadWal(const std::string& path);
 
+/// \brief Incremental reader over a *live* WAL file: the replication feed.
+///
+/// Keeps a byte offset into the log and, on each Poll(), returns every
+/// record frame that has become complete since the last call. An
+/// incomplete tail (the writer is mid-append) is simply "no more records
+/// yet" — but a complete-length frame with a CRC or decode failure is real
+/// corruption and a permanent error, because an append-only writer never
+/// leaves bad bytes *behind* the tail it is extending.
+///
+/// Not internally synchronized; one tailer per subscriber thread.
+class WalTailer {
+ public:
+  /// One record that became complete in the file.
+  struct TailedRecord {
+    uint64_t epoch = 0;
+    /// EncodeWalPayload bytes (epoch + ops), ready for the wire.
+    std::string payload;
+    /// File offset just past this record's frame.
+    uint64_t end_offset = 0;
+  };
+
+  explicit WalTailer(std::string path) : path_(std::move(path)) {}
+  ~WalTailer();
+  WalTailer(const WalTailer&) = delete;
+  WalTailer& operator=(const WalTailer&) = delete;
+
+  /// Reads forward from the current offset; stops early once the batch
+  /// holds >= max_batch_bytes of payload. A missing file yields an empty
+  /// batch (the writer has not created the log yet).
+  Result<std::vector<TailedRecord>> Poll(size_t max_batch_bytes);
+
+  /// Bytes fully consumed (magic + complete frames handed out).
+  uint64_t offset() const { return offset_; }
+
+  /// Total file bytes observed so far (consumed + a possibly-incomplete
+  /// tail). The shipped-vs-total pair is the subscriber's byte lag.
+  uint64_t known_file_bytes() const { return offset_ + pending_.size(); }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool magic_checked_ = false;
+  uint64_t offset_ = 0;
+  /// Bytes read past offset_ that do not yet form a complete frame.
+  std::string pending_;
+};
+
 /// A parsed checkpoint: one immutable DatabaseVersion, slot-exact.
 struct CheckpointImage {
   uint64_t epoch = 0;
@@ -163,6 +216,13 @@ struct CheckpointImage {
 std::string EncodeDatabaseState(const DatabaseSchema& schema,
                                 const Snapshot& snapshot);
 
+/// Parses an EncodeDatabaseState payload into a CheckpointImage stamped
+/// with `epoch` — the wire-bootstrap path (kReplSnapshot); checkpoint
+/// *files* go through ReadCheckpointFile, which validates magic + CRC
+/// before delegating here.
+Result<CheckpointImage> DecodeDatabaseState(uint64_t epoch,
+                                            const std::string& state_payload);
+
 /// Full checkpoint file image: magic + CRC frame around epoch + state.
 std::string EncodeCheckpointFile(uint64_t epoch,
                                  const std::string& state_payload);
@@ -173,6 +233,12 @@ Result<CheckpointImage> ReadCheckpointFile(const std::string& path);
 /// never leaves a half-written file at `path`.
 Status WriteFileAtomicSynced(const std::string& path,
                              const std::string& contents);
+
+/// Crash-injection hook for the recovery crash-fuzz: a nonzero point makes
+/// RecoverFrom raise SIGKILL at a chosen step of the torn-tail truncation
+/// (1 = after ftruncate, before the log fsync — the window where a
+/// non-durable truncation could resurrect the torn tail). 0 disables.
+void SetRecoveryCrashPointForTesting(int point);
 
 }  // namespace ufilter::relational
 

@@ -144,6 +144,12 @@ void CheckService::Shutdown() {
   if (db_->durability_enabled()) (void)db_->SyncWal();
 }
 
+Status CheckService::ApplyReplicatedEpoch(
+    const relational::WalRecord& record) {
+  std::lock_guard<std::mutex> lane(writer_mu_);
+  return db_->ApplyReplicatedEpoch(record);
+}
+
 std::shared_ptr<Session> CheckService::OpenSession(std::string name) {
   uint64_t id = next_session_id_++;
   if (name.empty()) name = "session-" + std::to_string(id);

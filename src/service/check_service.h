@@ -190,6 +190,15 @@ class CheckService {
                                  std::shared_ptr<obs::TraceContext> trace =
                                      nullptr);
 
+  /// Applies one replicated WAL record through the writer lane (follower
+  /// mode). Serializing with the lane means a replica can keep serving
+  /// escalated check-only traffic while epochs stream in: the applier and
+  /// any writer-lane check take turns on writer_mu_, and fast-path checks
+  /// keep reading their pinned snapshots throughout. Forwards to
+  /// Database::ApplyReplicatedEpoch (idempotent for already-applied
+  /// epochs; see its contract for failure semantics).
+  Status ApplyReplicatedEpoch(const relational::WalRecord& record);
+
   /// Refuses new submissions, drains everything queued, joins the workers.
   /// Idempotent.
   void Shutdown();

@@ -164,5 +164,115 @@ TEST(CrashRecoveryFuzzTest, RecoveryEqualsReferenceReplayOfSurvivingEpochs) {
                iters, clean_runs, torn_tails);
 }
 
+// The recovery-crash regression: RecoverFrom truncates a torn tail, and
+// that truncation must itself be durable (ftruncate + fsync of the log fd
+// + fsync of the parent directory). A crash *between* the ftruncate and
+// the fsync used to leave the truncation only in the page cache — a
+// second crash could resurrect the torn bytes and make two recoveries of
+// the same log disagree. This test kills a child exactly in that window
+// and requires the next recovery to land on the same certified state.
+TEST(CrashRecoveryFuzzTest, CrashDuringTailTruncationStaysRecoverable) {
+  const uint32_t seed =
+      test_support::FuzzSeed("recovery-crash", 0xc4a5u);
+  TempDir tmp("ufilter_recovery_crash");
+  ASSERT_TRUE(tmp.ok());
+  std::mt19937 rng(seed);
+
+  // Produce a WAL with a genuinely torn tail (bounded retries: the crash
+  // offset is random, most land mid-record quickly).
+  const std::string wal = tmp.path("torn.wal");
+  const uint32_t batch_seed = rng();
+  bool torn = false;
+  for (int attempt = 0; attempt < 64 && !torn; ++attempt) {
+    ::unlink(wal.c_str());
+    const int64_t crash_bytes = 512 + static_cast<int64_t>(rng() % 6000);
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) _exit(RunChild(wal, batch_seed, crash_bytes));
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    if (WIFEXITED(wstatus)) {
+      ASSERT_EQ(WEXITSTATUS(wstatus), 0);
+      continue;  // finished cleanly: no torn tail this time
+    }
+    auto read = ReadWal(wal);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    torn = read->tail_truncated && !read->records.empty();
+  }
+  ASSERT_TRUE(torn) << "could not produce a torn tail in 64 attempts";
+
+  auto before = ReadWal(wal);
+  ASSERT_TRUE(before.ok());
+  const uint64_t last_epoch = before->records.back().epoch;
+
+  // A child recovers from the torn log and is SIGKILLed in the window
+  // after ftruncate but before the log fsync.
+  {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      relational::SetRecoveryCrashPointForTesting(1);
+      auto db = Database::Create(fixtures::MakeChainSchema(kDepth));
+      if (!db.ok()) _exit(42);
+      Status rs = (*db)->RecoverFrom(wal);
+      // Reaching here means the crash point never fired (hook miswired).
+      _exit(rs.ok() ? 43 : 42);
+    }
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wstatus))
+        << "child survived the recovery crash point (exit "
+        << (WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1) << ")";
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+  }
+
+  // Second recovery, same log: the interrupted truncation must not have
+  // changed what is certified.
+  std::unique_ptr<Database> recovered = MakeEmptyChain();
+  ASSERT_TRUE(recovered->RecoverFrom(wal).ok());
+  ASSERT_EQ(recovered->commit_epoch(), last_epoch);
+
+  std::unique_ptr<Database> reference = MakeEmptyChain();
+  ASSERT_TRUE(fixtures::PopulateChain(reference.get(), kDepth, kRows).ok());
+  for (uint64_t b = 0; last_epoch >= 2 && b <= last_epoch - 2; ++b) {
+    ASSERT_TRUE(fixtures::ApplyChainBatch(reference.get(), kDepth, kRows,
+                                          batch_seed, static_cast<int>(b))
+                    .ok());
+  }
+  auto got = recovered->SerializePublishedState();
+  auto want = reference->SerializePublishedState();
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(*got, *want);
+
+  // The completed recovery's truncation is durable: the log reads back
+  // clean, and it remains appendable — more commits then one more
+  // recovery still agree with a full reference replay.
+  auto after = ReadWal(wal);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->tail_truncated)
+      << "a completed recovery left the torn tail in place";
+
+  DurabilityOptions opts;
+  opts.wal_path = wal;
+  opts.fsync_policy = FsyncPolicy::kAlways;
+  ASSERT_TRUE(recovered->EnableDurability(opts).ok());
+  ASSERT_TRUE(fixtures::ApplyChainBatch(recovered.get(), kDepth, kRows,
+                                        batch_seed, /*b=*/900)
+                  .ok());
+  ASSERT_TRUE(recovered->SyncWal().ok());
+
+  std::unique_ptr<Database> again = MakeEmptyChain();
+  ASSERT_TRUE(again->RecoverFrom(wal).ok());
+  ASSERT_TRUE(fixtures::ApplyChainBatch(reference.get(), kDepth, kRows,
+                                        batch_seed, /*b=*/900)
+                  .ok());
+  auto got2 = again->SerializePublishedState();
+  auto want2 = reference->SerializePublishedState();
+  ASSERT_TRUE(got2.ok());
+  ASSERT_TRUE(want2.ok());
+  EXPECT_EQ(*got2, *want2) << "the log stopped being appendable";
+}
+
 }  // namespace
 }  // namespace ufilter

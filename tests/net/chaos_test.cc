@@ -179,6 +179,91 @@ TEST(ChaosTest, SeveredApplyIsIndeterminateAndNeverRetried) {
   EXPECT_TRUE(executed);
 }
 
+TEST(ChaosTest, RefusalRetryNeverLandsBeforeTheServerAdvertisedFloor) {
+  // The regression this pins: a kShed/kDraining response carries
+  // retry_after_ms, and the client's *first* backoff after it must honor
+  // that floor — a jittered backoff alone could land the retry almost
+  // immediately and pile onto an overloaded server. A shut-down check
+  // service answers every request kDraining instantly (same client-side
+  // floor path as kShed, without queue-timing races), so the elapsed time
+  // isolates exactly the backoff.
+  ServerOptions sopts;
+  sopts.drain_retry_after_ms = 250;
+  Rig rig = Rig::Up(sopts);
+  rig.server->service().Shutdown();
+
+  ClientOptions opts;
+  opts.port = rig.server->port();
+  opts.max_attempts = 2;
+  opts.backoff_base = std::chrono::milliseconds(1);
+  opts.backoff_max = std::chrono::milliseconds(2);
+  Client probe(opts);
+  auto start = std::chrono::steady_clock::now();
+  auto resp = probe.Check(CheckOnlyUpdate(), /*apply=*/false);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  EXPECT_FALSE(resp.ok()) << "a shut-down service executed a request";
+  ASSERT_EQ(probe.metrics().shed_seen, 2u) << resp.status().ToString();
+  // Both refusals were answered in microseconds; the elapsed time is the
+  // one backoff between them. The 250ms floor must dominate the 2ms
+  // jitter ceiling — and stay a backoff, not a hang.
+  EXPECT_GE(elapsed, std::chrono::milliseconds(250))
+      << "retry landed before the server's advertised floor";
+  EXPECT_LT(elapsed, std::chrono::milliseconds(2000));
+}
+
+TEST(ChaosTest, IndeterminateApplyStaysIndeterminateAcrossReconnect) {
+  // The regression this pins: a client whose apply went indeterminate
+  // reconnects for its *next* call — the reconnect must not resurrect or
+  // silently re-send the lost apply, and must not count it twice.
+  ServerOptions sopts;
+  sopts.service.worker_threads = 1;
+  sopts.service.writer_lane_hold_ms_for_testing = 400;
+  Rig rig = Rig::Up(sopts);
+
+  ClientOptions opts = rig.ThroughProxy();
+  opts.request_timeout = std::chrono::milliseconds(5000);
+  Client client(opts);
+
+  Result<CheckResponseMsg> resp = Status::Unavailable("not yet run");
+  std::thread caller([&] {
+    resp = client.Check(fixtures::ChainReplaceUpdate(1, 6, "lost"), true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  rig.proxy->SeverAll();
+  caller.join();
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(client.metrics().indeterminate, 1u);
+
+  // The server finishes the orphaned apply exactly once.
+  ClientOptions direct;
+  direct.port = rig.server->port();
+  Client observer(direct);
+  bool executed = false;
+  for (int i = 0; i < 200 && !executed; ++i) {
+    auto stats = observer.ServerStats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    executed = stats->writer_lane >= 1;
+    if (!executed) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(executed);
+
+  // Network healed (SeverAll killed connections, not the proxy): the same
+  // client's next call reconnects and succeeds.
+  auto check = client.Check(CheckOnlyUpdate(), /*apply=*/false);
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(check->verdict, Verdict::kExecuted) << check->message;
+
+  // Nothing was double-counted and nothing was re-sent: still exactly one
+  // indeterminate apply client-side, exactly one writer-lane execution
+  // server-side.
+  EXPECT_EQ(client.metrics().indeterminate, 1u);
+  auto stats = observer.ServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->writer_lane, 1u);
+}
+
 TEST(ChaosTest, ServerSurvivesAStormOfBrokenPeers) {
   Rig rig = Rig::Up();
   // Rounds of damage: corrupt, truncated, and severed exchanges

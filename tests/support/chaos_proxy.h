@@ -153,8 +153,10 @@ class ChaosProxy {
       if (delay > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(delay));
       }
+      // A blackhole is silent in both directions — requests vanish and so
+      // do responses/heartbeats; only the peers' own deadlines can notice.
+      if (blackhole_.load(std::memory_order_relaxed)) continue;
       if (client_to_server) {
-        if (blackhole_.load(std::memory_order_relaxed)) continue;
         bool expected = true;
         if (corrupt_next_.compare_exchange_strong(expected, false)) {
           buf[0] ^= 0x40;

@@ -7,6 +7,17 @@
 //                  [--metrics-port=N] [--metrics-dump=PATH]
 //                  [--trace-dump=PATH] [--trace-sample=M]
 //                  [--slow-check-ms=N] [--slow-check-log=PATH]
+//                  [--repl-port=N] [--follow=HOST:PORT]
+//
+// Replication: --repl-port (requires --wal) starts the epoch-stream
+// replication source on that port (0 = ephemeral; printed as "REPL <port>"
+// on stdout before READY). --follow turns the process into a read replica:
+// it subscribes to the primary's replication endpoint, applies the shipped
+// epoch stream, serves check-only traffic from pinned snapshots, and
+// answers every apply with kRedirectToPrimary naming HOST:PORT. A follower
+// given --wal re-logs applied epochs locally and persists wire bootstraps
+// as <wal>.ckpt, so a killed follower recovers locally and resumes from
+// its own epoch instead of re-shipping the whole state.
 //
 // Observability: --metrics-port starts a Prometheus text endpoint (curl
 // it or point a scrape_config at it); --metrics-dump / --trace-dump write
@@ -40,6 +51,7 @@
 
 #include "fixtures/synthetic.h"
 #include "net/metrics_http.h"
+#include "net/replication.h"
 #include "net/server.h"
 #include "obs/prometheus.h"
 #include "relational/database.h"
@@ -64,6 +76,12 @@ struct Args {
   uint32_t trace_sample = 64;
   int slow_check_ms = 0;
   std::string slow_check_log_path;
+  /// -1 = no replication source; 0 = ephemeral port.
+  int repl_port = -1;
+  /// Follower mode: the primary's replication endpoint ("host:port").
+  std::string follow_host;
+  uint16_t follow_port = 0;
+  std::string follow_raw;
 };
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -102,6 +120,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->slow_check_ms = std::atoi(v);
     } else if (ParseFlag(argv[i], "--slow-check-log", &v)) {
       args->slow_check_log_path = v;
+    } else if (ParseFlag(argv[i], "--repl-port", &v)) {
+      args->repl_port = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--follow", &v)) {
+      args->follow_raw = v;
+      const char* colon = std::strrchr(v, ':');
+      if (colon == nullptr || colon == v || colon[1] == '\0') {
+        std::fprintf(stderr, "--follow wants HOST:PORT, got: %s\n", v);
+        return false;
+      }
+      args->follow_host.assign(v, static_cast<size_t>(colon - v));
+      args->follow_port = static_cast<uint16_t>(std::atoi(colon + 1));
     } else if (ParseFlag(argv[i], "--fsync", &v)) {
       if (std::strcmp(v, "always") == 0) {
         args->fsync = ufilter::relational::FsyncPolicy::kAlways;
@@ -149,18 +178,31 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<ufilter::relational::Database> db = std::move(*db_result);
 
+  const bool follower_mode = !args.follow_raw.empty();
+  if (args.repl_port >= 0 && args.wal_path.empty()) {
+    std::fprintf(stderr, "--repl-port requires --wal (the stream is the "
+                         "WAL)\n");
+    return 2;
+  }
+
+  ufilter::relational::DurabilityOptions dopts;
+  dopts.wal_path = args.wal_path;
+  dopts.fsync_policy = args.fsync;
+  if (follower_mode && !args.wal_path.empty()) {
+    // Wire bootstraps persist here, so a follower restart recovers locally
+    // and resumes from its own epoch instead of re-shipping the state.
+    dopts.checkpoint_path = args.wal_path + ".ckpt";
+  }
+
   const bool recovering = FileHasBytes(args.wal_path);
   if (recovering) {
-    ufilter::Status st = db->RecoverFrom(args.wal_path);
+    ufilter::Status st = db->RecoverFrom(dopts);
     if (!st.ok()) {
       std::fprintf(stderr, "WAL recovery failed: %s\n", st.ToString().c_str());
       return 1;
     }
   }
   if (!args.wal_path.empty()) {
-    ufilter::relational::DurabilityOptions dopts;
-    dopts.wal_path = args.wal_path;
-    dopts.fsync_policy = args.fsync;
     ufilter::Status st = db->EnableDurability(dopts);
     if (!st.ok()) {
       std::fprintf(stderr, "EnableDurability failed: %s\n",
@@ -168,7 +210,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (!recovering) {
+  if (!recovering && !follower_mode) {
+    // A follower never seeds: its entire state ships from the primary.
     // Fresh start: seed through the WAL so a restart replays it.
     ufilter::Status st =
         ufilter::fixtures::PopulateChain(db.get(), args.depth, args.rows);
@@ -206,6 +249,7 @@ int main(int argc, char** argv) {
 
   ufilter::net::ServerOptions sopts;
   sopts.port = args.port;
+  if (follower_mode) sopts.redirect_primary = args.follow_raw;
   sopts.service.worker_threads = args.workers;
   sopts.service.queue_capacity = args.queue;
   sopts.service.trace.sample_every = args.trace_sample;
@@ -238,12 +282,48 @@ int main(int argc, char** argv) {
                  static_cast<unsigned>(metrics_http.port()));
   }
 
+  std::unique_ptr<ufilter::net::ReplicationSource> repl;
+  if (args.repl_port >= 0) {
+    ufilter::net::ReplicationSourceOptions ropts;
+    ropts.port = static_cast<uint16_t>(args.repl_port);
+    ropts.wal_path = args.wal_path;
+    auto started = ufilter::net::ReplicationSource::Start(
+        db.get(), &(*server)->service().registry(), ropts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "ReplicationSource::Start failed: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    repl = std::move(*started);
+    std::printf("REPL %u\n", static_cast<unsigned>(repl->port()));
+    std::fflush(stdout);
+  }
+
+  std::unique_ptr<ufilter::net::Follower> follower;
+  if (follower_mode) {
+    ufilter::net::FollowerOptions fopts;
+    fopts.host = args.follow_host;
+    fopts.port = args.follow_port;
+    fopts.checkpoint_path = dopts.checkpoint_path;
+    follower =
+        ufilter::net::Follower::Start(&(*server)->service(), db.get(), fopts);
+  }
+
   std::printf("READY %u\n", static_cast<unsigned>((*server)->port()));
   std::fflush(stdout);
 
   int sig = 0;
   sigwait(&sigs, &sig);
   std::fprintf(stderr, "signal %d: draining\n", sig);
+  if (follower != nullptr) {
+    follower->Stop();
+    ufilter::Status st = follower->status();
+    if (!st.ok()) {
+      std::fprintf(stderr, "replication apply failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  if (repl != nullptr) repl->Stop();
   (*server)->Drain();
   metrics_http.Stop();
 
